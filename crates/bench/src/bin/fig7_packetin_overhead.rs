@@ -1,0 +1,125 @@
+//! **Figure 7**: impact of PacketIn load on the rule-modification rate
+//! (normalized to the rate with no PacketIns).
+//!
+//! Paper reference: switches are almost unaffected except Dell S4810 in the
+//! all-equal-priority configuration, which drops by up to 60%.
+//!
+//! Usage: `fig7_packetin_overhead [--seconds N]`
+
+use monocle_openflow::{action, Action, FlowMod, FlowModCommand, Match, OfMessage};
+use monocle_packet::PacketFields;
+use monocle_switchsim::{time, ControlApp, Network, NetworkConfig, SwitchProfile};
+
+struct Sink;
+impl ControlApp for Sink {
+    fn on_message(
+        &mut self,
+        _: &mut monocle_switchsim::AppCtx,
+        _: usize,
+        _: u32,
+        _: OfMessage,
+    ) {
+    }
+}
+
+fn flowmod_rate(profile: &SwitchProfile, flat: bool, packetin_rate: u64, seconds: u64) -> f64 {
+    let mut net = Network::new(NetworkConfig::default());
+    let sw = net.add_switch(profile.clone());
+    let src = net.add_host();
+    net.connect_host(src, sw);
+    // A controller-bound rule generates one PacketIn per arriving packet.
+    net.switch_mut(sw)
+        .dataplane_mut()
+        .add_rule(
+            if flat { 10 } else { 9999 },
+            Match::any().with_tp_dst(9),
+            vec![Action::Output(action::PORT_CONTROLLER)],
+        )
+        .unwrap();
+    for i in 0..100u32 {
+        let prio = if flat { 10 } else { 10 + (i % 50) as u16 };
+        net.switch_mut(sw)
+            .dataplane_mut()
+            .add_rule(
+                prio,
+                Match::any().with_nw_dst((0x0b00_0000 | i).to_be_bytes(), 32),
+                vec![],
+            )
+            .unwrap();
+    }
+    if packetin_rate > 0 {
+        net.add_host_flow(
+            src,
+            PacketFields {
+                tp_dst: 9,
+                ..PacketFields::default()
+            },
+            7,
+            0,
+            time::per_sec(packetin_rate as f64),
+            time::s(seconds),
+        );
+    }
+    // Saturating FlowMod stream.
+    let mut xid = 0;
+    for r in 0..4000u32 {
+        let dst = (0x0c00_0000u32 | r).to_be_bytes();
+        let prio = if flat { 10 } else { 10 + (r % 50) as u16 };
+        xid += 1;
+        net.app_send(
+            sw,
+            xid,
+            &OfMessage::FlowMod(FlowMod {
+                command: FlowModCommand::Delete,
+                match_: Match::any().with_nw_dst(dst, 32),
+                priority: prio,
+                actions: vec![],
+                cookie: 0,
+                idle_timeout: 0,
+                hard_timeout: 0,
+                check_overlap: false,
+            }),
+        );
+        xid += 1;
+        net.app_send(
+            sw,
+            xid,
+            &OfMessage::FlowMod(FlowMod::add(prio, Match::any().with_nw_dst(dst, 32), vec![])),
+        );
+    }
+    let mut app = Sink;
+    net.run_until(&mut app, time::s(seconds));
+    net.switch(sw).stats.flowmods_processed as f64 / seconds as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seconds = if args.len() >= 3 && args[1] == "--seconds" {
+        args[2].parse().unwrap()
+    } else {
+        10
+    };
+    let rates = [0u64, 100, 200, 300, 400, 1000, 5000];
+    let switches: [(&str, SwitchProfile, bool); 4] = [
+        ("HP", SwitchProfile::hp5406zl(), false),
+        ("DELL 8132F", SwitchProfile::dell_8132f(), false),
+        ("DELL S4810", SwitchProfile::dell_s4810(), false),
+        ("DELL S4810**", SwitchProfile::dell_s4810_flat(), true),
+    ];
+    println!("== Figure 7: normalized FlowMod rate vs PacketIn rate ==");
+    println!("(paper: negligible impact except DELL S4810** dropping up to 60%)");
+    print!("switch");
+    for r in rates {
+        print!("\t{r}/s");
+    }
+    println!();
+    for (name, profile, flat) in switches {
+        let base = flowmod_rate(&profile, flat, 0, seconds);
+        print!("{name}");
+        for r in rates {
+            let v = flowmod_rate(&profile, flat, r, seconds);
+            print!("\t{:.2}", v / base);
+        }
+        println!("\t(baseline {base:.0}/s)");
+    }
+}

@@ -1,0 +1,90 @@
+//! **Figure 9**: number of reserved probing-field values (= catching-rule
+//! count per switch) across topology corpora, with and without coloring.
+//!
+//! Paper reference: on Topology Zoo (261 topologies), strategy 1 needs at
+//! most 9 values even for 754-switch networks; strategy 2 (squared graph)
+//! up to 59. On Rocketfuel (up to ~11800 switches): ≤8 vs up to 258.
+//!
+//! Usage: `fig9_catching_rules [--zoo N] [--rf-max N] [--seed S]`
+
+use monocle::catching::{plan, values_without_coloring, Strategy};
+use monocle_datasets::corpus::{rocketfuel_like, zoo_like, CorpusEntry};
+
+fn cdf_summary(mut values: Vec<u32>) -> String {
+    values.sort_unstable();
+    let pick = |p: f64| values[((values.len() - 1) as f64 * p) as usize];
+    format!(
+        "p50={} p90={} p99={} max={}",
+        pick(0.50),
+        pick(0.90),
+        pick(0.99),
+        values[values.len() - 1]
+    )
+}
+
+fn run_corpus(name: &str, corpus: &[CorpusEntry], exact_budget: u64) {
+    let mut no_coloring = Vec::new();
+    let mut strat1 = Vec::new();
+    let mut strat2 = Vec::new();
+    for e in corpus {
+        no_coloring.push(values_without_coloring(&e.graph));
+        strat1.push(plan(&e.graph, Strategy::OneField, exact_budget).num_values);
+        strat2.push(plan(&e.graph, Strategy::TwoFields, exact_budget).num_values);
+    }
+    println!("\n== Figure 9 ({name}, {} topologies) ==", corpus.len());
+    println!("series          \t{}", "CDF summary (#reserved values)");
+    println!("No coloring     \t{}", cdf_summary(no_coloring));
+    println!("Coloring (1)    \t{}", cdf_summary(strat1.clone()));
+    println!("Coloring (2)    \t{}", cdf_summary(strat2.clone()));
+    // Histogram lines for plotting the CDF of strategy 1 and 2.
+    for (label, vals) in [("coloring1", &strat1), ("coloring2", &strat2)] {
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let mut uniq: Vec<(u32, usize)> = Vec::new();
+        for v in sorted {
+            match uniq.last_mut() {
+                Some((val, n)) if *val == v => *n += 1,
+                _ => uniq.push((v, 1)),
+            }
+        }
+        let mut cum = 0;
+        let line: Vec<String> = uniq
+            .iter()
+            .map(|(v, n)| {
+                cum += n;
+                format!("{v}:{:.2}", cum as f64 / vals.len() as f64)
+            })
+            .collect();
+        println!("cdf[{label}]\t{}", line.join(" "));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut zoo_n = 261usize;
+    let mut rf_max = 11800usize;
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--zoo" => {
+                zoo_n = args[i + 1].parse().unwrap();
+                i += 2;
+            }
+            "--rf-max" => {
+                rf_max = args[i + 1].parse().unwrap();
+                i += 2;
+            }
+            "--seed" => {
+                seed = args[i + 1].parse().unwrap();
+                i += 2;
+            }
+            other => panic!("unknown arg {other}"),
+        }
+    }
+    println!("(paper: Zoo strategy-1 max 9, strategy-2 max 59; Rocketfuel 8 vs 258)");
+    let zoo = zoo_like(zoo_n, seed);
+    run_corpus("Topology-Zoo-like", &zoo, 200_000);
+    let rf = rocketfuel_like(rf_max, seed);
+    run_corpus("Rocketfuel-like", &rf, 0 /* greedy, like the paper's fallback */);
+}

@@ -1,0 +1,4 @@
+//! Shared helpers for the benchmark harness binaries (one binary per paper
+//! table/figure; see `src/bin/`).
+
+pub mod report;

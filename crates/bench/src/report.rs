@@ -1,0 +1,42 @@
+//! Tiny report formatting helpers shared by the figure/table binaries.
+
+/// Prints a Markdown-ish table header.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n== {title} ==");
+    println!("{}", cols.join("\t"));
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(num: usize, den: usize) -> String {
+    if den == 0 {
+        "n/a".into()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// Computes percentile `p` (0..=100) of a sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1, 2), "50.0%");
+        assert_eq!(pct(0, 0), "n/a");
+    }
+
+    #[test]
+    fn percentile_picks() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Catching-rule planning for network-wide monitoring (§6).
+//!
+//! To collect probes, every neighbor of a monitored switch needs a
+//! *catching rule* that redirects probe packets to the controller. The
+//! probe tag rides in a reserved header field (we default to the VLAN id,
+//! matching the paper's `match(VLAN=3)` example); production traffic must
+//! never use the reserved values and no rule may rewrite the field.
+//!
+//! Two strategies (§6), both minimized by vertex coloring:
+//!
+//! * **Strategy 1** (one field `H`): switch `i` gets color `c(i)`; probes
+//!   for `i` carry `H = value(c(i))`; every switch installs one catching
+//!   rule per *other* color. Proper coloring of the topology guarantees a
+//!   neighbor never swallows the probed switch's own probes. Downside:
+//!   probes forwarded by the wrong rule still reach *some* catcher, loading
+//!   the control channel.
+//! * **Strategy 2** (two fields `H1`, `H2`): `H1` = probed switch id color,
+//!   `H2` = intended downstream color; neighbors *drop* foreign probes
+//!   (filter rules) and only the intended downstream reports. Requires a
+//!   coloring of the *square* graph (distance-2), hence more values on
+//!   hub-heavy topologies (§8.3.2's observed tradeoff).
+
+use monocle_netgraph::{color_exact, color_greedy, coloring::Coloring, Graph};
+use monocle_openflow::{Action, ActionProgram, Field, Match};
+
+/// Which §6 strategy to plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One reserved field, proper coloring of the topology.
+    OneField,
+    /// Two reserved fields, coloring of the square graph.
+    TwoFields,
+}
+
+/// Priority assigned to catching rules — "highest priority among all rules"
+/// (§3.1).
+pub const CATCH_PRIORITY: u16 = u16::MAX;
+
+/// Priority of the strategy-2 filter rules (just below catching rules).
+pub const FILTER_PRIORITY: u16 = u16::MAX - 1;
+
+/// A rule Monocle preinstalls on a switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedRule {
+    /// Target switch.
+    pub switch: usize,
+    /// Priority.
+    pub priority: u16,
+    /// Match.
+    pub match_: Match,
+    /// Actions.
+    pub actions: ActionProgram,
+}
+
+/// The network-wide catching plan.
+#[derive(Debug, Clone)]
+pub struct CatchPlan {
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Reserved field (strategy 1) / first reserved field (strategy 2).
+    pub field1: Field,
+    /// Second reserved field (strategy 2 only).
+    pub field2: Option<Field>,
+    /// Color of each switch.
+    pub colors: Vec<u32>,
+    /// Number of reserved values ("IDs") needed.
+    pub num_values: u32,
+    /// Whether the coloring is provably optimal.
+    pub optimal: bool,
+    /// All rules to preinstall.
+    pub rules: Vec<PlannedRule>,
+    /// Base of the reserved value range.
+    value_base: u64,
+}
+
+impl CatchPlan {
+    /// The reserved tag value representing color `c`.
+    pub fn value_of_color(&self, c: u32) -> u64 {
+        self.value_base + u64::from(c)
+    }
+
+    /// Tag value carried by probes for switch `sw` (strategy 1: its own
+    /// color; strategy 2: the `H1` value).
+    pub fn probe_tag(&self, sw: usize) -> u64 {
+        self.value_of_color(self.colors[sw])
+    }
+
+    /// Strategy-2 `H2` value for the intended downstream switch. `H2` rides
+    /// in the (6-bit) DSCP field, so it carries the bare color.
+    pub fn downstream_tag(&self, downstream: usize) -> u64 {
+        u64::from(self.colors[downstream])
+    }
+}
+
+/// Builds the catching plan for `topology` (switch = node).
+///
+/// `exact_budget` bounds the exact-coloring search; beyond it the greedy
+/// fallback is used (the paper similarly falls back to greedy when its ILP
+/// runs out of memory on Rocketfuel-scale squared graphs).
+pub fn plan(topology: &Graph, strategy: Strategy, exact_budget: u64) -> CatchPlan {
+    let coloring = match strategy {
+        Strategy::OneField => solve_coloring(topology, exact_budget),
+        Strategy::TwoFields => solve_coloring(&topology.square(), exact_budget),
+    };
+    // Reserved VLAN values live at the top of the VLAN space: 0xf00 + c.
+    let value_base: u64 = 0xf00;
+    let field1 = Field::DlVlan;
+    let field2 = match strategy {
+        Strategy::OneField => None,
+        Strategy::TwoFields => Some(Field::NwTos),
+    };
+    let mut rules = Vec::new();
+    for sw in 0..topology.len() {
+        let my_color = coloring.colors[sw];
+        match strategy {
+            Strategy::OneField => {
+                // Catch every color but my own: probes *for me* carry my
+                // color and must sail through to the monitored rule.
+                for c in 0..coloring.num_colors {
+                    if c == my_color {
+                        continue;
+                    }
+                    rules.push(PlannedRule {
+                        switch: sw,
+                        priority: CATCH_PRIORITY,
+                        match_: Match::any().with_dl_vlan((value_base + u64::from(c)) as u16),
+                        actions: vec![Action::Output(
+                            monocle_openflow::action::PORT_CONTROLLER,
+                        )],
+                    });
+                }
+            }
+            Strategy::TwoFields => {
+                // Catch rule: H2 = my color -> controller.
+                rules.push(PlannedRule {
+                    switch: sw,
+                    priority: CATCH_PRIORITY,
+                    match_: Match {
+                        nw_tos: Some(my_color as u8),
+                        dl_type: Some(monocle_packet::ethertype::IPV4),
+                        ..Match::any()
+                    },
+                    actions: vec![Action::Output(monocle_openflow::action::PORT_CONTROLLER)],
+                });
+                // Filter rules: H1 = other colors -> drop.
+                for c in 0..coloring.num_colors {
+                    if c == my_color {
+                        continue;
+                    }
+                    rules.push(PlannedRule {
+                        switch: sw,
+                        priority: FILTER_PRIORITY,
+                        match_: Match::any().with_dl_vlan((value_base + u64::from(c)) as u16),
+                        actions: vec![],
+                    });
+                }
+            }
+        }
+    }
+    CatchPlan {
+        strategy,
+        field1,
+        field2,
+        num_values: coloring.num_colors,
+        optimal: coloring.optimal,
+        colors: coloring.colors,
+        rules,
+        value_base,
+    }
+}
+
+/// Number of reserved values without any coloring (one id per switch) —
+/// Fig. 9's "No coloring" baseline.
+pub fn values_without_coloring(topology: &Graph) -> u32 {
+    topology.len() as u32
+}
+
+fn solve_coloring(g: &Graph, exact_budget: u64) -> Coloring {
+    if exact_budget == 0 || g.len() > 2000 {
+        color_greedy(g)
+    } else {
+        color_exact(g, exact_budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monocle_netgraph::generators;
+    use monocle_netgraph::verify_coloring;
+
+    #[test]
+    fn strategy1_star_needs_two_values() {
+        let g = generators::star(4);
+        let p = plan(&g, Strategy::OneField, 1_000_000);
+        assert_eq!(p.num_values, 2, "star is bipartite");
+        // Hub and leaves differ.
+        for leaf in 1..=4 {
+            assert_ne!(p.colors[0], p.colors[leaf]);
+        }
+        // Each switch has (num_values - 1) catching rules.
+        let per_switch = p.rules.iter().filter(|r| r.switch == 0).count();
+        assert_eq!(per_switch, 1);
+    }
+
+    #[test]
+    fn strategy2_star_needs_full_clique() {
+        let g = generators::star(4);
+        let p = plan(&g, Strategy::TwoFields, 1_000_000);
+        // Square of a 4-star is K5.
+        assert_eq!(p.num_values, 5);
+    }
+
+    #[test]
+    fn neighbors_never_share_colors() {
+        let g = generators::fattree(4);
+        let p = plan(&g, Strategy::OneField, 1_000_000);
+        let coloring = Coloring {
+            colors: p.colors.clone(),
+            num_colors: p.num_values,
+            optimal: p.optimal,
+        };
+        assert!(verify_coloring(&g, &coloring));
+        assert_eq!(p.num_values, 2, "FatTree is bipartite");
+    }
+
+    #[test]
+    fn catch_rule_structure_strategy1() {
+        let g = generators::triangle();
+        let p = plan(&g, Strategy::OneField, 1_000_000);
+        assert_eq!(p.num_values, 3);
+        // Probe tag for each switch equals its color value, and no catching
+        // rule on that switch matches it.
+        for sw in 0..3 {
+            let tag = p.probe_tag(sw);
+            for r in p.rules.iter().filter(|r| r.switch == sw) {
+                assert_ne!(r.match_.dl_vlan, Some(tag as u16));
+                assert_eq!(r.priority, CATCH_PRIORITY);
+            }
+            // But every *neighbor* catches it.
+            for n in g.neighbors(sw) {
+                assert!(p
+                    .rules
+                    .iter()
+                    .any(|r| r.switch == *n && r.match_.dl_vlan == Some(tag as u16)));
+            }
+        }
+    }
+
+    #[test]
+    fn strategy2_has_filters_and_catchers() {
+        let g = generators::line(3);
+        let p = plan(&g, Strategy::TwoFields, 1_000_000);
+        let catchers = p
+            .rules
+            .iter()
+            .filter(|r| r.priority == CATCH_PRIORITY)
+            .count();
+        let filters = p
+            .rules
+            .iter()
+            .filter(|r| r.priority == FILTER_PRIORITY)
+            .count();
+        assert_eq!(catchers, 3, "one catcher per switch");
+        assert!(filters > 0);
+        // Filters drop (empty actions).
+        assert!(p
+            .rules
+            .iter()
+            .filter(|r| r.priority == FILTER_PRIORITY)
+            .all(|r| r.actions.is_empty()));
+    }
+
+    #[test]
+    fn no_coloring_baseline() {
+        let g = generators::fattree(4);
+        assert_eq!(values_without_coloring(&g), 20);
+    }
+
+    #[test]
+    fn greedy_fallback_on_huge_graphs() {
+        let g = generators::barabasi_albert(2500, 2, 3);
+        let p = plan(&g, Strategy::OneField, 1_000_000);
+        // Greedy fallback used (>2000 nodes); still a valid coloring.
+        let coloring = Coloring {
+            colors: p.colors.clone(),
+            num_colors: p.num_values,
+            optimal: p.optimal,
+        };
+        assert!(verify_coloring(&g, &coloring));
+    }
+}

@@ -1,0 +1,177 @@
+//! Drop-postponing (§4.3, Figure 3).
+//!
+//! Negative probing of drop rules risks false positives (a lost probe looks
+//! like a working drop rule). Drop-postponing avoids this during update
+//! monitoring: instead of installing the drop rule, Monocle installs a
+//! *stand-in* that rewrites matching packets to a special "drop tag" and
+//! forwards them to a neighbor; every switch preinstalls a rule that drops
+//! drop-tagged traffic (priority below the probe-catching rules, above
+//! production rules). Probes now come back *with the tag*, positively
+//! confirming the rule; production traffic is dropped one hop later, so the
+//! end-to-end behavior is unchanged. After confirmation the stand-in is
+//! modified into the real drop rule (the up-to-50% control-plane overhead
+//! the paper reports for drop-heavy workloads).
+
+use crate::catching::FILTER_PRIORITY;
+use monocle_openflow::{Action, FlowMod, FlowModCommand, Match, PortNo};
+use monocle_packet::ethertype;
+
+/// Priority of the preinstalled drop-tag rules: below catching rules,
+/// dominating production rules (§4.3: "lower than the priority of
+/// probe-catching rule but sufficiently high").
+pub const DROP_TAG_PRIORITY: u16 = FILTER_PRIORITY - 1;
+
+/// The three-step lifecycle of one postponed drop rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostponedDrop {
+    /// Step 1: the stand-in rule to install instead of the drop.
+    pub stand_in: FlowMod,
+    /// Step 2 (after confirmation): modify into the real drop rule.
+    pub finalize: FlowMod,
+}
+
+/// The special DSCP value marking "to be dropped one hop later".
+///
+/// The drop tag must ride in a field *different* from the probe tag
+/// (VLAN): the stand-in rewrites this field, and per Figure 3 the rewritten
+/// probe must still match the downstream catching rule — which it can only
+/// do if its probe tag survives the rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropTag(pub u8);
+
+/// The preinstalled rule every switch needs: drop anything carrying the tag.
+pub fn drop_tag_rule(tag: DropTag) -> (u16, Match, Vec<Action>) {
+    (
+        DROP_TAG_PRIORITY,
+        Match {
+            dl_type: Some(ethertype::IPV4),
+            nw_tos: Some(tag.0 & 0x3f),
+            ..Match::any()
+        },
+        vec![],
+    )
+}
+
+/// Whether a FlowMod is an eligible drop-rule installation (§4.3 only
+/// applies to pure IPv4 drops being added — the stand-in's DSCP rewrite
+/// needs an IP header to write into).
+pub fn is_drop_install(fm: &FlowMod) -> bool {
+    matches!(fm.command, FlowModCommand::Add)
+        && fm.actions.is_empty()
+        && fm.match_.dl_type == Some(ethertype::IPV4)
+}
+
+/// Rewrites a drop-rule installation into its postponed form.
+///
+/// `neighbor_port` is the port toward the neighbor that will perform the
+/// real drop (Figure 3's port A).
+pub fn postpone(fm: &FlowMod, tag: DropTag, neighbor_port: PortNo) -> Option<PostponedDrop> {
+    if !is_drop_install(fm) {
+        return None;
+    }
+    // The §3.2 reserved-field discipline normally forbids rewriting the
+    // probe tag field; the drop tag is a *dedicated* reserved value and the
+    // stand-in is exactly the sanctioned exception.
+    let mut stand_in = fm.clone();
+    stand_in.actions = vec![
+        Action::SetNwTos(tag.0 & 0x3f),
+        Action::Output(neighbor_port),
+    ];
+    let mut finalize = fm.clone();
+    finalize.command = FlowModCommand::ModifyStrict;
+    finalize.actions = Vec::new();
+    Some(PostponedDrop {
+        stand_in,
+        finalize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_fm() -> FlowMod {
+        FlowMod::add(20, Match::any().with_tp_dst(23).with_nw_proto(6), vec![])
+    }
+
+    #[test]
+    fn eligibility() {
+        assert!(is_drop_install(&drop_fm()));
+        let fwd = FlowMod::add(20, Match::any(), vec![Action::Output(1)]);
+        assert!(!is_drop_install(&fwd));
+        let del = FlowMod::delete_strict(20, Match::any());
+        assert!(!is_drop_install(&del));
+    }
+
+    #[test]
+    fn postpone_structure() {
+        let tag = DropTag(63);
+        let p = postpone(&drop_fm(), tag, 4).unwrap();
+        // Stand-in: same match/priority, rewrites to the tag and forwards.
+        assert_eq!(p.stand_in.match_, drop_fm().match_);
+        assert_eq!(p.stand_in.priority, 20);
+        assert_eq!(
+            p.stand_in.actions,
+            vec![Action::SetNwTos(63), Action::Output(4)]
+        );
+        // Finalize: strict modify back to a real drop.
+        assert_eq!(p.finalize.command, FlowModCommand::ModifyStrict);
+        assert!(p.finalize.actions.is_empty());
+        assert_eq!(p.finalize.match_, drop_fm().match_);
+    }
+
+    #[test]
+    fn postpone_rejects_non_drops_and_non_ip() {
+        let fwd = FlowMod::add(20, Match::any(), vec![Action::Output(1)]);
+        assert!(postpone(&fwd, DropTag(63), 4).is_none());
+        // A drop without an IPv4 match cannot be DSCP-tagged.
+        let l2_drop = FlowMod::add(20, Match::any().with_dl_vlan(5), vec![]);
+        assert!(postpone(&l2_drop, DropTag(63), 4).is_none());
+    }
+
+    #[test]
+    fn tag_rule_drops() {
+        let (prio, m, actions) = drop_tag_rule(DropTag(63));
+        assert_eq!(prio, DROP_TAG_PRIORITY);
+        assert!(actions.is_empty());
+        assert_eq!(m.nw_tos, Some(63));
+        assert!(prio < crate::catching::CATCH_PRIORITY);
+    }
+
+    /// End-to-end through the flow table: the stand-in makes the probe
+    /// observable (tagged + forwarded), the neighbor's tag rule drops
+    /// production traffic, and finalizing restores a true drop.
+    #[test]
+    fn stand_in_behavior_in_table() {
+        use monocle_openflow::flowmatch::packet_to_headervec;
+        use monocle_openflow::{Field, FlowTable};
+        use monocle_packet::PacketFields;
+
+        let tag = DropTag(63);
+        let mut probed_switch = FlowTable::new();
+        let p = postpone(&drop_fm(), tag, 4).unwrap();
+        probed_switch.apply(&p.stand_in).unwrap();
+        let telnet = packet_to_headervec(
+            1,
+            &PacketFields {
+                nw_proto: 6,
+                tp_dst: 23,
+                ..Default::default()
+            },
+        );
+        let out = probed_switch.process(&telnet, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 4, "forwarded to the neighbor");
+        assert_eq!(out[0].1.field(Field::NwTos), 63, "tagged");
+
+        // Neighbor drops tagged traffic.
+        let mut neighbor = FlowTable::new();
+        let (prio, m, actions) = drop_tag_rule(tag);
+        neighbor.add_rule(prio, m, actions).unwrap();
+        assert!(neighbor.process(&out[0].1, 0).is_empty());
+
+        // Finalize: becomes a real drop at the probed switch.
+        probed_switch.apply(&p.finalize).unwrap();
+        assert!(probed_switch.process(&telnet, 0).is_empty());
+    }
+}

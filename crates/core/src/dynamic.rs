@@ -1,0 +1,592 @@
+//! Dynamic (reconfiguration) monitoring (§4).
+//!
+//! In dynamic mode Monocle focuses on the rules being changed: every
+//! FlowMod from the controller is forwarded to the switch *and* probed
+//! until the change is observable in the data plane, at which point the
+//! controller is told the update is safe (the paper's reliable
+//! rule-installation acknowledgment, used for consistent updates in §8.1.2).
+//!
+//! Covered here:
+//! * §4.1 — additions, strict deletions (probe confirms when the *absent*
+//!   outcome appears) and strict modifications (probe built on a synthetic
+//!   table: lower-priority rules removed, the old version re-inserted just
+//!   below, per the paper's construction);
+//! * §4.2 — concurrent updates: probes for non-overlapping updates proceed
+//!   in parallel; an update overlapping any unconfirmed one is queued until
+//!   the conflict clears (the paper's implementation policy);
+//! * transient-inconsistency tolerance: a probe observing the "old" state
+//!   does not raise an alarm, it just keeps probing (§4.1).
+
+use crate::encode::CatchSpec;
+use crate::expect::ExpectedTable;
+use crate::generator::{generate_probe, GeneratorConfig, ProbeError};
+use crate::plan::{ProbePlan, Verdict};
+use monocle_openflow::{FlowMod, FlowModCommand, FlowTable, RuleId};
+
+/// Dynamic-monitor configuration.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Interval between probe (re)injections for an unconfirmed update, ns.
+    pub probe_interval: u64,
+    /// Give-up threshold: after this many probes without confirmation an
+    /// alarm is raised (0 = never give up).
+    pub max_attempts: u32,
+    /// Silence window for negative probing (§3.3): when the confirming
+    /// outcome is a drop (unobservable), the update is confirmed once no
+    /// contrary probe has returned for this long, ns.
+    pub negative_confirm_window: u64,
+    /// Probe generation settings.
+    pub gen: GeneratorConfig,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            probe_interval: 2_000_000, // 2 ms
+            max_attempts: 0,
+            negative_confirm_window: 12_000_000, // 12 ms
+            gen: GeneratorConfig::default(),
+        }
+    }
+}
+
+/// Actions the dynamic monitor asks the harness to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynAction {
+    /// Forward this FlowMod to the switch now.
+    Forward(FlowMod),
+    /// Inject the probe for update `token` (sequence number `seq`).
+    Inject {
+        /// Update token.
+        token: u64,
+        /// Probe sequence.
+        seq: u32,
+    },
+    /// The update is provably in the data plane.
+    Confirmed {
+        /// Update token.
+        token: u64,
+        /// True when confirmed by probing; false when the update was
+        /// unmonitorable and is acknowledged optimistically on forward.
+        verified: bool,
+    },
+    /// The update did not confirm within the attempt budget.
+    Alarm {
+        /// Update token.
+        token: u64,
+    },
+}
+
+#[derive(Debug)]
+struct ActiveUpdate {
+    token: u64,
+    fm: FlowMod,
+    plan: ProbePlan,
+    /// The verdict that confirms this update (Present for add/modify,
+    /// Absent for delete).
+    confirm_on: Verdict,
+    /// True when the confirming outcome is a drop: confirmation is then
+    /// silence-based (§3.3 negative probing).
+    silent_confirm: bool,
+    /// Time of the most recent probe observing the *old* state.
+    last_contrary: u64,
+    started: u64,
+    attempts: u32,
+    next_probe_at: u64,
+    live_seqs: Vec<u32>,
+}
+
+/// The per-switch dynamic monitor. Owns the expected table.
+#[derive(Debug)]
+pub struct DynamicMonitor {
+    cfg: DynamicConfig,
+    expected: ExpectedTable,
+    catch: CatchSpec,
+    active: Vec<ActiveUpdate>,
+    queued: std::collections::VecDeque<(u64, FlowMod)>,
+    next_seq: u32,
+}
+
+impl DynamicMonitor {
+    /// Creates a monitor; `catch` is the per-switch collection spec (tag
+    /// pins + injection port).
+    pub fn new(cfg: DynamicConfig, catch: CatchSpec) -> DynamicMonitor {
+        DynamicMonitor {
+            cfg,
+            expected: ExpectedTable::new(),
+            catch,
+            active: Vec::new(),
+            queued: std::collections::VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The expected table (shared view for steady-state plan refresh etc.).
+    pub fn expected(&self) -> &ExpectedTable {
+        &self.expected
+    }
+
+    /// Mutable access for pre-installing rules outside the proxied stream
+    /// (catching rules).
+    pub fn expected_mut(&mut self) -> &mut ExpectedTable {
+        &mut self.expected
+    }
+
+    /// Number of unconfirmed (actively probed) updates.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of queued (conflict-delayed) updates.
+    pub fn queued(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// The plan for a live probe sequence number.
+    pub fn plan_for_seq(&self, seq: u32) -> Option<&ProbePlan> {
+        self.active
+            .iter()
+            .find(|a| a.live_seqs.contains(&seq))
+            .map(|a| &a.plan)
+    }
+
+    /// A FlowMod arrives from the controller.
+    pub fn on_flowmod(&mut self, now: u64, token: u64, fm: FlowMod) -> Vec<DynAction> {
+        // §4.2: queue updates that overlap any unconfirmed one.
+        let tern = fm.match_.ternary();
+        let conflicts = self
+            .active
+            .iter()
+            .any(|a| a.fm.match_.ternary().overlaps(&tern));
+        if conflicts {
+            self.queued.push_back((token, fm));
+            return Vec::new();
+        }
+        self.start_update(now, token, fm)
+    }
+
+    fn start_update(&mut self, now: u64, token: u64, fm: FlowMod) -> Vec<DynAction> {
+        let mut actions = Vec::new();
+        // Snapshot the pre-state for modify/delete probe construction.
+        let pre_table = self.expected.table().clone();
+        let apply_result = self.expected.apply(&fm);
+        actions.push(DynAction::Forward(fm.clone()));
+        let planned: Option<(ProbePlan, Verdict)> = match fm.command {
+            FlowModCommand::Add => {
+                let rule_id = apply_result
+                    .as_ref()
+                    .ok()
+                    .and_then(|r| r.added.first().copied());
+                rule_id.and_then(|id| {
+                    self.generate(self.expected.table(), id)
+                        .map(|p| (p, Verdict::Present))
+                })
+            }
+            FlowModCommand::DeleteStrict | FlowModCommand::Delete => {
+                // §4.1: a deletion is the opposite of an installation: use
+                // the pre-state plan and wait for the *absent* outcome.
+                let victim = pre_table
+                    .rules()
+                    .iter()
+                    .find(|r| fm.match_.ternary().subsumes(&r.tern))
+                    .map(|r| r.id);
+                victim.and_then(|id| {
+                    self.generate(&pre_table, id)
+                        .map(|p| (p, Verdict::Absent))
+                })
+            }
+            FlowModCommand::ModifyStrict | FlowModCommand::Modify => {
+                // §4.1 synthetic table: expected post-state, all rules of
+                // lower priority removed, the OLD version re-inserted just
+                // below the modified rule. The probe then always hits either
+                // version and must tell them apart.
+                let old = pre_table
+                    .rules()
+                    .iter()
+                    .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
+                    .cloned();
+                let new_id = self
+                    .expected
+                    .table()
+                    .rules()
+                    .iter()
+                    .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
+                    .map(|r| r.id);
+                match (old, new_id, fm.priority) {
+                    (Some(old_rule), Some(new_id), p) if p > 0 => {
+                        let mut synth = FlowTable::new();
+                        for r in self.expected.table().rules() {
+                            if r.priority >= fm.priority {
+                                // Preserve ids by re-adding in order; ids
+                                // change but we track the probed one below.
+                                let _ = synth.add_rule(r.priority, r.match_, r.actions.clone());
+                            }
+                        }
+                        let _ = synth.add_rule(p - 1, old_rule.match_, old_rule.actions);
+                        // Find the re-added new rule in synth by match.
+                        let synth_id = synth
+                            .rules()
+                            .iter()
+                            .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
+                            .map(|r| r.id);
+                        synth_id.and_then(|id| {
+                            self.generate(&synth, id).map(|mut plan| {
+                                // The plan's rule id refers to the synthetic
+                                // table; point it at the real rule.
+                                plan.rule_id = new_id;
+                                (plan, Verdict::Present)
+                            })
+                        })
+                    }
+                    _ => None,
+                }
+            }
+        };
+        match planned {
+            Some((plan, confirm_on)) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let confirming_outcome_is_drop = match confirm_on {
+                    Verdict::Present => plan.present.is_drop(),
+                    Verdict::Absent => plan.absent.is_drop(),
+                    Verdict::Inconclusive => false,
+                };
+                self.active.push(ActiveUpdate {
+                    token,
+                    fm,
+                    plan,
+                    confirm_on,
+                    silent_confirm: confirming_outcome_is_drop,
+                    last_contrary: now,
+                    started: now,
+                    attempts: 1,
+                    next_probe_at: now + self.cfg.probe_interval,
+                    live_seqs: vec![seq],
+                });
+                actions.push(DynAction::Inject { token, seq });
+            }
+            None => {
+                // Unmonitorable update: acknowledge optimistically (the
+                // controller can fall back to barriers for these).
+                actions.push(DynAction::Confirmed {
+                    token,
+                    verified: false,
+                });
+            }
+        }
+        actions
+    }
+
+    fn generate(&self, table: &FlowTable, id: RuleId) -> Option<ProbePlan> {
+        match generate_probe(table, id, &self.catch, &self.cfg.gen) {
+            Ok(p) => Some(p),
+            Err(
+                ProbeError::Hidden
+                | ProbeError::Indistinguishable
+                | ProbeError::CatchConflict(_)
+                | ProbeError::RewritesReserved(_)
+                | ProbeError::NoSuchRule(_),
+            ) => None,
+            Err(ProbeError::SolverBudget | ProbeError::RepairFailed) => None,
+        }
+    }
+
+    /// Periodic tick: re-inject probes for unconfirmed updates; confirm
+    /// silence-based (negative-probed) updates whose window elapsed.
+    pub fn on_tick(&mut self, now: u64) -> Vec<DynAction> {
+        let mut actions = Vec::new();
+        let max_attempts = self.cfg.max_attempts;
+        let interval = self.cfg.probe_interval;
+        let window = self.cfg.negative_confirm_window;
+        let mut alarmed: Vec<u64> = Vec::new();
+        let mut silent_done: Vec<u64> = Vec::new();
+        for a in &mut self.active {
+            if a.silent_confirm
+                && a.attempts >= 2
+                && now >= a.last_contrary.max(a.started) + window
+            {
+                // §3.3 negative probing: enough probes went quiet.
+                silent_done.push(a.token);
+                continue;
+            }
+            if now < a.next_probe_at {
+                continue;
+            }
+            if max_attempts > 0 && a.attempts >= max_attempts {
+                alarmed.push(a.token);
+                continue;
+            }
+            a.attempts += 1;
+            a.next_probe_at = now + interval;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            a.live_seqs.push(seq);
+            actions.push(DynAction::Inject {
+                token: a.token,
+                seq,
+            });
+        }
+        for token in silent_done {
+            let idx = self.active.iter().position(|a| a.token == token).unwrap();
+            self.active.remove(idx);
+            actions.extend(self.confirm_and_release(now, token));
+        }
+        for token in alarmed {
+            self.active.retain(|a| a.token != token);
+            actions.push(DynAction::Alarm { token });
+        }
+        actions
+    }
+
+    fn confirm_and_release(&mut self, now: u64, token: u64) -> Vec<DynAction> {
+        let mut actions = vec![DynAction::Confirmed {
+            token,
+            verified: true,
+        }];
+        let mut requeue = std::collections::VecDeque::new();
+        while let Some((token, fm)) = self.queued.pop_front() {
+            let tern = fm.match_.ternary();
+            let conflicts = self
+                .active
+                .iter()
+                .any(|a| a.fm.match_.ternary().overlaps(&tern));
+            if conflicts {
+                requeue.push_back((token, fm));
+            } else {
+                actions.extend(self.start_update(now, token, fm));
+            }
+        }
+        self.queued = requeue;
+        actions
+    }
+
+    /// A probe observation classified against its plan comes back.
+    pub fn on_verdict(&mut self, now: u64, seq: u32, verdict: Verdict) -> Vec<DynAction> {
+        let Some(idx) = self.active.iter().position(|a| a.live_seqs.contains(&seq)) else {
+            return Vec::new(); // stale
+        };
+        if verdict != self.active[idx].confirm_on {
+            // Transient inconsistency (§4.1): e.g. the rule is not installed
+            // *yet*. Not an alarm; keep probing (and push the silence window
+            // out — the old state is demonstrably still active).
+            if verdict != Verdict::Inconclusive {
+                self.active[idx].last_contrary = now;
+            }
+            return Vec::new();
+        }
+        let confirmed = self.active.remove(idx);
+        self.confirm_and_release(now, confirmed.token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monocle_openflow::{Action, Match};
+
+    fn add_fm(prio: u16, dst: [u8; 4], port: u16) -> FlowMod {
+        FlowMod::add(
+            prio,
+            Match::any().with_nw_dst(dst, 32),
+            vec![Action::Output(port)],
+        )
+    }
+
+    fn monitor() -> DynamicMonitor {
+        let mut m = DynamicMonitor::new(DynamicConfig::default(), CatchSpec::default());
+        // A default route so additions are distinguishable from table miss.
+        m.expected_mut()
+            .install(1, Match::any(), vec![Action::Output(99)])
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn add_forwards_and_probes() {
+        let mut m = monitor();
+        let acts = m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        assert!(matches!(acts[0], DynAction::Forward(_)));
+        assert!(matches!(acts[1], DynAction::Inject { token: 1, .. }));
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.expected().table().len(), 2);
+    }
+
+    #[test]
+    fn present_verdict_confirms_add() {
+        let mut m = monitor();
+        let acts = m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        let DynAction::Inject { seq, .. } = acts[1] else {
+            panic!()
+        };
+        let out = m.on_verdict(100, seq, Verdict::Present);
+        assert_eq!(
+            out[0],
+            DynAction::Confirmed {
+                token: 1,
+                verified: true
+            }
+        );
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn absent_verdict_keeps_probing_add() {
+        let mut m = monitor();
+        let acts = m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        let DynAction::Inject { seq, .. } = acts[1] else {
+            panic!()
+        };
+        // The switch hasn't installed yet: probe observed the old state.
+        assert!(m.on_verdict(100, seq, Verdict::Absent).is_empty());
+        assert_eq!(m.in_flight(), 1);
+        // Tick re-injects.
+        let acts = m.on_tick(10_000_000);
+        assert!(matches!(acts[0], DynAction::Inject { token: 1, .. }));
+    }
+
+    #[test]
+    fn delete_confirms_on_absent() {
+        let mut m = monitor();
+        let acts = m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        let DynAction::Inject { seq, .. } = acts[1] else {
+            panic!()
+        };
+        m.on_verdict(1, seq, Verdict::Present);
+        // Now delete it.
+        let del = FlowMod::delete_strict(10, Match::any().with_nw_dst([10, 0, 0, 1], 32));
+        let acts = m.on_flowmod(10, 2, del);
+        assert!(matches!(acts[0], DynAction::Forward(_)));
+        let DynAction::Inject { seq, .. } = acts[1] else {
+            panic!("expected inject, got {acts:?}")
+        };
+        // Probe still sees the rule: not confirmed.
+        assert!(m.on_verdict(20, seq, Verdict::Present).is_empty());
+        // Probe sees the without-rule outcome: confirmed.
+        let out = m.on_verdict(30, seq, Verdict::Absent);
+        assert_eq!(
+            out[0],
+            DynAction::Confirmed {
+                token: 2,
+                verified: true
+            }
+        );
+        assert_eq!(m.expected().table().len(), 1);
+    }
+
+    #[test]
+    fn modify_probes_new_version() {
+        let mut m = monitor();
+        let acts = m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        let DynAction::Inject { seq, .. } = acts[1] else {
+            panic!()
+        };
+        m.on_verdict(1, seq, Verdict::Present);
+        // Modify the rule to forward elsewhere.
+        let fm = FlowMod::modify_strict(
+            10,
+            Match::any().with_nw_dst([10, 0, 0, 1], 32),
+            vec![Action::Output(5)],
+        );
+        let acts = m.on_flowmod(10, 2, fm);
+        assert!(matches!(acts[0], DynAction::Forward(_)));
+        assert!(
+            matches!(acts[1], DynAction::Inject { .. }),
+            "modification must be probeable (old port 2 vs new port 5): {acts:?}"
+        );
+        let DynAction::Inject { seq, .. } = acts[1] else {
+            panic!()
+        };
+        let out = m.on_verdict(20, seq, Verdict::Present);
+        assert_eq!(
+            out[0],
+            DynAction::Confirmed {
+                token: 2,
+                verified: true
+            }
+        );
+    }
+
+    #[test]
+    fn overlapping_update_queued_until_confirmation() {
+        let mut m = monitor();
+        // R1: src 10.0.0.1 -> port 2 (overlaps R3 below).
+        let r1 = FlowMod::add(
+            10,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(2)],
+        );
+        let acts = m.on_flowmod(0, 1, r1);
+        let DynAction::Inject { seq: seq1, .. } = acts[1] else {
+            panic!()
+        };
+        // R3 overlaps R1 (drop for 10.0.0.0/24 x 10.0.0.0/24): queued.
+        let r3 = FlowMod::add(
+            15,
+            Match::any()
+                .with_nw_src([10, 0, 0, 0], 24)
+                .with_nw_dst([10, 0, 0, 0], 24),
+            vec![],
+        );
+        let acts = m.on_flowmod(5, 3, r3);
+        assert!(acts.is_empty(), "queued, not forwarded: {acts:?}");
+        assert_eq!(m.queued(), 1);
+        assert_eq!(m.expected().table().len(), 2, "queued fm not yet applied");
+        // Confirm R1 -> R3 is released (forwarded + probed).
+        let out = m.on_verdict(100, seq1, Verdict::Present);
+        assert!(matches!(out[0], DynAction::Confirmed { token: 1, .. }));
+        assert!(out.iter().any(|a| matches!(a, DynAction::Forward(_))));
+        assert_eq!(m.queued(), 0);
+        assert_eq!(m.expected().table().len(), 3);
+    }
+
+    #[test]
+    fn non_overlapping_updates_run_in_parallel() {
+        let mut m = monitor();
+        let a1 = m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        let a2 = m.on_flowmod(0, 2, add_fm(10, [10, 0, 0, 2], 3));
+        assert!(matches!(a1[1], DynAction::Inject { token: 1, .. }));
+        assert!(matches!(a2[1], DynAction::Inject { token: 2, .. }));
+        assert_eq!(m.in_flight(), 2);
+        assert_eq!(m.queued(), 0);
+    }
+
+    #[test]
+    fn unmonitorable_update_acked_optimistically() {
+        let mut m = DynamicMonitor::new(DynamicConfig::default(), CatchSpec::default());
+        // Empty table: adding a rule whose presence is indistinguishable
+        // from a table miss (drop rule over drop-by-miss).
+        let fm = FlowMod::add(10, Match::any().with_tp_dst(23), vec![]);
+        let acts = m.on_flowmod(0, 9, fm);
+        assert!(matches!(acts[0], DynAction::Forward(_)));
+        assert_eq!(
+            acts[1],
+            DynAction::Confirmed {
+                token: 9,
+                verified: false
+            }
+        );
+    }
+
+    #[test]
+    fn alarm_after_attempt_budget() {
+        let cfg = DynamicConfig {
+            max_attempts: 3,
+            ..DynamicConfig::default()
+        };
+        let mut m = DynamicMonitor::new(cfg, CatchSpec::default());
+        m.expected_mut()
+            .install(1, Match::any(), vec![Action::Output(99)])
+            .unwrap();
+        m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        let mut alarmed = false;
+        for i in 1..10u64 {
+            for a in m.on_tick(i * 10_000_000) {
+                if matches!(a, DynAction::Alarm { token: 1 }) {
+                    alarmed = true;
+                }
+            }
+        }
+        assert!(alarmed);
+        assert_eq!(m.in_flight(), 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Outcome distinguishability: `DiffPorts` and `DiffRewrite` (§3.2, §3.4,
+//! Appendix B Tables 3–4).
+//!
+//! Given the probed rule and another rule that could process the probe in
+//! its place, Monocle must decide whether an observer collecting probes at
+//! the downstream switches can tell which rule acted. Two signals exist:
+//! *where* the probe appears ([`diff_ports`]) and *how it was rewritten*
+//! ([`diff_rewrite`], a per-bit condition on the probe header, Table 4).
+
+use monocle_openflow::{Forwarding, ForwardingKind, HeaderVec, PortNo, Rewrite};
+use monocle_sat::Lit;
+
+/// Result of the forwarding-set comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortsDiff {
+    /// Port observations cannot distinguish the rules.
+    No,
+    /// Port observations always distinguish the rules.
+    Yes,
+    /// Distinguishable only by *counting* received probes (the §3.4
+    /// exception: an ECMP rule emits exactly one probe, a non-unicast
+    /// multicast rule emits 0 or ≥2).
+    YesByCounting,
+}
+
+/// `DiffPorts` per the §3.4 case analysis. `a` is the probed rule's
+/// forwarding, `b` the alternative's; the relation is symmetric except for
+/// which side is multicast in the mixed case, which the analysis handles.
+pub fn diff_ports(a: &Forwarding, b: &Forwarding) -> PortsDiff {
+    use ForwardingKind::*;
+    let pa = a.port_set();
+    let pb = b.port_set();
+    match (a.kind, b.kind) {
+        // Both multicast (unicast and drop are special cases): a probe
+        // appears on *all* ports of whichever forwarding set is installed,
+        // so any difference in the sets is observable.
+        (Multicast, Multicast) => {
+            if pa != pb {
+                PortsDiff::Yes
+            } else {
+                PortsDiff::No
+            }
+        }
+        // Both ECMP: the switch may send the probe to any port of either
+        // set; only disjoint sets are unambiguous.
+        (Ecmp, Ecmp) => {
+            if pa.iter().all(|p| !pb.contains(p)) {
+                PortsDiff::Yes
+            } else {
+                PortsDiff::No
+            }
+        }
+        // Mixed: let M be the multicast side. A port in M \ other is
+        // conclusive. Otherwise (M ⊆ other) the sets cannot separate them —
+        // unless counting applies (|M| ≠ 1).
+        (Multicast, Ecmp) => mixed_case(&pa, &pb),
+        (Ecmp, Multicast) => mixed_case(&pb, &pa),
+    }
+}
+
+fn mixed_case(multicast_ports: &[PortNo], ecmp_ports: &[PortNo]) -> PortsDiff {
+    let exclusive = multicast_ports.iter().any(|p| !ecmp_ports.contains(p));
+    if exclusive {
+        PortsDiff::Yes
+    } else if multicast_ports.len() != 1 {
+        PortsDiff::YesByCounting
+    } else {
+        PortsDiff::No
+    }
+}
+
+/// A condition over probe header bits, in CNF over header-bit literals
+/// (variable `i + 1` is header bit `i`, DIMACS convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitCondition {
+    /// Always false.
+    Const(bool),
+    /// A single disjunction of literals.
+    Clause(Vec<Lit>),
+    /// A conjunction of disjunctions.
+    Cnf(Vec<Vec<Lit>>),
+}
+
+impl BitCondition {
+    /// Evaluates under a concrete probe header (for plan verification).
+    pub fn eval(&self, probe: &HeaderVec) -> bool {
+        let lit = |l: Lit| {
+            let bit = (l.unsigned_abs() - 1) as usize;
+            let v = probe.get(bit);
+            if l > 0 {
+                v
+            } else {
+                !v
+            }
+        };
+        match self {
+            BitCondition::Const(b) => *b,
+            BitCondition::Clause(c) => c.iter().any(|&l| lit(l)),
+            BitCondition::Cnf(cs) => cs.iter().all(|c| c.iter().any(|&l| lit(l))),
+        }
+    }
+}
+
+/// Per-bit rewrite comparison (Appendix B Table 4): the disjunct for bit `i`
+/// given what each rewrite does to that bit. Returns `None` for "False"
+/// (omit), `Some(Ok(()))` for constant True, `Some(Err(lit))` for a literal.
+fn bit_rewrite_diff(r1: &Rewrite, r2: &Rewrite, i: usize) -> Option<Result<(), Lit>> {
+    let var = (i + 1) as Lit;
+    let (m1, v1) = (r1.mask.get(i), r1.value.get(i));
+    let (m2, v2) = (r2.mask.get(i), r2.value.get(i));
+    match (m1, m2) {
+        (true, true) => {
+            if v1 != v2 {
+                Some(Ok(())) // bits rewritten to different constants
+            } else {
+                None // same constant
+            }
+        }
+        // One side rewrites to c, the other leaves P[i]: different iff
+        // P[i] != c, i.e. literal P[i] when c = 0, !P[i] when c = 1.
+        (true, false) => Some(Err(if v1 { -var } else { var })),
+        (false, true) => Some(Err(if v2 { -var } else { var })),
+        (false, false) => None,
+    }
+}
+
+/// `DiffRewrite(P, R1, R2)` over one port pair: a single clause that is true
+/// iff the two rewrites differ on at least one bit of `P` (Table 4).
+pub fn rewrite_diff_clause(r1: &Rewrite, r2: &Rewrite) -> BitCondition {
+    let mut clause = Vec::new();
+    // Only bits touched by either rewrite can differ.
+    let touched = r1.mask.or(&r2.mask);
+    for i in touched.iter_ones() {
+        match bit_rewrite_diff(r1, r2, i) {
+            Some(Ok(())) => return BitCondition::Const(true),
+            Some(Err(l)) => clause.push(l),
+            None => {}
+        }
+    }
+    if clause.is_empty() {
+        BitCondition::Const(false)
+    } else {
+        BitCondition::Clause(clause)
+    }
+}
+
+/// Full `DiffRewrite` for two rules per §3.4: compares `RewriteOnPort` over
+/// the intersection of the forwarding sets.
+///
+/// * both multicast → ∃ port in F1∩F2 with a differing rewrite
+///   (disjunction of per-port clauses ⇒ still one clause);
+/// * ECMP involved → ∀ ports in F1∩F2 must differ (conjunction ⇒ CNF).
+///
+/// Drop rules never output, so their rewrites are vacuous
+/// (`DiffRewrite := False`, §3.4 footnote).
+pub fn diff_rewrite(a: &Forwarding, b: &Forwarding) -> BitCondition {
+    if a.is_drop() || b.is_drop() {
+        return BitCondition::Const(false);
+    }
+    let pa = a.port_set();
+    let common: Vec<PortNo> = pa
+        .iter()
+        .copied()
+        .filter(|p| b.port_set().contains(p))
+        .collect();
+    if common.is_empty() {
+        // No shared port: rewrites are irrelevant (ports decide).
+        return BitCondition::Const(false);
+    }
+    let both_multicast =
+        a.kind == ForwardingKind::Multicast && b.kind == ForwardingKind::Multicast;
+    let mut per_port: Vec<BitCondition> = Vec::with_capacity(common.len());
+    for p in common {
+        let ra = a.rewrite_on_port(p).expect("port from a's set");
+        let rb = b.rewrite_on_port(p).expect("port from b's set");
+        per_port.push(rewrite_diff_clause(ra, rb));
+    }
+    if both_multicast {
+        // ∃ port: union of all clauses into one (any True ⇒ True).
+        let mut merged = Vec::new();
+        for c in per_port {
+            match c {
+                BitCondition::Const(true) => return BitCondition::Const(true),
+                BitCondition::Const(false) => {}
+                BitCondition::Clause(mut ls) => merged.append(&mut ls),
+                BitCondition::Cnf(_) => unreachable!("per-port diff is a clause"),
+            }
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        if merged.is_empty() {
+            BitCondition::Const(false)
+        } else {
+            BitCondition::Clause(merged)
+        }
+    } else {
+        // ∀ port: conjunction.
+        let mut cnf = Vec::new();
+        for c in per_port {
+            match c {
+                BitCondition::Const(true) => {}
+                BitCondition::Const(false) => return BitCondition::Const(false),
+                BitCondition::Clause(ls) => cnf.push(ls),
+                BitCondition::Cnf(_) => unreachable!("per-port diff is a clause"),
+            }
+        }
+        match cnf.len() {
+            0 => BitCondition::Const(true),
+            1 => BitCondition::Clause(cnf.pop().unwrap()),
+            _ => BitCondition::Cnf(cnf),
+        }
+    }
+}
+
+/// Combined `DiffOutcome` = `DiffPorts ∨ DiffRewrite` with the counting
+/// exception surfaced separately so plans can record it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeDiff {
+    /// The port-level verdict.
+    pub ports: PortsDiff,
+    /// The rewrite-level condition (only consulted when `ports` is `No`).
+    pub rewrite: BitCondition,
+}
+
+impl OutcomeDiff {
+    /// Computes the combined diff for (probed, other).
+    pub fn compute(probed: &Forwarding, other: &Forwarding) -> OutcomeDiff {
+        let ports = diff_ports(probed, other);
+        let rewrite = if ports == PortsDiff::Yes {
+            BitCondition::Const(true)
+        } else {
+            diff_rewrite(probed, other)
+        };
+        OutcomeDiff { ports, rewrite }
+    }
+
+    /// The effective condition for the SAT encoding. Counting-based
+    /// distinguishing counts as True (the plan records that counting is
+    /// needed).
+    pub fn condition(&self) -> BitCondition {
+        match self.ports {
+            PortsDiff::Yes | PortsDiff::YesByCounting => BitCondition::Const(true),
+            PortsDiff::No => self.rewrite.clone(),
+        }
+    }
+
+    /// True when this pair relies on the counting exception.
+    pub fn needs_counting(&self) -> bool {
+        self.ports == PortsDiff::YesByCounting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monocle_openflow::{Action, Field};
+
+    fn fwd(actions: &[Action]) -> Forwarding {
+        Forwarding::compile(actions).unwrap()
+    }
+
+    #[test]
+    fn multicast_port_sets() {
+        let u1 = fwd(&[Action::Output(1)]);
+        let u2 = fwd(&[Action::Output(2)]);
+        let drop = fwd(&[]);
+        let mc = fwd(&[Action::Output(1), Action::Output(2)]);
+        assert_eq!(diff_ports(&u1, &u2), PortsDiff::Yes);
+        assert_eq!(diff_ports(&u1, &u1), PortsDiff::No);
+        assert_eq!(diff_ports(&u1, &drop), PortsDiff::Yes);
+        assert_eq!(diff_ports(&drop, &mc), PortsDiff::Yes);
+        assert_eq!(diff_ports(&mc, &mc), PortsDiff::No);
+    }
+
+    #[test]
+    fn ecmp_needs_disjoint_sets() {
+        let e12 = fwd(&[Action::SelectOutput(vec![1, 2])]);
+        let e23 = fwd(&[Action::SelectOutput(vec![2, 3])]);
+        let e34 = fwd(&[Action::SelectOutput(vec![3, 4])]);
+        assert_eq!(diff_ports(&e12, &e34), PortsDiff::Yes);
+        assert_eq!(diff_ports(&e12, &e23), PortsDiff::No);
+    }
+
+    #[test]
+    fn mixed_multicast_ecmp() {
+        let mc12 = fwd(&[Action::Output(1), Action::Output(2)]);
+        let e12 = fwd(&[Action::SelectOutput(vec![1, 2])]);
+        let e123 = fwd(&[Action::SelectOutput(vec![1, 2, 3])]);
+        let u1 = fwd(&[Action::Output(1)]);
+        let e13 = fwd(&[Action::SelectOutput(vec![1, 3])]);
+        // Multicast {1,2} vs ECMP {1,2}: no exclusive port, |M|=2 -> counting.
+        assert_eq!(diff_ports(&mc12, &e12), PortsDiff::YesByCounting);
+        // Multicast {1,2} vs ECMP {1,2,3}: M ⊆ E, counting.
+        assert_eq!(diff_ports(&mc12, &e123), PortsDiff::YesByCounting);
+        // Unicast {1} vs ECMP {1,3}: M ⊆ E and |M| = 1: ambiguous.
+        assert_eq!(diff_ports(&u1, &e13), PortsDiff::No);
+        // Multicast with an exclusive port.
+        let mc14 = fwd(&[Action::Output(1), Action::Output(4)]);
+        assert_eq!(diff_ports(&mc14, &e12), PortsDiff::Yes);
+        // Order independence of the mixed case.
+        assert_eq!(diff_ports(&e12, &mc12), PortsDiff::YesByCounting);
+        // Drop vs ECMP: drop is multicast with |M| = 0 -> counting.
+        let drop = fwd(&[]);
+        assert_eq!(diff_ports(&drop, &e12), PortsDiff::YesByCounting);
+    }
+
+    #[test]
+    fn rewrite_diff_constant_cases() {
+        // Same port, both rewrite TOS to the same value: indistinguishable.
+        let a = fwd(&[Action::SetNwTos(5), Action::Output(1)]);
+        let b = fwd(&[Action::SetNwTos(5), Action::Output(1)]);
+        assert_eq!(diff_rewrite(&a, &b), BitCondition::Const(false));
+        // Different constants: always distinguishable.
+        let c = fwd(&[Action::SetNwTos(9), Action::Output(1)]);
+        assert_eq!(diff_rewrite(&a, &c), BitCondition::Const(true));
+    }
+
+    #[test]
+    fn rewrite_diff_depends_on_probe_paper_example() {
+        // §3.2: R'high rewrites ToS <- voice, Rlow leaves it. Distinguishing
+        // requires probe.ToS != voice -> a clause over the ToS bits.
+        let rlow = fwd(&[Action::Output(1)]);
+        let rhigh = fwd(&[Action::SetNwTos(0b101), Action::Output(1)]);
+        let cond = diff_rewrite(&rhigh, &rlow);
+        let BitCondition::Clause(clause) = &cond else {
+            panic!("expected clause, got {cond:?}");
+        };
+        // Literals over NwTos bits: value 0b101 -> bits 0,2 set -> literals
+        // !b0, b1(positive since target 0), !b2 ... check semantics by eval.
+        let off = Field::NwTos.offset();
+        let mut probe = HeaderVec::ZERO;
+        probe.set_bits(off, 6, 0b101); // probe already marked: ambiguous
+        assert!(!cond.eval(&probe));
+        probe.set_bits(off, 6, 0b100); // differs in bit 0: distinguishable
+        assert!(cond.eval(&probe));
+        assert_eq!(clause.len(), 6);
+    }
+
+    #[test]
+    fn ecmp_rewrite_needs_all_ports() {
+        // ECMP vs ECMP on the same ports {1,2}, rewrites differ only via
+        // probe bits; condition is a conjunction over both ports.
+        let a = fwd(&[Action::SetNwTos(1), Action::SelectOutput(vec![1, 2])]);
+        let b = fwd(&[Action::SelectOutput(vec![1, 2])]);
+        let cond = diff_rewrite(&a, &b);
+        match cond {
+            BitCondition::Cnf(ref cs) => assert_eq!(cs.len(), 2),
+            // Identical per-port clauses may merge; accept a single clause.
+            BitCondition::Clause(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_port_rewrites_multicast() {
+        // Multicast sends to ports 1 (unrewritten) and 2 (TOS=3); the other
+        // rule multicasts to 1 and 2 unrewritten. Port 2 differs by
+        // constant-vs-leave -> clause over TOS bits; port 1 contributes
+        // nothing.
+        let a = fwd(&[
+            Action::Output(1),
+            Action::SetNwTos(3),
+            Action::Output(2),
+        ]);
+        let b = fwd(&[Action::Output(1), Action::Output(2)]);
+        let cond = diff_rewrite(&a, &b);
+        let BitCondition::Clause(_) = cond else {
+            panic!("expected clause, got {cond:?}");
+        };
+        // A probe with TOS != 3 distinguishes.
+        let mut probe = HeaderVec::ZERO;
+        assert!(cond.eval(&probe)); // TOS=0 != 3
+        probe.set_bits(Field::NwTos.offset(), 6, 3);
+        assert!(!cond.eval(&probe));
+    }
+
+    #[test]
+    fn drop_rewrites_are_vacuous() {
+        let drop = fwd(&[]);
+        let rewriter = fwd(&[Action::SetNwTos(7), Action::Output(1)]);
+        assert_eq!(diff_rewrite(&drop, &rewriter), BitCondition::Const(false));
+        assert_eq!(diff_rewrite(&rewriter, &drop), BitCondition::Const(false));
+    }
+
+    #[test]
+    fn outcome_diff_combines() {
+        let u1 = fwd(&[Action::Output(1)]);
+        let u2 = fwd(&[Action::Output(2)]);
+        let d = OutcomeDiff::compute(&u1, &u2);
+        assert_eq!(d.condition(), BitCondition::Const(true));
+        assert!(!d.needs_counting());
+
+        let mc12 = fwd(&[Action::Output(1), Action::Output(2)]);
+        let e12 = fwd(&[Action::SelectOutput(vec![1, 2])]);
+        let d = OutcomeDiff::compute(&mc12, &e12);
+        assert!(d.needs_counting());
+        assert_eq!(d.condition(), BitCondition::Const(true));
+    }
+
+    #[test]
+    fn same_unicast_same_rewrite_unmonitorable_pair() {
+        let a = fwd(&[Action::Output(1)]);
+        let d = OutcomeDiff::compute(&a, &a);
+        assert_eq!(d.ports, PortsDiff::No);
+        assert_eq!(d.condition(), BitCondition::Const(false));
+    }
+}

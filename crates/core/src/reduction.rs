@@ -1,0 +1,173 @@
+//! Appendix A: probe generation is NP-hard.
+//!
+//! The paper proves hardness by reducing SAT to probe generation: each
+//! disjunction of a CNF instance becomes a high-priority rule the probe
+//! must *avoid*, over an all-wildcard low-priority probed rule. A probe
+//! exists iff the CNF is satisfiable, and the probe's header bits *are* the
+//! satisfying assignment.
+//!
+//! We implement the reduction executably and use it as a cross-validation
+//! harness: random CNF instances are reduced to probe-generation problems,
+//! and the generator's verdict must agree with the SAT solver's. (The
+//! reduction maps variables onto the Ethernet src/dst bits, which admit
+//! arbitrary per-bit ternary patterns and survive wire normalization.)
+
+use crate::encode::CatchSpec;
+use crate::generator::{generate_probe, GeneratorConfig, ProbeError};
+use monocle_openflow::headerspace::Field;
+use monocle_openflow::{Action, FlowTable, HeaderVec, RuleId, Ternary};
+use monocle_sat::Cnf;
+#[cfg(test)]
+use monocle_sat::Lit;
+
+/// Maximum variables the reduction supports (dl_src + dl_dst bits).
+pub const MAX_VARS: u32 = 96;
+
+/// Bit position in header space for SAT variable `v` (1-based).
+fn var_bit(v: u32) -> usize {
+    assert!(v >= 1 && v <= MAX_VARS);
+    let v0 = (v - 1) as usize;
+    if v0 < 48 {
+        Field::DlSrc.offset() + v0
+    } else {
+        Field::DlDst.offset() + (v0 - 48)
+    }
+}
+
+/// Builds the probe-generation instance for a CNF formula. Returns the
+/// table and the id of the probed (all-wildcard) rule.
+pub fn reduce(cnf: &Cnf) -> (FlowTable, RuleId) {
+    assert!(cnf.num_vars() <= MAX_VARS, "too many variables");
+    let mut table = FlowTable::new();
+    // One avoid-rule per clause: the rule matches exactly the assignments
+    // FALSIFYING the clause (positive literal -> bit 0, negative -> bit 1).
+    // Tautological clauses have no falsifying assignment and therefore no
+    // avoid-rule.
+    'clauses: for clause in cnf.clauses() {
+        let mut care = HeaderVec::ZERO;
+        let mut value = HeaderVec::ZERO;
+        for &l in clause {
+            let bit = var_bit(l.unsigned_abs());
+            let want = l < 0;
+            if care.get(bit) && value.get(bit) != want {
+                continue 'clauses; // x and !x in one clause: tautology
+            }
+            care.set(bit, true);
+            value.set(bit, want);
+        }
+        table.add_rule_ternary(100, Ternary { care, value }, vec![Action::Output(9)]);
+    }
+    // The probed rule: all-wildcard, distinct outcome from table miss.
+    let probed = table
+        .add_rule(1, monocle_openflow::Match::any(), vec![Action::Output(1)])
+        .expect("wildcard rule");
+    (table, probed)
+}
+
+/// Runs the reduction end to end: SAT-solves `cnf` via probe generation.
+/// Returns `Some(assignment)` when satisfiable.
+pub fn solve_via_probe_generation(cnf: &Cnf) -> Option<Vec<bool>> {
+    let (table, probed) = reduce(cnf);
+    match generate_probe(&table, probed, &CatchSpec::default(), &GeneratorConfig::default()) {
+        Ok(plan) => {
+            let mut assignment = vec![false; cnf.num_vars() as usize + 1];
+            for v in 1..=cnf.num_vars() {
+                assignment[v as usize] = plan.header.get(var_bit(v));
+            }
+            Some(assignment)
+        }
+        Err(ProbeError::Hidden | ProbeError::Indistinguishable) => None,
+        Err(e) => panic!("reduction failed unexpectedly: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monocle_sat::{CdclSolver, SatResult};
+
+    fn check_agreement(cnf: &Cnf) {
+        let direct = CdclSolver::new().solve(cnf);
+        let via_probe = solve_via_probe_generation(cnf);
+        match (direct, via_probe) {
+            (SatResult::Sat(_), Some(assignment)) => {
+                // The probe-derived assignment must satisfy the formula.
+                let ok = cnf.clauses().all(|cl| {
+                    cl.iter().any(|&l: &Lit| {
+                        let val = assignment[l.unsigned_abs() as usize];
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    })
+                });
+                assert!(ok, "probe assignment does not satisfy CNF");
+            }
+            (SatResult::Unsat, None) => {}
+            (d, v) => panic!("disagreement: direct={d:?} via_probe={v:?}"),
+        }
+    }
+
+    #[test]
+    fn appendix_example() {
+        // I = (x1 | x2) & (!x2 | x3) & !x3
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1, 2]);
+        cnf.add_clause(&[-2, 3]);
+        cnf.add_clause(&[-3]);
+        check_agreement(&cnf);
+        // This instance is satisfiable only by x1=1, x2=0, x3=0 or x1=1,x2=...
+        // verify solver found x1 = true.
+        let a = solve_via_probe_generation(&cnf).unwrap();
+        assert!(a[1], "x1 must be true");
+        assert!(!a[3], "x3 must be false");
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1]);
+        cnf.add_clause(&[-1]);
+        check_agreement(&cnf);
+        assert!(solve_via_probe_generation(&cnf).is_none());
+    }
+
+    #[test]
+    fn random_instances_agree() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2015);
+        for _ in 0..25 {
+            let nvars = rng.random_range(3..=10);
+            let nclauses = rng.random_range(3..=25);
+            let mut cnf = Cnf::new();
+            for _ in 0..nclauses {
+                let len = rng.random_range(1..=3);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = rng.random_range(1..=nvars) as Lit;
+                        if rng.random_bool(0.5) {
+                            v
+                        } else {
+                            -v
+                        }
+                    })
+                    .collect();
+                cnf.add_clause(&lits);
+            }
+            check_agreement(&cnf);
+        }
+    }
+
+    #[test]
+    fn wide_instance_uses_dl_dst_bits() {
+        // 60 variables spill into dl_dst.
+        let mut cnf = Cnf::new();
+        for v in 1..=60 {
+            cnf.add_clause(&[v as Lit]);
+        }
+        let a = solve_via_probe_generation(&cnf).unwrap();
+        assert!((1..=60).all(|v| a[v]));
+    }
+}

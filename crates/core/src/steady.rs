@@ -1,0 +1,394 @@
+//! Steady-state monitoring (§3, evaluated in §8.1.1 / Fig. 4).
+//!
+//! The monitor cycles through all monitorable rules of one switch at a
+//! configured probe rate, tracks outstanding probes, retries within the
+//! detection window and reports per-rule failures. The Fig. 4 parameters
+//! (500 probes/s, 150 ms timeout, up to 3 resends) are the defaults.
+//!
+//! This is a pure, time-driven state machine: the harness feeds it ticks
+//! and classified probe verdicts and executes the actions it returns.
+
+use crate::plan::{ProbePlan, Verdict};
+use monocle_openflow::RuleId;
+use std::collections::BTreeMap;
+
+/// Steady-state monitor configuration.
+#[derive(Debug, Clone)]
+pub struct SteadyConfig {
+    /// Time between consecutive probe injections, ns (default 2 ms ⇒ 500/s).
+    pub probe_interval: u64,
+    /// Detection window from the first injection, ns (default 150 ms).
+    pub timeout: u64,
+    /// Maximum number of resends within the window (default 3).
+    pub max_retries: u32,
+}
+
+impl Default for SteadyConfig {
+    fn default() -> Self {
+        SteadyConfig {
+            probe_interval: 2_000_000,
+            timeout: 150_000_000,
+            max_retries: 3,
+        }
+    }
+}
+
+/// Actions the steady monitor asks the harness to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SteadyAction {
+    /// Inject the probe for `plan` with this sequence number.
+    Inject {
+        /// Probe sequence number (echoed back in the verdict).
+        seq: u32,
+        /// Index into the monitor's plan list.
+        plan_idx: usize,
+    },
+    /// The rule failed verification (missing or misbehaving in the data
+    /// plane).
+    RuleFailed {
+        /// The failed rule.
+        rule_id: RuleId,
+        /// Time of detection.
+        at: u64,
+    },
+    /// A previously failed rule now verifies again.
+    RuleRecovered {
+        /// The recovered rule.
+        rule_id: RuleId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    plan_idx: usize,
+    first_sent: u64,
+    last_sent: u64,
+    attempts: u32,
+}
+
+/// The per-switch steady-state monitor.
+#[derive(Debug, Default)]
+pub struct SteadyMonitor {
+    cfg: SteadyConfig,
+    plans: Vec<ProbePlan>,
+    cursor: usize,
+    next_inject_at: u64,
+    outstanding: BTreeMap<u32, Outstanding>,
+    failed: std::collections::BTreeSet<RuleId>,
+    next_seq: u32,
+    /// Epoch the plans were generated under.
+    pub epoch: u32,
+}
+
+impl SteadyMonitor {
+    /// Creates a monitor with the given configuration.
+    pub fn new(cfg: SteadyConfig) -> SteadyMonitor {
+        SteadyMonitor {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the probe plans (regenerated after a table change);
+    /// outstanding probes from the prior epoch are discarded.
+    pub fn set_plans(&mut self, plans: Vec<ProbePlan>, epoch: u32) {
+        self.plans = plans;
+        self.epoch = epoch;
+        self.cursor = 0;
+        self.outstanding.clear();
+    }
+
+    /// The plans currently being cycled.
+    pub fn plans(&self) -> &[ProbePlan] {
+        &self.plans
+    }
+
+    /// Rules currently considered failed.
+    pub fn failed_rules(&self) -> impl Iterator<Item = RuleId> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Periodic tick; `now` must be monotone. Returns actions (at most one
+    /// new injection per tick plus any timeout consequences).
+    pub fn on_tick(&mut self, now: u64) -> Vec<SteadyAction> {
+        let mut actions = Vec::new();
+        // 1. Handle timeouts / retries.
+        let retry_after = self.cfg.timeout / u64::from(self.cfg.max_retries + 1);
+        let mut to_remove = Vec::new();
+        let mut to_resend = Vec::new();
+        for (&seq, o) in &self.outstanding {
+            let plan = &self.plans[o.plan_idx];
+            if now >= o.first_sent + self.cfg.timeout {
+                // Window expired with no conclusive observation.
+                if plan.is_negative() {
+                    // Negative probing (§3.3): silence is the (weak)
+                    // confirmation that the drop rule is present.
+                    if self.failed.remove(&plan.rule_id) {
+                        actions.push(SteadyAction::RuleRecovered {
+                            rule_id: plan.rule_id,
+                        });
+                    }
+                } else if self.failed.insert(plan.rule_id) {
+                    actions.push(SteadyAction::RuleFailed {
+                        rule_id: plan.rule_id,
+                        at: now,
+                    });
+                }
+                to_remove.push(seq);
+            } else if !plan.is_negative()
+                && o.attempts <= self.cfg.max_retries
+                && now >= o.last_sent + retry_after
+            {
+                to_resend.push(seq);
+            }
+        }
+        for seq in to_remove {
+            self.outstanding.remove(&seq);
+        }
+        for seq in to_resend {
+            let o = self.outstanding.get_mut(&seq).unwrap();
+            o.attempts += 1;
+            o.last_sent = now;
+            let plan_idx = o.plan_idx;
+            actions.push(SteadyAction::Inject { seq, plan_idx });
+        }
+        // 2. Inject the next probe in the cycle.
+        if !self.plans.is_empty() && now >= self.next_inject_at {
+            let plan_idx = self.cursor;
+            self.cursor = (self.cursor + 1) % self.plans.len();
+            self.next_inject_at = now + self.cfg.probe_interval;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.outstanding.insert(seq, Outstanding {
+                plan_idx,
+                first_sent: now,
+                last_sent: now,
+                attempts: 1,
+            });
+            actions.push(SteadyAction::Inject { seq, plan_idx });
+        }
+        actions
+    }
+
+    /// Feed a classified probe observation back.
+    pub fn on_verdict(&mut self, now: u64, seq: u32, verdict: Verdict) -> Vec<SteadyAction> {
+        let Some(o) = self.outstanding.get(&seq) else {
+            return Vec::new(); // stale epoch or duplicate
+        };
+        let plan_idx = o.plan_idx;
+        let rule_id = self.plans[plan_idx].rule_id;
+        let mut actions = Vec::new();
+        match verdict {
+            Verdict::Present => {
+                self.outstanding.remove(&seq);
+                if self.failed.remove(&rule_id) {
+                    actions.push(SteadyAction::RuleRecovered { rule_id });
+                }
+            }
+            Verdict::Absent => {
+                self.outstanding.remove(&seq);
+                if self.failed.insert(rule_id) {
+                    actions.push(SteadyAction::RuleFailed { rule_id, at: now });
+                }
+            }
+            Verdict::Inconclusive => {}
+        }
+        actions
+    }
+
+    /// The plan for an outstanding sequence number (harness lookup).
+    pub fn plan_for_seq(&self, seq: u32) -> Option<&ProbePlan> {
+        self.outstanding
+            .get(&seq)
+            .map(|o| &self.plans[o.plan_idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ConcreteOutcome;
+    use monocle_openflow::{Action, Forwarding, HeaderVec};
+    use monocle_packet::PacketFields;
+
+    fn mk_plan(rule: u64, negative: bool) -> ProbePlan {
+        let present = if negative {
+            ConcreteOutcome::dropped()
+        } else {
+            ConcreteOutcome::of(
+                &Forwarding::compile(&[Action::Output(1)]).unwrap(),
+                &HeaderVec::ZERO,
+            )
+        };
+        let absent = ConcreteOutcome::of(
+            &Forwarding::compile(&[Action::Output(2)]).unwrap(),
+            &HeaderVec::ZERO,
+        );
+        ProbePlan {
+            rule_id: RuleId(rule),
+            priority: 10,
+            fields: PacketFields::default(),
+            header: HeaderVec::ZERO,
+            in_port: 1,
+            present,
+            absent,
+            uses_counting: false,
+            relevant_rules: 0,
+        }
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn cycles_through_rules() {
+        let mut m = SteadyMonitor::new(SteadyConfig::default());
+        m.set_plans(vec![mk_plan(1, false), mk_plan(2, false)], 0);
+        let a0 = m.on_tick(0);
+        assert!(matches!(a0[0], SteadyAction::Inject { plan_idx: 0, .. }));
+        let a1 = m.on_tick(2 * MS);
+        assert!(matches!(a1[0], SteadyAction::Inject { plan_idx: 1, .. }));
+        let a2 = m.on_tick(4 * MS);
+        assert!(matches!(a2[0], SteadyAction::Inject { plan_idx: 0, .. }));
+    }
+
+    #[test]
+    fn present_verdict_clears_outstanding() {
+        let mut m = SteadyMonitor::new(SteadyConfig::default());
+        m.set_plans(vec![mk_plan(1, false)], 0);
+        let a = m.on_tick(0);
+        let SteadyAction::Inject { seq, .. } = a[0] else {
+            panic!()
+        };
+        assert!(m.plan_for_seq(seq).is_some());
+        let out = m.on_verdict(MS, seq, Verdict::Present);
+        assert!(out.is_empty());
+        assert!(m.plan_for_seq(seq).is_none());
+        // No failure after the timeout window.
+        let later = m.on_tick(200 * MS);
+        assert!(!later
+            .iter()
+            .any(|x| matches!(x, SteadyAction::RuleFailed { .. })));
+    }
+
+    #[test]
+    fn timeout_raises_failure_and_retries_first() {
+        let mut m = SteadyMonitor::new(SteadyConfig::default());
+        m.set_plans(vec![mk_plan(7, false)], 0);
+        let a = m.on_tick(0);
+        let SteadyAction::Inject { seq, .. } = a[0] else {
+            panic!()
+        };
+        // Retries at ~37.5ms intervals (150/4).
+        let acts = m.on_tick(40 * MS);
+        assert!(
+            acts.iter()
+                .any(|x| matches!(x, SteadyAction::Inject { seq: s, .. } if *s == seq)),
+            "expected a resend, got {acts:?}"
+        );
+        // After the full window: failure.
+        let acts = m.on_tick(151 * MS);
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, SteadyAction::RuleFailed { rule_id, .. } if *rule_id == RuleId(7))));
+        assert_eq!(m.failed_rules().collect::<Vec<_>>(), vec![RuleId(7)]);
+    }
+
+    #[test]
+    fn absent_verdict_fails_immediately() {
+        let mut m = SteadyMonitor::new(SteadyConfig::default());
+        m.set_plans(vec![mk_plan(3, false)], 0);
+        let a = m.on_tick(0);
+        let SteadyAction::Inject { seq, .. } = a[0] else {
+            panic!()
+        };
+        let acts = m.on_verdict(5 * MS, seq, Verdict::Absent);
+        assert!(matches!(acts[0], SteadyAction::RuleFailed { rule_id, .. } if rule_id == RuleId(3)));
+    }
+
+    #[test]
+    fn negative_probe_silence_is_ok_and_reply_is_failure() {
+        let mut m = SteadyMonitor::new(SteadyConfig::default());
+        m.set_plans(vec![mk_plan(5, true)], 0);
+        let a = m.on_tick(0);
+        let SteadyAction::Inject { seq, .. } = a[0] else {
+            panic!()
+        };
+        // Timeout without observation: fine for a drop rule. The same tick
+        // also injects the next probe in the cycle.
+        let acts = m.on_tick(151 * MS);
+        assert!(!acts
+            .iter()
+            .any(|x| matches!(x, SteadyAction::RuleFailed { .. })));
+        let SteadyAction::Inject { seq: seq2, .. } = acts
+            .iter()
+            .find_map(|x| match x {
+                SteadyAction::Inject { .. } => Some(x.clone()),
+                _ => None,
+            })
+            .unwrap()
+        else {
+            panic!()
+        };
+        let _ = seq;
+        let acts = m.on_verdict(153 * MS, seq2, Verdict::Absent);
+        assert!(matches!(acts[0], SteadyAction::RuleFailed { .. }));
+    }
+
+    #[test]
+    fn recovery_reported() {
+        let mut m = SteadyMonitor::new(SteadyConfig::default());
+        m.set_plans(vec![mk_plan(1, false)], 0);
+        let a = m.on_tick(0);
+        let SteadyAction::Inject { seq, .. } = a[0] else {
+            panic!()
+        };
+        m.on_verdict(1, seq, Verdict::Absent);
+        assert_eq!(m.failed_rules().count(), 1);
+        // Next probe of the same rule succeeds -> recovered.
+        let a = m.on_tick(3 * MS);
+        let SteadyAction::Inject { seq, .. } = a
+            .iter()
+            .find_map(|x| match x {
+                SteadyAction::Inject { .. } => Some(x.clone()),
+                _ => None,
+            })
+            .unwrap()
+        else {
+            panic!()
+        };
+        let acts = m.on_verdict(4 * MS, seq, Verdict::Present);
+        assert!(matches!(acts[0], SteadyAction::RuleRecovered { .. }));
+        assert_eq!(m.failed_rules().count(), 0);
+    }
+
+    #[test]
+    fn probe_rate_respected() {
+        let mut m = SteadyMonitor::new(SteadyConfig::default());
+        m.set_plans((0..10).map(|i| mk_plan(i, false)).collect(), 0);
+        let mut injections = 0;
+        // Tick every 1 ms for 20 ms: interval is 2 ms -> ~10 injections.
+        for t in 0..20 {
+            for a in m.on_tick(t * MS) {
+                if matches!(a, SteadyAction::Inject { .. }) {
+                    injections += 1;
+                }
+            }
+        }
+        assert!(injections <= 11, "rate limiting failed: {injections}");
+        assert!(injections >= 9);
+    }
+
+    #[test]
+    fn set_plans_clears_outstanding() {
+        let mut m = SteadyMonitor::new(SteadyConfig::default());
+        m.set_plans(vec![mk_plan(1, false)], 0);
+        m.on_tick(0);
+        m.set_plans(vec![mk_plan(2, false)], 1);
+        // Old seq is gone; no spurious failure later.
+        let acts = m.on_tick(200 * MS);
+        assert!(!acts
+            .iter()
+            .any(|x| matches!(x, SteadyAction::RuleFailed { .. })));
+        assert_eq!(m.epoch, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the §6 catching machinery at the probe level:
+//! with a full strategy-1 plan installed in the expected tables, probes for
+//! any switch must evade that switch's own catching rules while carrying
+//! the tag its neighbors catch.
+
+use monocle::catching::{plan, Strategy, CATCH_PRIORITY};
+use monocle::encode::CatchSpec;
+use monocle::generator::{generate_probe, GeneratorConfig};
+use monocle_netgraph::generators;
+use monocle_openflow::{Action, Field, FlowTable, Match};
+
+/// Builds switch `sw`'s table: its catching rules plus some production
+/// rules, per the plan.
+fn switch_table(p: &monocle::catching::CatchPlan, sw: usize) -> FlowTable {
+    let mut t = FlowTable::new();
+    for r in p.rules.iter().filter(|r| r.switch == sw) {
+        t.add_rule(r.priority, r.match_, r.actions.clone()).unwrap();
+    }
+    // Production rules: a specific route over a default route.
+    t.add_rule(
+        100,
+        Match::any().with_nw_dst([10, 5, 5, 5], 32),
+        vec![Action::Output(2)],
+    )
+    .unwrap();
+    t.add_rule(1, Match::any(), vec![Action::Output(1)]).unwrap();
+    t
+}
+
+#[test]
+fn probes_evade_own_catchers_on_every_switch() {
+    let g = generators::fattree(4);
+    let p = plan(&g, Strategy::OneField, 100_000);
+    for sw in 0..g.len() {
+        let table = switch_table(&p, sw);
+        let probed = table
+            .rules()
+            .iter()
+            .find(|r| r.priority == 100)
+            .unwrap()
+            .id;
+        let catch = CatchSpec::tag(Field::DlVlan, p.probe_tag(sw)).with_in_port(1);
+        let plan_probe = generate_probe(&table, probed, &catch, &GeneratorConfig::default())
+            .unwrap_or_else(|e| panic!("switch {sw}: {e}"));
+        // The probe carries this switch's tag...
+        assert_eq!(plan_probe.header.field(Field::DlVlan), p.probe_tag(sw));
+        // ...and is NOT swallowed by any local catching rule: its present
+        // outcome is the production rule's port, not the controller port.
+        assert_eq!(plan_probe.present.observations[0].0, 2);
+        // Every neighbor would catch it: the tag matches one of their
+        // catching rules.
+        for &n in g.neighbors(sw) {
+            let n_table = switch_table(&p, n);
+            let hdr = {
+                let mut h = plan_probe.header;
+                // As received by the neighbor on some port.
+                h.set_field(Field::InPort, 3);
+                h
+            };
+            let hit = n_table.lookup(&hdr).expect("neighbor matches something");
+            assert_eq!(
+                hit.priority, CATCH_PRIORITY,
+                "neighbor {n} must catch switch {sw}'s probe"
+            );
+        }
+    }
+}
+
+#[test]
+fn catch_tag_pins_are_honored_under_conflicting_production_rules() {
+    // A production rule matching a *different* VLAN does not block probing.
+    let g = generators::triangle();
+    let p = plan(&g, Strategy::OneField, 100_000);
+    let mut table = switch_table(&p, 0);
+    table
+        .add_rule(
+            200,
+            Match::any().with_dl_vlan(100),
+            vec![Action::Output(3)],
+        )
+        .unwrap();
+    let probed = table
+        .rules()
+        .iter()
+        .find(|r| r.priority == 100)
+        .unwrap()
+        .id;
+    let catch = CatchSpec::tag(Field::DlVlan, p.probe_tag(0)).with_in_port(1);
+    let plan_probe = generate_probe(&table, probed, &catch, &GeneratorConfig::default()).unwrap();
+    assert_eq!(plan_probe.header.field(Field::DlVlan), p.probe_tag(0));
+}
+
+#[test]
+fn vlan_matching_production_rule_with_tag_value_is_reported() {
+    // If production traffic illegally uses a reserved tag value, the rule
+    // cannot be probed with that tag (catch conflict) — Monocle surfaces
+    // this instead of producing a bogus probe.
+    let g = generators::triangle();
+    let p = plan(&g, Strategy::OneField, 100_000);
+    let mut table = FlowTable::new();
+    let bad = table
+        .add_rule(
+            100,
+            Match::any().with_dl_vlan(p.probe_tag(0) as u16),
+            vec![Action::Output(2)],
+        )
+        .unwrap();
+    table.add_rule(1, Match::any(), vec![Action::Output(1)]).unwrap();
+    let other_tag = p.probe_tag(1);
+    let catch = CatchSpec::tag(Field::DlVlan, other_tag).with_in_port(1);
+    let err = generate_probe(&table, bad, &catch, &GeneratorConfig::default()).unwrap_err();
+    assert_eq!(err, monocle::ProbeError::CatchConflict(Field::DlVlan));
+}

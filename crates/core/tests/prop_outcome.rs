@@ -1,0 +1,125 @@
+//! Cross-validation of the §3.4 / Appendix B outcome theory.
+//!
+//! The *symbolic* side (`diff_ports` + `diff_rewrite`, which feed the SAT
+//! encoding) and the *concrete* side (`outcomes_distinguishable`, which the
+//! semantic oracle and the monitor's classifier use) are two independent
+//! implementations of `DiffOutcome`. For every pair of forwarding behaviors
+//! and every probe, they must agree:
+//!
+//!   DiffPorts ∨ DiffRewrite(P)  ⟺  distinguishable(outcome₁(P), outcome₂(P))
+//!
+//! This is the executable form of the paper's Tables 3–4 correctness.
+
+use monocle::outcome::{diff_ports, diff_rewrite, OutcomeDiff, PortsDiff};
+use monocle::plan::{outcomes_distinguishable, ConcreteOutcome};
+use monocle_openflow::flowmatch::packet_to_headervec;
+use monocle_openflow::{Action, Forwarding};
+use monocle_packet::PacketFields;
+use proptest::prelude::*;
+
+/// Small action programs covering every §3.4 rule class: drop, unicast,
+/// unicast+rewrite, multicast (with optionally per-port rewrites), ECMP.
+fn arb_fwd() -> impl Strategy<Value = Forwarding> {
+    let port = 1u16..4;
+    let tos = 0u8..4;
+    prop_oneof![
+        Just(vec![]),
+        port.clone().prop_map(|p| vec![Action::Output(p)]),
+        (port.clone(), tos.clone())
+            .prop_map(|(p, t)| vec![Action::SetNwTos(t), Action::Output(p)]),
+        // Per-port rewrites need distinct ports: with duplicate-port legs
+        // the symbolic side is deliberately conservative (first leg wins),
+        // so only the soundness direction would hold.
+        (port.clone(), port.clone(), tos.clone()).prop_map(|(a, b, t)| {
+            if a == b {
+                vec![Action::Output(a)]
+            } else {
+                vec![Action::Output(a), Action::SetNwTos(t), Action::Output(b)]
+            }
+        }),
+        (port.clone(), port.clone()).prop_map(|(a, b)| {
+            let mut v = vec![a];
+            if b != a {
+                v.push(b);
+            }
+            vec![Action::SelectOutput(v)]
+        }),
+        (port.clone(), port, tos)
+            .prop_map(|(a, b, t)| {
+                let mut v = vec![a];
+                if b != a {
+                    v.push(b);
+                }
+                vec![Action::SetNwTos(t), Action::SelectOutput(v)]
+            }),
+    ]
+    .prop_map(|actions| Forwarding::compile(&actions).unwrap())
+}
+
+fn arb_probe() -> impl Strategy<Value = monocle_openflow::HeaderVec> {
+    (0u8..4, 0u8..8, any::<u8>()).prop_map(|(tos, port_low, b)| {
+        packet_to_headervec(
+            u16::from(port_low),
+            &PacketFields {
+                nw_tos: tos,
+                nw_dst: [10, 0, 0, b],
+                ..Default::default()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// The symbolic DiffOutcome evaluated on a concrete probe must equal
+    /// concrete outcome distinguishability (counting included).
+    #[test]
+    fn symbolic_matches_concrete(a in arb_fwd(), b in arb_fwd(), probe in arb_probe()) {
+        let diff = OutcomeDiff::compute(&a, &b);
+        let symbolic = match diff.ports {
+            PortsDiff::Yes | PortsDiff::YesByCounting => true,
+            PortsDiff::No => diff.rewrite.eval(&probe),
+        };
+        let ca = ConcreteOutcome::of(&a, &probe);
+        let cb = ConcreteOutcome::of(&b, &probe);
+        let concrete = outcomes_distinguishable(&ca, &cb);
+        prop_assert_eq!(symbolic, concrete,
+            "a={:?}\nb={:?}\nports={:?} rewrite={:?}", a, b, diff.ports, diff.rewrite);
+    }
+
+    /// DiffOutcome is symmetric, like the underlying observability relation.
+    #[test]
+    fn diff_outcome_symmetric(a in arb_fwd(), b in arb_fwd(), probe in arb_probe()) {
+        let ab = OutcomeDiff::compute(&a, &b);
+        let ba = OutcomeDiff::compute(&b, &a);
+        let eval = |d: &OutcomeDiff| match d.ports {
+            PortsDiff::Yes | PortsDiff::YesByCounting => true,
+            PortsDiff::No => d.rewrite.eval(&probe),
+        };
+        prop_assert_eq!(eval(&ab), eval(&ba));
+    }
+
+    /// A forwarding behavior is never distinguishable from itself.
+    #[test]
+    fn never_distinguishable_from_self(a in arb_fwd(), probe in arb_probe()) {
+        let d = OutcomeDiff::compute(&a, &a);
+        let symbolic = match d.ports {
+            PortsDiff::Yes | PortsDiff::YesByCounting => true,
+            PortsDiff::No => d.rewrite.eval(&probe),
+        };
+        prop_assert!(!symbolic);
+        let c = ConcreteOutcome::of(&a, &probe);
+        prop_assert!(!outcomes_distinguishable(&c, &c));
+    }
+
+    /// Port-level verdicts ignore the probe; rewrite-level verdicts are the
+    /// only probe-dependent part (Table 4's structure).
+    #[test]
+    fn ports_verdict_probe_independent(a in arb_fwd(), b in arb_fwd()) {
+        prop_assert_eq!(diff_ports(&a, &b), diff_ports(&a, &b));
+        // diff_rewrite is a pure function of the pair as well; only its
+        // evaluation depends on the probe.
+        prop_assert_eq!(diff_rewrite(&a, &b), diff_rewrite(&a, &b));
+    }
+}

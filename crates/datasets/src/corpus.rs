@@ -1,0 +1,138 @@
+//! Synthetic topology corpora for the Fig. 9 coloring study.
+//!
+//! The paper colors all 261 Topology Zoo graphs plus 10 Rocketfuel maps.
+//! Both datasets are external; these generators produce corpora with the
+//! same *size and degree characteristics*, which are the properties the
+//! chromatic results depend on:
+//!
+//! * Zoo networks are small-to-medium sparse WANs (4 to ~754 nodes, mean
+//!   degree ≈ 2–3, near-planar) → Waxman/geometric graphs;
+//! * Rocketfuel maps are large with heavy-tailed degrees (up to ~11800
+//!   nodes in the paper's phrasing) → preferential attachment, which is
+//!   what makes the squared-graph coloring need hundreds of values.
+
+use monocle_netgraph::generators;
+use monocle_netgraph::Graph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A named topology in a corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Synthetic name ("zoo-017", "rocketfuel-3").
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+}
+
+/// Generates a Topology-Zoo-like corpus of `count` graphs (default 261).
+///
+/// Size distribution mimics the Zoo: mostly 10–60 nodes, a tail of larger
+/// networks, and one ~754-node outlier (the paper calls out "up to 9 values
+/// ... for networks as big as 754 switches").
+pub fn zoo_like(count: usize, seed: u64) -> Vec<CorpusEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let n = if i == count - 1 {
+            754 // the largest-network outlier
+        } else {
+            // Log-ish distribution: many small, few large.
+            let r: f64 = rng.random();
+            (4.0 + 196.0 * r * r * r) as usize
+        }
+        .max(4);
+        let style = rng.random_range(0..3);
+        let g = match style {
+            0 => generators::waxman(n, 0.15, 0.4, seed ^ (i as u64) << 1),
+            1 => generators::random_geometric(
+                n,
+                (2.0 / (n as f64)).sqrt().clamp(0.08, 0.5),
+                seed ^ (i as u64) << 1,
+            ),
+            _ => ring_with_chords(n, &mut rng),
+        };
+        out.push(CorpusEntry {
+            name: format!("zoo-{i:03}"),
+            graph: g,
+        });
+    }
+    out
+}
+
+/// Generates a Rocketfuel-like corpus of 10 ISP maps with sizes up to
+/// `max_nodes` (paper: ~11800).
+pub fn rocketfuel_like(max_nodes: usize, seed: u64) -> Vec<CorpusEntry> {
+    let sizes: Vec<usize> = (0..10)
+        .map(|i| {
+            let f = (i as f64 + 1.0) / 10.0;
+            (121.0 + (max_nodes as f64 - 121.0) * f * f) as usize
+        })
+        .collect();
+    sizes
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| CorpusEntry {
+            name: format!("rocketfuel-{i}"),
+            graph: generators::barabasi_albert(n, 2, seed ^ 0x52f0 ^ i as u64),
+        })
+        .collect()
+}
+
+/// A ring with random chord edges: the doubled-ring style common among Zoo
+/// national research networks.
+fn ring_with_chords(n: usize, rng: &mut StdRng) -> Graph {
+    let mut g = generators::ring(n.max(3));
+    let chords = n / 5;
+    for _ in 0..chords {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_corpus_shape() {
+        let corpus = zoo_like(261, 42);
+        assert_eq!(corpus.len(), 261);
+        assert!(corpus.iter().all(|e| e.graph.is_connected()));
+        let max = corpus.iter().map(|e| e.graph.len()).max().unwrap();
+        assert_eq!(max, 754);
+        let small = corpus.iter().filter(|e| e.graph.len() <= 60).count();
+        assert!(small > 100, "mostly small networks, got {small}");
+        // Sparse: mean degree below 6 on average.
+        let avg_deg: f64 = corpus
+            .iter()
+            .map(|e| 2.0 * e.graph.num_edges() as f64 / e.graph.len() as f64)
+            .sum::<f64>()
+            / corpus.len() as f64;
+        assert!(avg_deg < 6.0, "avg degree {avg_deg}");
+    }
+
+    #[test]
+    fn rocketfuel_corpus_shape() {
+        let corpus = rocketfuel_like(11800, 42);
+        assert_eq!(corpus.len(), 10);
+        let max = corpus.iter().map(|e| e.graph.len()).max().unwrap();
+        assert_eq!(max, 11800);
+        // Heavy tail: the big maps have hubs.
+        let big = &corpus[9].graph;
+        assert!(big.max_degree() > 50, "hub degree {}", big.max_degree());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = zoo_like(20, 7);
+        let b = zoo_like(20, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+}

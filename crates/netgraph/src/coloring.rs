@@ -1,0 +1,327 @@
+//! Vertex coloring solvers (paper §6, evaluated in §8.3.2 / Fig. 9).
+//!
+//! Three solvers with the same interface:
+//!
+//! * [`color_greedy`] — largest-degree-first greedy; the fallback the paper
+//!   uses for Rocketfuel-scale squared graphs where its ILP ran out of
+//!   memory.
+//! * [`color_dsatur`] — Brélaz's DSATUR; better than plain greedy on the
+//!   sparse WAN topologies of the Zoo corpus.
+//! * [`color_exact`] — branch-and-bound over DSATUR with a clique lower
+//!   bound, standing in for the paper's "optimal vertex-coloring solution
+//!   computed using an integer linear program formulation". A node budget
+//!   keeps worst cases bounded; on exhaustion the incumbent (a valid, maybe
+//!   suboptimal, coloring) is returned with `optimal = false`.
+
+use crate::graph::Graph;
+
+/// A proper vertex coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// Color of each node, in `0..num_colors`.
+    pub colors: Vec<u32>,
+    /// Number of distinct colors used.
+    pub num_colors: u32,
+    /// True when the solver proved minimality.
+    pub optimal: bool,
+}
+
+/// Checks that no edge joins two same-colored nodes.
+pub fn verify_coloring(g: &Graph, coloring: &Coloring) -> bool {
+    coloring.colors.len() == g.len()
+        && g.edges().all(|(a, b)| coloring.colors[a] != coloring.colors[b])
+        && coloring.colors.iter().all(|&c| c < coloring.num_colors)
+}
+
+/// Greedy coloring in descending degree order (largest-first).
+pub fn color_greedy(g: &Graph) -> Coloring {
+    let mut order: Vec<usize> = (0..g.len()).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    color_in_order(g, &order)
+}
+
+fn color_in_order(g: &Graph, order: &[usize]) -> Coloring {
+    let mut colors = vec![u32::MAX; g.len()];
+    let mut max_color = 0u32;
+    let mut used = Vec::new();
+    for &v in order {
+        used.clear();
+        used.resize(g.degree(v) + 1, false);
+        for &w in g.neighbors(v) {
+            let c = colors[w];
+            if c != u32::MAX && (c as usize) < used.len() {
+                used[c as usize] = true;
+            }
+        }
+        let c = used.iter().position(|&u| !u).unwrap() as u32;
+        colors[v] = c;
+        max_color = max_color.max(c + 1);
+    }
+    Coloring {
+        colors,
+        num_colors: max_color.max(u32::from(!g.is_empty())),
+        optimal: g.len() <= 1,
+    }
+}
+
+/// DSATUR (Brélaz): repeatedly color the node with the highest saturation
+/// (number of distinct neighbor colors), breaking ties by degree.
+pub fn color_dsatur(g: &Graph) -> Coloring {
+    let n = g.len();
+    if n == 0 {
+        return Coloring {
+            colors: Vec::new(),
+            num_colors: 0,
+            optimal: true,
+        };
+    }
+    let mut colors = vec![u32::MAX; n];
+    let mut neighbor_colors: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); n];
+    let mut max_color = 0u32;
+    for _ in 0..n {
+        // Pick uncolored node with max (saturation, degree).
+        let v = (0..n)
+            .filter(|&v| colors[v] == u32::MAX)
+            .max_by_key(|&v| (neighbor_colors[v].len(), g.degree(v)))
+            .unwrap();
+        let mut c = 0u32;
+        while neighbor_colors[v].contains(&c) {
+            c += 1;
+        }
+        colors[v] = c;
+        max_color = max_color.max(c + 1);
+        for &w in g.neighbors(v) {
+            neighbor_colors[w].insert(c);
+        }
+    }
+    Coloring {
+        colors,
+        num_colors: max_color,
+        optimal: n <= 1,
+    }
+}
+
+/// Finds a large clique greedily (lower bound for branch-and-bound).
+fn greedy_clique(g: &Graph) -> Vec<usize> {
+    let mut best = Vec::new();
+    let mut order: Vec<usize> = (0..g.len()).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    for &seed in order.iter().take(16.min(order.len())) {
+        let mut clique = vec![seed];
+        for &v in &order {
+            if v != seed && clique.iter().all(|&c| g.has_edge(v, c)) {
+                clique.push(v);
+            }
+        }
+        if clique.len() > best.len() {
+            best = clique;
+        }
+    }
+    best
+}
+
+/// Exact chromatic-number search: DSATUR branch-and-bound with a greedy
+/// clique lower bound. `node_budget` caps the number of search-tree nodes;
+/// when exhausted the best coloring found so far is returned with
+/// `optimal = false`.
+pub fn color_exact(g: &Graph, node_budget: u64) -> Coloring {
+    let n = g.len();
+    if n == 0 {
+        return Coloring {
+            colors: Vec::new(),
+            num_colors: 0,
+            optimal: true,
+        };
+    }
+    // Upper bound / incumbent from DSATUR.
+    let mut incumbent = color_dsatur(g);
+    let lower = greedy_clique(g).len() as u32;
+    if incumbent.num_colors <= lower.max(1) {
+        incumbent.optimal = true;
+        return incumbent;
+    }
+    struct Search<'a> {
+        g: &'a Graph,
+        colors: Vec<u32>,
+        best: Coloring,
+        budget: u64,
+        exhausted: bool,
+        lower: u32,
+    }
+    impl Search<'_> {
+        /// Try to color all nodes with < `self.best.num_colors` colors.
+        fn go(&mut self, colored: usize, used: u32) {
+            if self.budget == 0 {
+                self.exhausted = true;
+                return;
+            }
+            self.budget -= 1;
+            if used >= self.best.num_colors {
+                return; // cannot improve
+            }
+            if colored == self.g.len() {
+                self.best = Coloring {
+                    colors: self.colors.clone(),
+                    num_colors: used,
+                    optimal: false,
+                };
+                return;
+            }
+            // DSATUR node selection among uncolored.
+            let v = (0..self.g.len())
+                .filter(|&v| self.colors[v] == u32::MAX)
+                .max_by_key(|&v| {
+                    let sat = self
+                        .g
+                        .neighbors(v)
+                        .iter()
+                        .filter_map(|&w| {
+                            (self.colors[w] != u32::MAX).then_some(self.colors[w])
+                        })
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .len();
+                    (sat, self.g.degree(v))
+                })
+                .unwrap();
+            let forbidden: std::collections::BTreeSet<u32> = self
+                .g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| self.colors[w] != u32::MAX)
+                .map(|&w| self.colors[w])
+                .collect();
+            // Existing colors first, then (at most) one fresh color.
+            let cap = used.min(self.best.num_colors - 1);
+            for c in 0..cap {
+                if forbidden.contains(&c) {
+                    continue;
+                }
+                self.colors[v] = c;
+                self.go(colored + 1, used);
+                self.colors[v] = u32::MAX;
+                if self.exhausted || self.best.num_colors <= self.lower {
+                    return;
+                }
+            }
+            if used + 1 < self.best.num_colors {
+                self.colors[v] = used;
+                self.go(colored + 1, used + 1);
+                self.colors[v] = u32::MAX;
+            }
+        }
+    }
+    let mut s = Search {
+        g,
+        colors: vec![u32::MAX; n],
+        best: incumbent,
+        budget: node_budget,
+        exhausted: false,
+        lower,
+    };
+    s.go(0, 0);
+    let mut result = s.best;
+    result.optimal = !s.exhausted || result.num_colors <= lower;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = path(n);
+        g.add_edge(n - 1, 0);
+        g
+    }
+
+    fn clique(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn all_solvers_produce_valid_colorings() {
+        let graphs = vec![path(10), cycle(9), cycle(10), clique(6), generators::fattree(4)];
+        for g in &graphs {
+            for c in [color_greedy(g), color_dsatur(g), color_exact(g, 100_000)] {
+                assert!(verify_coloring(g, &c), "invalid coloring on {} nodes", g.len());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_chromatic_numbers() {
+        assert_eq!(color_exact(&path(10), 1_000_000).num_colors, 2);
+        assert_eq!(color_exact(&cycle(10), 1_000_000).num_colors, 2);
+        assert_eq!(color_exact(&cycle(9), 1_000_000).num_colors, 3, "odd cycle");
+        assert_eq!(color_exact(&clique(5), 1_000_000).num_colors, 5);
+        let petersen = {
+            let mut g = Graph::new(10);
+            for i in 0..5 {
+                g.add_edge(i, (i + 1) % 5); // outer cycle
+                g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+                g.add_edge(i, 5 + i); // spokes
+            }
+            g
+        };
+        let c = color_exact(&petersen, 1_000_000);
+        assert_eq!(c.num_colors, 3);
+        assert!(c.optimal);
+    }
+
+    #[test]
+    fn exact_never_worse_than_heuristics() {
+        let g = generators::fattree(4);
+        let e = color_exact(&g, 1_000_000);
+        assert!(e.num_colors <= color_greedy(&g).num_colors);
+        assert!(e.num_colors <= color_dsatur(&g).num_colors);
+        // FatTree is bipartite: exactly 2 colors.
+        assert_eq!(e.num_colors, 2);
+    }
+
+    #[test]
+    fn square_graph_coloring_at_least_max_degree_plus_one() {
+        // Strategy 2 (paper): #IDs >= max node degree + 1, since a node's
+        // neighborhood plus itself forms a clique in G².
+        let g = generators::star(8);
+        let sq = g.square();
+        let c = color_exact(&sq, 1_000_000);
+        assert!(verify_coloring(&sq, &c));
+        assert_eq!(c.num_colors as usize, 9); // K9
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let g = Graph::new(0);
+        assert_eq!(color_exact(&g, 10).num_colors, 0);
+        let g = Graph::new(1);
+        let c = color_dsatur(&g);
+        assert_eq!(c.num_colors, 1);
+        assert!(verify_coloring(&g, &c));
+        let g = Graph::new(3); // no edges
+        assert_eq!(color_greedy(&g).num_colors, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_valid_incumbent() {
+        // Random-ish hard graph with tiny budget.
+        let g = generators::barabasi_albert(60, 4, 7);
+        let c = color_exact(&g, 10);
+        assert!(verify_coloring(&g, &c));
+    }
+}

@@ -1,0 +1,273 @@
+//! Topology generators.
+//!
+//! * [`fattree`] — the k-ary FatTree of the large-network experiment
+//!   (Fig. 8 uses k=4: 20 switches).
+//! * [`star`], [`line()`], [`ring`], [`triangle`] — the small testbeds of
+//!   §8.1 (star of OVS switches around the probed switch; triangle for the
+//!   consistent-update experiment).
+//! * [`waxman`] / [`random_geometric`] — sparse WAN-like graphs standing in
+//!   for the Internet Topology Zoo corpus.
+//! * [`barabasi_albert`] — preferential-attachment graphs standing in for
+//!   Rocketfuel ISP maps (heavy-tailed degree distribution, which is what
+//!   makes the paper's strategy 2 need up to 258 identifiers).
+//!
+//! All generators are deterministic given their seed.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// k-ary FatTree (k even): `(k/2)^2` core + `k` pods × (`k/2` aggregation +
+/// `k/2` edge) switches. Node order: cores, then per pod aggregation then
+/// edge. `fattree(4)` has 20 nodes.
+pub fn fattree(k: usize) -> Graph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    let half = k / 2;
+    let cores = half * half;
+    let per_pod = half * 2;
+    let n = cores + k * per_pod;
+    let mut g = Graph::new(n);
+    let agg = |pod: usize, i: usize| cores + pod * per_pod + i;
+    let edge = |pod: usize, i: usize| cores + pod * per_pod + half + i;
+    for pod in 0..k {
+        for a in 0..half {
+            // Aggregation a in this pod connects to core row a.
+            for c in 0..half {
+                g.add_edge(agg(pod, a), a * half + c);
+            }
+            // And to every edge switch in the pod.
+            for e in 0..half {
+                g.add_edge(agg(pod, a), edge(pod, e));
+            }
+        }
+    }
+    g
+}
+
+/// Indices of the edge-layer switches of [`fattree`] (hosts attach here).
+pub fn fattree_edge_switches(k: usize) -> Vec<usize> {
+    let half = k / 2;
+    let cores = half * half;
+    let per_pod = half * 2;
+    (0..k)
+        .flat_map(move |pod| (0..half).map(move |i| cores + pod * per_pod + half + i))
+        .collect()
+}
+
+/// Star: node 0 is the hub, nodes `1..=leaves` attach to it. This is the
+/// §8.1.1 testbed (hardware switch in the middle of 4 OVS instances).
+pub fn star(leaves: usize) -> Graph {
+    let mut g = Graph::new(leaves + 1);
+    for l in 1..=leaves {
+        g.add_edge(0, l);
+    }
+    g
+}
+
+/// Path graph 0-1-...-(n-1).
+pub fn line(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// Cycle graph.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3);
+    let mut g = line(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The S1-S2-S3 triangle of the consistent-update experiment (§8.1.2).
+pub fn triangle() -> Graph {
+    ring(3)
+}
+
+/// Waxman random graph on the unit square:
+/// `P(edge) = beta * exp(-d / (alpha * L))`, `L = sqrt(2)`. Components are
+/// connected afterwards via nearest-pair links so the result is usable as a
+/// network topology.
+pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let mut g = Graph::new(n);
+    let l = 2f64.sqrt();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let d = dist(pts[a], pts[b]);
+            let p = beta * (-d / (alpha * l)).exp();
+            if rng.random::<f64>() < p {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    connect_components(&mut g, &pts);
+    g
+}
+
+/// Random geometric graph: nodes uniform on the unit square, edges within
+/// `radius`; components connected afterwards.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if dist(pts[a], pts[b]) <= radius {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    connect_components(&mut g, &pts);
+    g
+}
+
+/// Barabási–Albert preferential attachment: start from an `m`-clique, each
+/// new node attaches to `m` distinct existing nodes with probability
+/// proportional to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Seed clique.
+    for a in 0..=m {
+        for b in (a + 1)..=m {
+            g.add_edge(a, b);
+        }
+    }
+    // Repeated-endpoint list: each edge contributes both endpoints, giving
+    // degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for (a, b) in g.edges().collect::<Vec<_>>() {
+        endpoints.push(a);
+        endpoints.push(b);
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            g.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Connects components by repeatedly linking the geometrically closest pair
+/// of nodes in different components.
+fn connect_components(g: &mut Graph, pts: &[(f64, f64)]) {
+    loop {
+        let comps = g.components();
+        if comps.len() <= 1 {
+            return;
+        }
+        // Link the first component to its closest node elsewhere.
+        let first = &comps[0];
+        let in_first = vec![false; g.len()];
+        let mut in_first = in_first;
+        for &v in first {
+            in_first[v] = true;
+        }
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &a in first {
+            for b in 0..g.len() {
+                if !in_first[b] {
+                    let d = dist(pts[a], pts[b]);
+                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                        best = Some((a, b, d));
+                    }
+                }
+            }
+        }
+        let (a, b, _) = best.expect("disconnected graph must have outside nodes");
+        g.add_edge(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fattree4_is_the_fig8_topology() {
+        let g = fattree(4);
+        assert_eq!(g.len(), 20, "4 core + 8 agg + 8 edge");
+        assert_eq!(g.num_edges(), 32); // 16 core-agg + 16 agg-edge
+        // Each of 8 agg switches has 2 core links and 2 edge links.
+        let edges = fattree_edge_switches(4);
+        assert_eq!(edges.len(), 8);
+        for &e in &edges {
+            assert_eq!(g.degree(e), 2, "edge switch uplinks");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn fattree_bigger() {
+        let g = fattree(8);
+        assert_eq!(g.len(), 16 + 8 * 8);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn star_line_ring() {
+        let s = star(4);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.degree(0), 4);
+        assert!(s.is_connected());
+        let l = line(5);
+        assert_eq!(l.num_edges(), 4);
+        let r = ring(5);
+        assert_eq!(r.num_edges(), 5);
+        assert_eq!(triangle().num_edges(), 3);
+    }
+
+    #[test]
+    fn waxman_connected_and_deterministic() {
+        let a = waxman(50, 0.2, 0.3, 42);
+        let b = waxman(50, 0.2, 0.3, 42);
+        assert_eq!(a, b, "same seed, same graph");
+        assert!(a.is_connected());
+        let c = waxman(50, 0.2, 0.3, 43);
+        assert_ne!(a, c, "different seed, different graph");
+    }
+
+    #[test]
+    fn geometric_connected() {
+        let g = random_geometric(80, 0.12, 7);
+        assert!(g.is_connected());
+        assert_eq!(g.len(), 80);
+    }
+
+    #[test]
+    fn ba_degree_distribution_heavy_tailed() {
+        let g = barabasi_albert(300, 2, 11);
+        assert!(g.is_connected());
+        // Hubs exist: max degree far above the minimum (m).
+        assert!(g.max_degree() >= 10, "max degree {}", g.max_degree());
+        // Every non-seed node has degree >= m.
+        for v in 3..g.len() {
+            assert!(g.degree(v) >= 2);
+        }
+    }
+
+    #[test]
+    fn ba_deterministic() {
+        assert_eq!(barabasi_albert(100, 3, 5), barabasi_albert(100, 3, 5));
+    }
+}

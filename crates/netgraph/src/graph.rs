@@ -1,0 +1,212 @@
+//! Simple undirected graph with adjacency lists.
+
+/// Undirected graph over nodes `0..n`. Parallel edges and self-loops are
+/// rejected; adjacency lists are kept sorted for deterministic iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Graph {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Appends a new isolated node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds the undirected edge `(a, b)`. Returns false (and does nothing)
+    /// for self-loops or existing edges.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(a < self.len() && b < self.len(), "node out of range");
+        if a == b || self.has_edge(a, b) {
+            return false;
+        }
+        let pos_a = self.adj[a].partition_point(|&x| x < b);
+        self.adj[a].insert(pos_a, b);
+        let pos_b = self.adj[b].partition_point(|&x| x < a);
+        self.adj[b].insert(pos_b, a);
+        self.num_edges += 1;
+        true
+    }
+
+    /// True when the edge `(a, b)` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// Neighbors of `v` in ascending order.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(a, ns)| ns.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+    }
+
+    /// Connected components as sorted node lists.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.len()];
+        let mut out = Vec::new();
+        for start in 0..self.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// True when the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// The square graph G²: original edges plus an edge between every pair
+    /// of distinct vertices sharing a common neighbor. This is the paper's
+    /// strategy-2 transform ("for each switch, we add fake edges between all
+    /// pairs of its peers, essentially adding a clique").
+    pub fn square(&self) -> Graph {
+        let mut g = self.clone();
+        for v in 0..self.len() {
+            let ns = self.neighbors(v);
+            for i in 0..ns.len() {
+                for j in (i + 1)..ns.len() {
+                    g.add_edge(ns[i], ns[j]);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(0, 1), "duplicate rejected");
+        assert!(!g.add_edge(2, 2), "self-loop rejected");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_iterator_each_once() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert!(!g.is_connected());
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn square_of_star_is_clique() {
+        // Star K1,3: center 0. In the square, leaves become pairwise adjacent.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let sq = g.square();
+        assert_eq!(sq.num_edges(), 6); // K4
+        assert!(sq.has_edge(1, 2));
+        assert!(sq.has_edge(2, 3));
+        assert!(sq.has_edge(1, 3));
+    }
+
+    #[test]
+    fn square_of_path() {
+        // Path 0-1-2-3: square adds (0,2) and (1,3) but not (0,3).
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let sq = g.square();
+        assert!(sq.has_edge(0, 2));
+        assert!(sq.has_edge(1, 3));
+        assert!(!sq.has_edge(0, 3));
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = Graph::new(0);
+        assert!(g.is_empty());
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        assert_eq!(g.len(), 2);
+        assert!(g.is_connected());
+    }
+}

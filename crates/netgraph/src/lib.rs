@@ -1,0 +1,25 @@
+//! Graph substrate for Monocle's network-wide monitoring (§6, §8.3.2).
+//!
+//! The paper minimizes the number of header values reserved for probe
+//! catching by solving vertex coloring: strategy 1 needs a proper coloring
+//! of the topology itself; strategy 2 needs a coloring of the *square* graph
+//! (any two switches with a common neighbor must differ). The paper solves
+//! the first with an exact ILP and falls back to greedy for the second on
+//! large graphs; we mirror that with an exact branch-and-bound solver plus
+//! greedy/DSATUR heuristics.
+//!
+//! Also here: the topology generators the evaluation needs — FatTree(k) for
+//! the large-network experiment (Fig. 8) and synthetic stand-ins for the
+//! Topology Zoo / Rocketfuel corpora (Fig. 9), since the original datasets
+//! are external artifacts (see DESIGN.md substitution #3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod generators;
+pub mod graph;
+pub mod paths;
+
+pub use coloring::{color_dsatur, color_exact, color_greedy, verify_coloring, Coloring};
+pub use graph::Graph;

@@ -1,0 +1,190 @@
+//! Shortest paths and random path workloads (used by the Fig. 8 experiment
+//! to install 2000 random paths across the FatTree).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// BFS shortest path from `src` to `dst` as a node list (inclusive).
+/// Returns `None` when unreachable. Ties are broken deterministically by
+/// neighbor order.
+pub fn shortest_path(g: &Graph, src: usize, dst: usize) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev = vec![usize::MAX; g.len()];
+    let mut queue = std::collections::VecDeque::new();
+    prev[src] = src;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if prev[w] == usize::MAX {
+                prev[w] = v;
+                if w == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = prev[cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// BFS distances from `src` (usize::MAX = unreachable).
+pub fn distances(g: &Graph, src: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// A randomized shortest path: BFS but with neighbor exploration order
+/// shuffled by `rng`, yielding path diversity across equal-cost routes (the
+/// FatTree has many). Deterministic for a given seed.
+pub fn random_shortest_path(g: &Graph, src: usize, dst: usize, rng: &mut StdRng) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev = vec![usize::MAX; g.len()];
+    let mut queue = std::collections::VecDeque::new();
+    prev[src] = src;
+    queue.push_back(src);
+    let mut scratch: Vec<usize> = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        scratch.clear();
+        scratch.extend_from_slice(g.neighbors(v));
+        // Fisher-Yates shuffle.
+        for i in (1..scratch.len()).rev() {
+            let j = rng.random_range(0..=i);
+            scratch.swap(i, j);
+        }
+        for &w in &scratch {
+            if prev[w] == usize::MAX {
+                prev[w] = v;
+                if w == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = prev[cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Generates `count` random endpoint pairs among `endpoints` and their
+/// randomized shortest paths. This is the Fig. 8 workload generator.
+pub fn random_paths(
+    g: &Graph,
+    endpoints: &[usize],
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(endpoints.len() >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let a = endpoints[rng.random_range(0..endpoints.len())];
+        let b = endpoints[rng.random_range(0..endpoints.len())];
+        if a == b {
+            continue;
+        }
+        if let Some(p) = random_shortest_path(g, a, b, &mut rng) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn shortest_path_on_line() {
+        let g = generators::line(5);
+        assert_eq!(shortest_path(&g, 0, 4), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(shortest_path(&g, 2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = Graph::new(3);
+        assert_eq!(shortest_path(&g, 0, 2), None);
+    }
+
+    #[test]
+    fn distances_bfs() {
+        let g = generators::ring(6);
+        let d = distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn fattree_paths_have_expected_lengths() {
+        let g = generators::fattree(4);
+        let edges = generators::fattree_edge_switches(4);
+        // Same pod: edge-agg-edge = 3 nodes. Cross pod: 5 nodes.
+        let p = shortest_path(&g, edges[0], edges[1]).unwrap();
+        assert_eq!(p.len(), 3);
+        let p = shortest_path(&g, edges[0], edges[7]).unwrap();
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn random_paths_are_valid_and_deterministic() {
+        let g = generators::fattree(4);
+        let eps = generators::fattree_edge_switches(4);
+        let a = random_paths(&g, &eps, 50, 99);
+        let b = random_paths(&g, &eps, 50, 99);
+        assert_eq!(a, b);
+        for p in &a {
+            assert!(p.len() >= 2);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "path uses real edges");
+            }
+            // Paths between edge switches have shortest-path length.
+            let want = shortest_path(&g, p[0], *p.last().unwrap()).unwrap().len();
+            assert_eq!(p.len(), want, "randomized path is still shortest");
+        }
+    }
+
+    #[test]
+    fn random_shortest_path_diversity() {
+        // In a FatTree there are multiple equal-cost cross-pod paths; with
+        // different seeds we should (very likely) see at least two distinct.
+        let g = generators::fattree(4);
+        let eps = generators::fattree_edge_switches(4);
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Some(p) = random_shortest_path(&g, eps[0], eps[7], &mut rng) {
+                seen.insert(p);
+            }
+        }
+        assert!(seen.len() >= 2, "expected path diversity, got {}", seen.len());
+    }
+}

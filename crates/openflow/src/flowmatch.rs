@@ -1,0 +1,461 @@
+//! OpenFlow 1.0 12-tuple ternary matches and their bit-level algebra.
+//!
+//! A [`Match`] is the field-level view used by the protocol and the wire
+//! codec; a [`Ternary`] is its compiled `(care, value)` bit-vector form. The
+//! two invariants Monocle's theory relies on live here:
+//!
+//! * `matches(pkt)`   ⇔ `(pkt ^ value) & care == 0`
+//! * two matches **overlap** (∃ packet matching both, §5.4) ⇔
+//!   `(v1 ^ v2) & c1 & c2 == 0`
+//!
+//! Overlap is the pre-filter the paper credits for most of the probe
+//! generation speed: rules that do not overlap the probed rule are sliced
+//! away before any constraint is built.
+
+use crate::headerspace::{Field, HeaderVec};
+use monocle_packet::{ethertype, MacAddr, PacketFields};
+
+/// `dl_vlan` value meaning "untagged" (OpenFlow's `OFP_VLAN_NONE`).
+pub const VLAN_NONE: u16 = 0xffff;
+
+/// Field-level OpenFlow 1.0 match. `None` = wildcarded. The IP address
+/// fields carry a CIDR prefix length (0 is normalized to `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Match {
+    /// Ingress port.
+    pub in_port: Option<u16>,
+    /// Ethernet source.
+    pub dl_src: Option<MacAddr>,
+    /// Ethernet destination.
+    pub dl_dst: Option<MacAddr>,
+    /// EtherType.
+    pub dl_type: Option<u16>,
+    /// VLAN ID ([`VLAN_NONE`] matches untagged traffic).
+    pub dl_vlan: Option<u16>,
+    /// VLAN PCP.
+    pub dl_pcp: Option<u8>,
+    /// IPv4 source as (address, prefix length 1..=32).
+    pub nw_src: Option<(u32, u8)>,
+    /// IPv4 destination as (address, prefix length 1..=32).
+    pub nw_dst: Option<(u32, u8)>,
+    /// IP protocol / ARP opcode.
+    pub nw_proto: Option<u8>,
+    /// IP DSCP (6 bits).
+    pub nw_tos: Option<u8>,
+    /// Transport source port / ICMP type.
+    pub tp_src: Option<u16>,
+    /// Transport destination port / ICMP code.
+    pub tp_dst: Option<u16>,
+}
+
+impl Match {
+    /// The all-wildcard match.
+    pub fn any() -> Match {
+        Match::default()
+    }
+
+    /// Builder: match on ingress port.
+    pub fn with_in_port(mut self, p: u16) -> Match {
+        self.in_port = Some(p);
+        self
+    }
+
+    /// Builder: match on EtherType.
+    pub fn with_dl_type(mut self, t: u16) -> Match {
+        self.dl_type = Some(t);
+        self
+    }
+
+    /// Builder: match on VLAN ID.
+    pub fn with_dl_vlan(mut self, v: u16) -> Match {
+        self.dl_vlan = Some(v);
+        self
+    }
+
+    /// Builder: match IPv4 source prefix (also sets `dl_type` to IPv4 if
+    /// unset, keeping the match well-formed per §5.2).
+    pub fn with_nw_src(mut self, addr: [u8; 4], prefix: u8) -> Match {
+        assert!(prefix <= 32);
+        if prefix > 0 {
+            self.nw_src = Some((u32::from_be_bytes(addr), prefix));
+            if self.dl_type.is_none() {
+                self.dl_type = Some(ethertype::IPV4);
+            }
+        }
+        self
+    }
+
+    /// Builder: match IPv4 destination prefix (sets `dl_type` like
+    /// [`Match::with_nw_src`]).
+    pub fn with_nw_dst(mut self, addr: [u8; 4], prefix: u8) -> Match {
+        assert!(prefix <= 32);
+        if prefix > 0 {
+            self.nw_dst = Some((u32::from_be_bytes(addr), prefix));
+            if self.dl_type.is_none() {
+                self.dl_type = Some(ethertype::IPV4);
+            }
+        }
+        self
+    }
+
+    /// Builder: match IP protocol (sets `dl_type` to IPv4 if unset).
+    pub fn with_nw_proto(mut self, p: u8) -> Match {
+        self.nw_proto = Some(p);
+        if self.dl_type.is_none() {
+            self.dl_type = Some(ethertype::IPV4);
+        }
+        self
+    }
+
+    /// Builder: match transport source port.
+    pub fn with_tp_src(mut self, p: u16) -> Match {
+        self.tp_src = Some(p);
+        self
+    }
+
+    /// Builder: match transport destination port.
+    pub fn with_tp_dst(mut self, p: u16) -> Match {
+        self.tp_dst = Some(p);
+        self
+    }
+
+    /// Compiles to the bit-level ternary form.
+    pub fn ternary(&self) -> Ternary {
+        let mut care = HeaderVec::ZERO;
+        let mut value = HeaderVec::ZERO;
+        fn exact(care: &mut HeaderVec, value: &mut HeaderVec, f: Field, v: u64) {
+            let off = f.offset();
+            let w = f.width();
+            for i in 0..w {
+                care.set(off + i, true);
+            }
+            value.set_bits(off, w, v);
+        }
+        if let Some(p) = self.in_port {
+            exact(&mut care, &mut value, Field::InPort, u64::from(p));
+        }
+        if let Some(m) = self.dl_src {
+            exact(&mut care, &mut value, Field::DlSrc, m.to_u64());
+        }
+        if let Some(m) = self.dl_dst {
+            exact(&mut care, &mut value, Field::DlDst, m.to_u64());
+        }
+        if let Some(t) = self.dl_type {
+            exact(&mut care, &mut value, Field::DlType, u64::from(t));
+        }
+        if let Some(v) = self.dl_vlan {
+            exact(&mut care, &mut value, Field::DlVlan, u64::from(v));
+        }
+        if let Some(p) = self.dl_pcp {
+            exact(&mut care, &mut value, Field::DlPcp, u64::from(p & 0x7));
+        }
+        if let Some((addr, plen)) = self.nw_src {
+            Self::prefix_bits(&mut care, &mut value, Field::NwSrc, addr, plen);
+        }
+        if let Some((addr, plen)) = self.nw_dst {
+            Self::prefix_bits(&mut care, &mut value, Field::NwDst, addr, plen);
+        }
+        if let Some(p) = self.nw_proto {
+            exact(&mut care, &mut value, Field::NwProto, u64::from(p));
+        }
+        if let Some(t) = self.nw_tos {
+            exact(&mut care, &mut value, Field::NwTos, u64::from(t & 0x3f));
+        }
+        if let Some(p) = self.tp_src {
+            exact(&mut care, &mut value, Field::TpSrc, u64::from(p));
+        }
+        if let Some(p) = self.tp_dst {
+            exact(&mut care, &mut value, Field::TpDst, u64::from(p));
+        }
+        Ternary { care, value }
+    }
+
+    /// CIDR prefix: the `plen` most significant address bits are cared. In
+    /// our LSB-first field layout, address bit 31 (MSB) is field bit 31, so
+    /// a /24 cares field bits 31..=8.
+    fn prefix_bits(care: &mut HeaderVec, value: &mut HeaderVec, f: Field, addr: u32, plen: u8) {
+        debug_assert!((1..=32).contains(&plen));
+        let off = f.offset();
+        for i in (32 - plen as usize)..32 {
+            care.set(off + i, true);
+            value.set(off + i, addr >> i & 1 == 1);
+        }
+    }
+
+    /// Number of wildcarded fields (a rough specificity measure used by
+    /// dataset statistics).
+    pub fn wildcard_count(&self) -> usize {
+        let mut n = 0;
+        n += usize::from(self.in_port.is_none());
+        n += usize::from(self.dl_src.is_none());
+        n += usize::from(self.dl_dst.is_none());
+        n += usize::from(self.dl_type.is_none());
+        n += usize::from(self.dl_vlan.is_none());
+        n += usize::from(self.dl_pcp.is_none());
+        n += usize::from(self.nw_src.is_none());
+        n += usize::from(self.nw_dst.is_none());
+        n += usize::from(self.nw_proto.is_none());
+        n += usize::from(self.nw_tos.is_none());
+        n += usize::from(self.tp_src.is_none());
+        n += usize::from(self.tp_dst.is_none());
+        n
+    }
+
+    /// True when a packet with the given abstract header and ingress port
+    /// matches. The packet is converted to its header-space point first.
+    pub fn matches_packet(&self, in_port: u16, fields: &PacketFields) -> bool {
+        self.ternary().matches(&packet_to_headervec(in_port, fields))
+    }
+}
+
+/// Compiled bit-level ternary match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Ternary {
+    /// Bits that must match (`1` = exact bit, `0` = wildcard).
+    pub care: HeaderVec,
+    /// Bit values where `care` is set (zero elsewhere, canonical form).
+    pub value: HeaderVec,
+}
+
+impl Ternary {
+    /// The all-wildcard ternary.
+    pub const ANY: Ternary = Ternary {
+        care: HeaderVec::ZERO,
+        value: HeaderVec::ZERO,
+    };
+
+    /// Does `pkt` match?
+    #[inline]
+    pub fn matches(&self, pkt: &HeaderVec) -> bool {
+        pkt.xor(&self.value).and(&self.care).is_zero()
+    }
+
+    /// §5.4 overlap test: is there a packet matching both ternaries?
+    #[inline]
+    pub fn overlaps(&self, other: &Ternary) -> bool {
+        self.value
+            .xor(&other.value)
+            .and(&self.care)
+            .and(&other.care)
+            .is_zero()
+    }
+
+    /// Subsumption: does every packet matching `other` also match `self`?
+    /// (`self` is the more-general match.) Used for OF1.0 non-strict
+    /// modify/delete semantics.
+    #[inline]
+    pub fn subsumes(&self, other: &Ternary) -> bool {
+        // self's cared bits must be a subset of other's, with equal values.
+        self.care.and(&other.care.not()).is_zero()
+            && self.value.xor(&other.value).and(&self.care).is_zero()
+    }
+
+    /// An arbitrary packet matching this ternary (wildcard bits zero).
+    pub fn sample_packet(&self) -> HeaderVec {
+        self.value
+    }
+}
+
+/// Converts ingress port + abstract packet fields into a header-space point.
+pub fn packet_to_headervec(in_port: u16, f: &PacketFields) -> HeaderVec {
+    let n = f.normalized();
+    let mut h = HeaderVec::ZERO;
+    h.set_field(Field::InPort, u64::from(in_port));
+    h.set_field(Field::DlSrc, n.dl_src.to_u64());
+    h.set_field(Field::DlDst, n.dl_dst.to_u64());
+    h.set_field(Field::DlType, u64::from(n.dl_type));
+    match n.vlan {
+        Some((vid, pcp)) => {
+            h.set_field(Field::DlVlan, u64::from(vid));
+            h.set_field(Field::DlPcp, u64::from(pcp));
+        }
+        None => {
+            h.set_field(Field::DlVlan, u64::from(VLAN_NONE));
+        }
+    }
+    h.set_field(Field::NwSrc, u64::from(u32::from_be_bytes(n.nw_src)));
+    h.set_field(Field::NwDst, u64::from(u32::from_be_bytes(n.nw_dst)));
+    h.set_field(Field::NwProto, u64::from(n.nw_proto));
+    h.set_field(Field::NwTos, u64::from(n.nw_tos));
+    h.set_field(Field::TpSrc, u64::from(n.tp_src));
+    h.set_field(Field::TpDst, u64::from(n.tp_dst));
+    h
+}
+
+/// Converts a header-space point back to abstract packet fields (dropping
+/// `in_port`, which is metadata). Conditionally-excluded fields are
+/// normalized away by [`PacketFields::normalized`].
+pub fn headervec_to_packet(h: &HeaderVec) -> PacketFields {
+    let vlan_raw = h.field(Field::DlVlan) as u16;
+    let vlan = if vlan_raw == VLAN_NONE {
+        None
+    } else {
+        Some((vlan_raw & 0x0fff, h.field(Field::DlPcp) as u8))
+    };
+    PacketFields {
+        dl_src: MacAddr::from_u64(h.field(Field::DlSrc)),
+        dl_dst: MacAddr::from_u64(h.field(Field::DlDst)),
+        dl_type: h.field(Field::DlType) as u16,
+        vlan,
+        nw_src: (h.field(Field::NwSrc) as u32).to_be_bytes(),
+        nw_dst: (h.field(Field::NwDst) as u32).to_be_bytes(),
+        nw_proto: h.field(Field::NwProto) as u8,
+        nw_tos: h.field(Field::NwTos) as u8,
+        tp_src: h.field(Field::TpSrc) as u16,
+        tp_dst: h.field(Field::TpDst) as u16,
+    }
+    .normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_semantics() {
+        let m = Match::any()
+            .with_nw_src([10, 0, 0, 1], 32)
+            .with_nw_dst([10, 0, 0, 2], 32);
+        let t = m.ternary();
+        let pkt = packet_to_headervec(
+            1,
+            &PacketFields {
+                nw_src: [10, 0, 0, 1],
+                nw_dst: [10, 0, 0, 2],
+                ..Default::default()
+            },
+        );
+        assert!(t.matches(&pkt));
+        let other = packet_to_headervec(
+            1,
+            &PacketFields {
+                nw_src: [10, 0, 0, 3],
+                nw_dst: [10, 0, 0, 2],
+                ..Default::default()
+            },
+        );
+        assert!(!t.matches(&other));
+    }
+
+    #[test]
+    fn prefix_match_semantics() {
+        let m = Match::any().with_nw_dst([10, 1, 2, 0], 24);
+        let t = m.ternary();
+        for last in [0u8, 1, 128, 255] {
+            let pkt = packet_to_headervec(
+                9,
+                &PacketFields {
+                    nw_dst: [10, 1, 2, last],
+                    ..Default::default()
+                },
+            );
+            assert!(t.matches(&pkt), "last={last}");
+        }
+        let out = packet_to_headervec(
+            9,
+            &PacketFields {
+                nw_dst: [10, 1, 3, 0],
+                ..Default::default()
+            },
+        );
+        assert!(!t.matches(&out));
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let t = Match::any().ternary();
+        assert_eq!(t, Ternary::ANY);
+        assert!(t.matches(&HeaderVec::ZERO));
+        assert!(t.matches(&HeaderVec::all_ones()));
+    }
+
+    #[test]
+    fn overlap_paper_example() {
+        // §4.2 example rules: R1=(src=10.0.0.1, dst=*), R2=(src=*, dst=10.0.0.2),
+        // R3=(src=10.0.0.0/24, dst=10.0.0.0/24). All three pairwise overlap.
+        let r1 = Match::any().with_nw_src([10, 0, 0, 1], 32).ternary();
+        let r2 = Match::any().with_nw_dst([10, 0, 0, 2], 32).ternary();
+        let r3 = Match::any()
+            .with_nw_src([10, 0, 0, 0], 24)
+            .with_nw_dst([10, 0, 0, 0], 24)
+            .ternary();
+        assert!(r1.overlaps(&r2));
+        assert!(r2.overlaps(&r1));
+        assert!(r1.overlaps(&r3));
+        assert!(r2.overlaps(&r3));
+        // Disjoint sources do not overlap.
+        let r4 = Match::any().with_nw_src([10, 0, 1, 1], 32).ternary();
+        assert!(!r1.overlaps(&r4));
+    }
+
+    #[test]
+    fn subsumption() {
+        let general = Match::any().with_nw_src([10, 0, 0, 0], 8).ternary();
+        let specific = Match::any()
+            .with_nw_src([10, 1, 2, 3], 32)
+            .with_tp_dst(80)
+            .ternary();
+        assert!(general.subsumes(&specific));
+        assert!(!specific.subsumes(&general));
+        assert!(Ternary::ANY.subsumes(&general));
+        assert!(general.subsumes(&general));
+        // Same care set, different value: no subsumption.
+        let other = Match::any().with_nw_src([11, 0, 0, 0], 8).ternary();
+        assert!(!general.subsumes(&other));
+    }
+
+    #[test]
+    fn packet_headervec_roundtrip() {
+        let f = PacketFields {
+            vlan: Some((300, 5)),
+            ..Default::default()
+        };
+        let h = packet_to_headervec(4, &f);
+        assert_eq!(h.field(Field::InPort), 4);
+        let back = headervec_to_packet(&h);
+        assert_eq!(back, f.normalized());
+    }
+
+    #[test]
+    fn untagged_packet_has_vlan_none() {
+        let f = PacketFields {
+            vlan: None,
+            ..Default::default()
+        };
+        let h = packet_to_headervec(0, &f);
+        assert_eq!(h.field(Field::DlVlan), u64::from(VLAN_NONE));
+        assert_eq!(headervec_to_packet(&h).vlan, None);
+    }
+
+    #[test]
+    fn match_vlan_none_catches_untagged_only() {
+        let m = Match::any().with_dl_vlan(VLAN_NONE).ternary();
+        let untagged = packet_to_headervec(0, &PacketFields::default());
+        let tagged = packet_to_headervec(
+            0,
+            &PacketFields {
+                vlan: Some((5, 0)),
+                ..Default::default()
+            },
+        );
+        assert!(m.matches(&untagged));
+        assert!(!m.matches(&tagged));
+    }
+
+    #[test]
+    fn wildcard_count() {
+        assert_eq!(Match::any().wildcard_count(), 12);
+        let m = Match::any().with_in_port(1).with_tp_dst(80);
+        assert_eq!(m.wildcard_count(), 10);
+    }
+
+    #[test]
+    fn sample_packet_matches_self() {
+        let m = Match::any()
+            .with_nw_src([1, 2, 3, 4], 16)
+            .with_nw_proto(6)
+            .with_tp_dst(443);
+        let t = m.ternary();
+        assert!(t.matches(&t.sample_packet()));
+    }
+}

@@ -1,0 +1,37 @@
+//! OpenFlow 1.0 substrate for Monocle.
+//!
+//! The paper uses OpenFlow 1.0 as its reference protocol (§2). This crate
+//! implements everything Monocle needs from it, from scratch:
+//!
+//! * [`headerspace`] — the 257-bit abstract header space: the concatenation
+//!   of the twelve OF1.0 match fields, packed into `[u64; 5]`. All of
+//!   Monocle's constraint formulation (§5.3) operates on these bits.
+//! * [`flowmatch`] — the 12-tuple ternary match with CIDR masks on the IP
+//!   fields, its bit-level `(care, value)` form, overlap and subsumption
+//!   algebra (the §5.4 fast path is a 5-word bit operation here).
+//! * [`action`] — OF1.0 action programs (`Output`, header rewrites,
+//!   `Enqueue`) plus the ECMP `SelectOutput` extension the paper's theory
+//!   covers in §3.4; compiled into a [`action::Forwarding`] summary (legs of
+//!   port + cumulative bit-level rewrite) that the probe generator and the
+//!   simulator share.
+//! * [`table`] — flow-table semantics: priority lookup, OF1.0
+//!   add/modify/delete with strict and non-strict variants, overlap scans.
+//! * [`messages`] + [`wire`] — the controller⇄switch protocol surface
+//!   (Hello/Echo, FeaturesRequest/Reply, FlowMod, PacketIn/Out, Barrier,
+//!   FlowRemoved, Error) with a binary codec in the OF1.0 wire format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod flowmatch;
+pub mod headerspace;
+pub mod messages;
+pub mod table;
+pub mod wire;
+
+pub use action::{Action, ActionProgram, Forwarding, ForwardingKind, Leg, Rewrite};
+pub use flowmatch::{Match, Ternary};
+pub use headerspace::{Field, HeaderVec, FIELDS, HEADER_BITS};
+pub use messages::{FlowMod, FlowModCommand, OfMessage, PortNo};
+pub use table::{FlowTable, Rule, RuleId, TableError};

@@ -1,0 +1,213 @@
+//! OpenFlow 1.0 message surface used between controller, Monocle proxy and
+//! switches.
+
+use crate::action::ActionProgram;
+pub use crate::action::PortNo;
+use crate::flowmatch::Match;
+
+/// `ofp_flow_mod` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowModCommand {
+    /// Insert (replacing an identical match+priority entry).
+    Add,
+    /// Update actions of all subsumed entries; ADD if none.
+    Modify,
+    /// Update actions of the exactly-matching entry; ADD if none.
+    ModifyStrict,
+    /// Remove all subsumed entries.
+    Delete,
+    /// Remove the exactly-matching entry.
+    DeleteStrict,
+}
+
+/// A flow-table modification command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMod {
+    /// What to do.
+    pub command: FlowModCommand,
+    /// Match of the affected entry/entries.
+    pub match_: Match,
+    /// Priority (used by Add and the strict variants).
+    pub priority: u16,
+    /// New action list (ignored for deletes).
+    pub actions: ActionProgram,
+    /// Opaque controller cookie.
+    pub cookie: u64,
+    /// Idle timeout in seconds (0 = none); carried for wire fidelity.
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = none).
+    pub hard_timeout: u16,
+    /// OF1.0 `OFPFF_CHECK_OVERLAP` flag.
+    pub check_overlap: bool,
+}
+
+impl FlowMod {
+    /// Convenience constructor for an ADD.
+    pub fn add(priority: u16, match_: Match, actions: ActionProgram) -> FlowMod {
+        FlowMod {
+            command: FlowModCommand::Add,
+            match_,
+            priority,
+            actions,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            check_overlap: false,
+        }
+    }
+
+    /// Convenience constructor for a strict delete.
+    pub fn delete_strict(priority: u16, match_: Match) -> FlowMod {
+        FlowMod {
+            command: FlowModCommand::DeleteStrict,
+            match_,
+            priority,
+            actions: Vec::new(),
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            check_overlap: false,
+        }
+    }
+
+    /// Convenience constructor for a strict modify.
+    pub fn modify_strict(priority: u16, match_: Match, actions: ActionProgram) -> FlowMod {
+        FlowMod {
+            command: FlowModCommand::ModifyStrict,
+            match_,
+            priority,
+            actions,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            check_overlap: false,
+        }
+    }
+}
+
+/// Reason field of a PacketIn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketInReason {
+    /// Matched a rule whose action outputs to the controller.
+    Action,
+    /// No matching rule (not used by OF1.0 drop-on-miss tables, kept for
+    /// completeness).
+    NoMatch,
+}
+
+/// The OF1.0 messages Monocle handles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OfMessage {
+    /// Version negotiation.
+    Hello,
+    /// Liveness probe.
+    EchoRequest(Vec<u8>),
+    /// Liveness response.
+    EchoReply(Vec<u8>),
+    /// Ask the switch for its identity/ports.
+    FeaturesRequest,
+    /// Switch identity and port inventory.
+    FeaturesReply {
+        /// Datapath id.
+        datapath_id: u64,
+        /// Number of flow tables.
+        n_tables: u8,
+        /// Physical port numbers.
+        ports: Vec<PortNo>,
+    },
+    /// Flow-table modification.
+    FlowMod(FlowMod),
+    /// Fence: switch must answer after all prior messages are processed.
+    BarrierRequest,
+    /// Barrier acknowledgment.
+    BarrierReply,
+    /// Controller-injected packet.
+    PacketOut {
+        /// Nominal ingress port (`OFPP_NONE` = 0xffff when none).
+        in_port: PortNo,
+        /// Actions applied to the packet (usually a single `Output`).
+        actions: ActionProgram,
+        /// Raw frame.
+        data: Vec<u8>,
+    },
+    /// Packet delivered to the controller.
+    PacketIn {
+        /// Buffer id (0xffffffff = unbuffered; we always send full frames).
+        buffer_id: u32,
+        /// Port the packet arrived on.
+        in_port: PortNo,
+        /// Why it was sent up.
+        reason: PacketInReason,
+        /// Raw frame.
+        data: Vec<u8>,
+    },
+    /// Flow entry expired or was deleted.
+    FlowRemoved {
+        /// Match of the removed entry.
+        match_: Match,
+        /// Priority of the removed entry.
+        priority: u16,
+        /// Cookie of the removed entry.
+        cookie: u64,
+        /// OF1.0 reason code.
+        reason: u8,
+    },
+    /// Error notification.
+    Error {
+        /// `ofp_error_type`.
+        err_type: u16,
+        /// Type-specific code.
+        code: u16,
+    },
+}
+
+impl OfMessage {
+    /// Short name for logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OfMessage::Hello => "Hello",
+            OfMessage::EchoRequest(_) => "EchoRequest",
+            OfMessage::EchoReply(_) => "EchoReply",
+            OfMessage::FeaturesRequest => "FeaturesRequest",
+            OfMessage::FeaturesReply { .. } => "FeaturesReply",
+            OfMessage::FlowMod(_) => "FlowMod",
+            OfMessage::BarrierRequest => "BarrierRequest",
+            OfMessage::BarrierReply => "BarrierReply",
+            OfMessage::PacketOut { .. } => "PacketOut",
+            OfMessage::PacketIn { .. } => "PacketIn",
+            OfMessage::FlowRemoved { .. } => "FlowRemoved",
+            OfMessage::Error { .. } => "Error",
+        }
+    }
+}
+
+/// `OFPP_NONE`: no ingress port on a PacketOut.
+pub const PORT_NONE: PortNo = 0xffff;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+
+    #[test]
+    fn constructors() {
+        let m = Match::any().with_tp_dst(80);
+        let add = FlowMod::add(5, m, vec![Action::Output(1)]);
+        assert_eq!(add.command, FlowModCommand::Add);
+        let del = FlowMod::delete_strict(5, m);
+        assert_eq!(del.command, FlowModCommand::DeleteStrict);
+        assert!(del.actions.is_empty());
+        let mod_ = FlowMod::modify_strict(5, m, vec![Action::Output(2)]);
+        assert_eq!(mod_.command, FlowModCommand::ModifyStrict);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(OfMessage::Hello.kind(), "Hello");
+        assert_eq!(OfMessage::BarrierRequest.kind(), "BarrierRequest");
+        assert_eq!(
+            OfMessage::FlowMod(FlowMod::add(1, Match::any(), vec![])).kind(),
+            "FlowMod"
+        );
+    }
+}

@@ -1,0 +1,608 @@
+//! Flow table with OpenFlow 1.0 add/modify/delete semantics.
+//!
+//! The table keeps rules sorted by descending priority (insertion order
+//! breaks ties, though the paper — footnote 1 — excludes same-priority
+//! overlapping rules, whose behavior the OF spec leaves undefined). It
+//! implements the full OF1.0 `flow_mod` command set including strict and
+//! non-strict modify/delete and the `CHECK_OVERLAP` flag, because Monocle's
+//! expected-state tracker (§2) must mirror exactly what a compliant switch
+//! would do with the controller's commands.
+
+use crate::action::{ActionError, ActionProgram, Forwarding, PortNo};
+use crate::flowmatch::{Match, Ternary};
+use crate::headerspace::HeaderVec;
+use crate::messages::{FlowMod, FlowModCommand};
+
+/// Identifier of a rule within one table (unique per table instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u64);
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A rule installed in a flow table, with its compiled forms cached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Table-unique identifier.
+    pub id: RuleId,
+    /// Priority (higher wins).
+    pub priority: u16,
+    /// Field-level match.
+    pub match_: Match,
+    /// Compiled ternary form of `match_`.
+    pub tern: Ternary,
+    /// The raw action list.
+    pub actions: ActionProgram,
+    /// Compiled forwarding summary of `actions`.
+    pub fwd: Forwarding,
+    /// Controller-assigned cookie.
+    pub cookie: u64,
+}
+
+impl Rule {
+    /// Builds a rule (compiling match and actions); `id` is assigned by the
+    /// table on insert.
+    fn build(priority: u16, match_: Match, actions: ActionProgram, cookie: u64) -> Result<Rule, TableError> {
+        let fwd = Forwarding::compile(&actions).map_err(TableError::BadActions)?;
+        Ok(Rule {
+            id: RuleId(0),
+            priority,
+            tern: match_.ternary(),
+            match_,
+            actions,
+            fwd,
+            cookie,
+        })
+    }
+}
+
+/// Errors surfaced by table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Action list failed to compile.
+    BadActions(ActionError),
+    /// `CHECK_OVERLAP` was set and the new rule overlaps an existing rule at
+    /// the same priority (OF1.0 `OFPFMFC_OVERLAP`).
+    Overlap(RuleId),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::BadActions(e) => write!(f, "bad action list: {e}"),
+            TableError::Overlap(id) => write!(f, "overlap check failed against {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Net effect of applying a `flow_mod`, reported to the caller (the proxy
+/// uses this to know which rules to start or stop monitoring).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyResult {
+    /// Rules newly inserted.
+    pub added: Vec<RuleId>,
+    /// Rules whose actions were updated in place.
+    pub modified: Vec<RuleId>,
+    /// Rules removed.
+    pub removed: Vec<RuleId>,
+}
+
+/// A priority-ordered OpenFlow 1.0 flow table.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    /// Sorted by (priority desc, insertion seq asc).
+    rules: Vec<Rule>,
+    next_id: u64,
+}
+
+impl FlowTable {
+    /// Empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rules in priority order (highest first).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Finds a rule by id.
+    pub fn get(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+
+    /// Inserts a rule directly (ADD semantics without flags). Returns the
+    /// assigned id.
+    pub fn add_rule(
+        &mut self,
+        priority: u16,
+        match_: Match,
+        actions: ActionProgram,
+    ) -> Result<RuleId, TableError> {
+        let fm = FlowMod {
+            command: FlowModCommand::Add,
+            priority,
+            match_,
+            actions,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            check_overlap: false,
+        };
+        let res = self.apply(&fm)?;
+        Ok(res.added[0])
+    }
+
+    /// Applies an OF1.0 `flow_mod`.
+    pub fn apply(&mut self, fm: &FlowMod) -> Result<ApplyResult, TableError> {
+        match fm.command {
+            FlowModCommand::Add => self.do_add(fm),
+            FlowModCommand::Modify => self.do_modify(fm, false),
+            FlowModCommand::ModifyStrict => self.do_modify(fm, true),
+            FlowModCommand::Delete => Ok(self.do_delete(fm, false)),
+            FlowModCommand::DeleteStrict => Ok(self.do_delete(fm, true)),
+        }
+    }
+
+    fn do_add(&mut self, fm: &FlowMod) -> Result<ApplyResult, TableError> {
+        let new = Rule::build(fm.priority, fm.match_, fm.actions.clone(), fm.cookie)?;
+        if fm.check_overlap {
+            if let Some(conflict) = self
+                .rules
+                .iter()
+                .find(|r| r.priority == new.priority && r.tern.overlaps(&new.tern))
+            {
+                return Err(TableError::Overlap(conflict.id));
+            }
+        }
+        let mut result = ApplyResult::default();
+        // OF1.0: an ADD with identical match and priority replaces the entry.
+        if let Some(pos) = self
+            .rules
+            .iter()
+            .position(|r| r.priority == new.priority && r.match_ == new.match_)
+        {
+            result.removed.push(self.rules[pos].id);
+            self.rules.remove(pos);
+        }
+        let id = self.insert_sorted(new);
+        result.added.push(id);
+        Ok(result)
+    }
+
+    fn do_modify(&mut self, fm: &FlowMod, strict: bool) -> Result<ApplyResult, TableError> {
+        // Validate actions up front so a bad program cannot half-apply.
+        let fwd = Forwarding::compile(&fm.actions).map_err(TableError::BadActions)?;
+        let tern = fm.match_.ternary();
+        let mut result = ApplyResult::default();
+        for r in &mut self.rules {
+            let hit = if strict {
+                r.priority == fm.priority && r.match_ == fm.match_
+            } else {
+                tern.subsumes(&r.tern)
+            };
+            if hit {
+                r.actions = fm.actions.clone();
+                r.fwd = fwd.clone();
+                r.cookie = fm.cookie;
+                result.modified.push(r.id);
+            }
+        }
+        if result.modified.is_empty() {
+            // OF1.0: MODIFY with no matching entry behaves like ADD.
+            return self.do_add(fm);
+        }
+        Ok(result)
+    }
+
+    fn do_delete(&mut self, fm: &FlowMod, strict: bool) -> ApplyResult {
+        let tern = fm.match_.ternary();
+        let mut result = ApplyResult::default();
+        self.rules.retain(|r| {
+            let hit = if strict {
+                r.priority == fm.priority && r.match_ == fm.match_
+            } else {
+                tern.subsumes(&r.tern)
+            };
+            if hit {
+                result.removed.push(r.id);
+            }
+            !hit
+        });
+        result
+    }
+
+    fn insert_sorted(&mut self, mut rule: Rule) -> RuleId {
+        self.next_id += 1;
+        rule.id = RuleId(self.next_id);
+        let id = rule.id;
+        // First index with strictly lower priority: keeps insertion order
+        // stable among equal priorities.
+        let pos = self
+            .rules
+            .partition_point(|r| r.priority >= rule.priority);
+        self.rules.insert(pos, rule);
+        id
+    }
+
+    /// Inserts a rule from a raw bit-level ternary. OpenFlow 1.0 matches
+    /// cannot express arbitrary per-bit wildcards, but Monocle's probe
+    /// theory operates at the ternary level; this entry point exists for
+    /// the Appendix A SAT reduction and theory-level tests. The rule's
+    /// field-level `match_` is left as the wildcard match, so strict
+    /// modify/delete by match will not find such rules.
+    pub fn add_rule_ternary(
+        &mut self,
+        priority: u16,
+        tern: Ternary,
+        actions: ActionProgram,
+    ) -> RuleId {
+        let fwd = Forwarding::compile(&actions).expect("valid actions");
+        self.insert_sorted(Rule {
+            id: RuleId(0),
+            priority,
+            match_: Match::any(),
+            tern,
+            actions,
+            fwd,
+            cookie: 0,
+        })
+    }
+
+    /// Removes a rule by id (simulator fault injection uses this to model a
+    /// rule silently vanishing from the data plane).
+    pub fn remove_by_id(&mut self, id: RuleId) -> Option<Rule> {
+        let pos = self.rules.iter().position(|r| r.id == id)?;
+        Some(self.rules.remove(pos))
+    }
+
+    /// Highest-priority rule matching `pkt` (ties: earliest installed).
+    pub fn lookup(&self, pkt: &HeaderVec) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.tern.matches(pkt))
+    }
+
+    /// Processes a packet: looks up the matching rule and returns the output
+    /// legs `(port, rewritten header)`. For ECMP rules, `ecmp_choice` picks
+    /// the leg (e.g. a flow hash modulo leg count). Returns an empty vector
+    /// on table miss or drop (OF1.0 table miss = drop).
+    pub fn process(&self, pkt: &HeaderVec, ecmp_choice: usize) -> Vec<(PortNo, HeaderVec)> {
+        match self.lookup(pkt) {
+            None => Vec::new(),
+            Some(rule) => match rule.fwd.kind {
+                crate::action::ForwardingKind::Multicast => rule
+                    .fwd
+                    .legs
+                    .iter()
+                    .map(|l| (l.port, l.rewrite.apply(pkt)))
+                    .collect(),
+                crate::action::ForwardingKind::Ecmp => {
+                    let leg = &rule.fwd.legs[ecmp_choice % rule.fwd.legs.len()];
+                    vec![(leg.port, leg.rewrite.apply(pkt))]
+                }
+            },
+        }
+    }
+
+    /// Rules overlapping `tern` (the §5.4 pre-filter input), in priority
+    /// order.
+    pub fn overlapping(&self, tern: &Ternary) -> Vec<&Rule> {
+        self.rules.iter().filter(|r| r.tern.overlaps(tern)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::flowmatch::packet_to_headervec;
+    use monocle_packet::PacketFields;
+
+    fn pkt(src: [u8; 4], dst: [u8; 4]) -> HeaderVec {
+        packet_to_headervec(
+            1,
+            &PacketFields {
+                nw_src: src,
+                nw_dst: dst,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn fm(command: FlowModCommand, priority: u16, match_: Match, actions: ActionProgram) -> FlowMod {
+        FlowMod {
+            command,
+            priority,
+            match_,
+            actions,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            check_overlap: false,
+        }
+    }
+
+    /// The flow table from Figure 1 of the paper.
+    fn figure1_table() -> FlowTable {
+        let mut t = FlowTable::new();
+        t.add_rule(
+            10,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(1)], // -> A
+        )
+        .unwrap();
+        t.add_rule(1, Match::any(), vec![Action::Output(2)]) // -> B
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn priority_lookup_figure1() {
+        let t = figure1_table();
+        let probe = pkt([10, 0, 0, 1], [10, 0, 0, 2]);
+        let out = t.process(&probe, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 1, "matches rule 1 -> port A");
+        let other = pkt([10, 0, 0, 9], [10, 0, 0, 2]);
+        assert_eq!(t.process(&other, 0)[0].0, 2, "falls to default -> port B");
+    }
+
+    #[test]
+    fn table_miss_drops() {
+        let mut t = FlowTable::new();
+        t.add_rule(
+            5,
+            Match::any().with_nw_src([1, 1, 1, 1], 32),
+            vec![Action::Output(1)],
+        )
+        .unwrap();
+        assert!(t.process(&pkt([2, 2, 2, 2], [3, 3, 3, 3]), 0).is_empty());
+    }
+
+    #[test]
+    fn add_replaces_identical_match_and_priority() {
+        let mut t = FlowTable::new();
+        let m = Match::any().with_nw_dst([10, 0, 0, 5], 32);
+        t.add_rule(7, m, vec![Action::Output(1)]).unwrap();
+        let res = t
+            .apply(&fm(FlowModCommand::Add, 7, m, vec![Action::Output(2)]))
+            .unwrap();
+        assert_eq!(res.added.len(), 1);
+        assert_eq!(res.removed.len(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rules()[0].fwd.legs[0].port, 2);
+    }
+
+    #[test]
+    fn add_same_match_different_priority_coexist() {
+        let mut t = FlowTable::new();
+        let m = Match::any().with_nw_dst([10, 0, 0, 5], 32);
+        t.add_rule(7, m, vec![Action::Output(1)]).unwrap();
+        t.add_rule(8, m, vec![Action::Output(2)]).unwrap();
+        assert_eq!(t.len(), 2);
+        // higher priority first
+        assert_eq!(t.rules()[0].priority, 8);
+    }
+
+    #[test]
+    fn check_overlap_flag() {
+        let mut t = FlowTable::new();
+        t.add_rule(
+            5,
+            Match::any().with_nw_src([10, 0, 0, 0], 24),
+            vec![Action::Output(1)],
+        )
+        .unwrap();
+        let mut f = fm(
+            FlowModCommand::Add,
+            5,
+            Match::any().with_nw_src([10, 0, 0, 7], 32),
+            vec![Action::Output(2)],
+        );
+        f.check_overlap = true;
+        assert!(matches!(t.apply(&f), Err(TableError::Overlap(_))));
+        // Different priority: no overlap error.
+        f.priority = 6;
+        assert!(t.apply(&f).is_ok());
+    }
+
+    #[test]
+    fn nonstrict_delete_uses_subsumption() {
+        let mut t = FlowTable::new();
+        t.add_rule(
+            5,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(1)],
+        )
+        .unwrap();
+        t.add_rule(
+            6,
+            Match::any().with_nw_src([10, 0, 5, 5], 32),
+            vec![Action::Output(2)],
+        )
+        .unwrap();
+        t.add_rule(
+            7,
+            Match::any().with_nw_src([11, 0, 0, 1], 32),
+            vec![Action::Output(3)],
+        )
+        .unwrap();
+        // Delete everything under 10.0.0.0/8 regardless of priority.
+        let res = t
+            .apply(&fm(
+                FlowModCommand::Delete,
+                0,
+                Match::any().with_nw_src([10, 0, 0, 0], 8),
+                vec![],
+            ))
+            .unwrap();
+        assert_eq!(res.removed.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rules()[0].fwd.legs[0].port, 3);
+    }
+
+    #[test]
+    fn strict_delete_needs_exact_match_and_priority() {
+        let mut t = FlowTable::new();
+        let m = Match::any().with_nw_src([10, 0, 0, 1], 32);
+        t.add_rule(5, m, vec![Action::Output(1)]).unwrap();
+        // Wrong priority: no-op.
+        let res = t
+            .apply(&fm(FlowModCommand::DeleteStrict, 4, m, vec![]))
+            .unwrap();
+        assert!(res.removed.is_empty());
+        // Exact: removed.
+        let res = t
+            .apply(&fm(FlowModCommand::DeleteStrict, 5, m, vec![]))
+            .unwrap();
+        assert_eq!(res.removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn nonstrict_modify_updates_all_subsumed() {
+        let mut t = FlowTable::new();
+        t.add_rule(
+            5,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(1)],
+        )
+        .unwrap();
+        t.add_rule(
+            9,
+            Match::any().with_nw_src([10, 0, 0, 2], 32),
+            vec![Action::Output(1)],
+        )
+        .unwrap();
+        let res = t
+            .apply(&fm(
+                FlowModCommand::Modify,
+                0,
+                Match::any().with_nw_src([10, 0, 0, 0], 24),
+                vec![Action::Output(9)],
+            ))
+            .unwrap();
+        assert_eq!(res.modified.len(), 2);
+        assert!(t.rules().iter().all(|r| r.fwd.legs[0].port == 9));
+        // Matches (and priorities) unchanged.
+        assert_eq!(t.rules()[0].priority, 9);
+    }
+
+    #[test]
+    fn modify_with_no_match_acts_as_add() {
+        let mut t = FlowTable::new();
+        let res = t
+            .apply(&fm(
+                FlowModCommand::Modify,
+                3,
+                Match::any().with_tp_dst(80),
+                vec![Action::Output(1)],
+            ))
+            .unwrap();
+        assert_eq!(res.added.len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn modify_strict_priority_sensitive() {
+        let mut t = FlowTable::new();
+        let m = Match::any().with_tp_dst(22);
+        t.add_rule(5, m, vec![Action::Output(1)]).unwrap();
+        let res = t
+            .apply(&fm(FlowModCommand::ModifyStrict, 6, m, vec![Action::Output(2)]))
+            .unwrap();
+        // No strict match at priority 6 -> behaves as ADD.
+        assert_eq!(res.added.len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ecmp_processing_picks_one_leg() {
+        let mut t = FlowTable::new();
+        t.add_rule(
+            1,
+            Match::any(),
+            vec![Action::SelectOutput(vec![10, 20, 30])],
+        )
+        .unwrap();
+        let p = pkt([1, 1, 1, 1], [2, 2, 2, 2]);
+        assert_eq!(t.process(&p, 0), vec![(10, p)]);
+        assert_eq!(t.process(&p, 1), vec![(20, p)]);
+        assert_eq!(t.process(&p, 5), vec![(30, p)]);
+    }
+
+    #[test]
+    fn multicast_processing_emits_all_legs() {
+        let mut t = FlowTable::new();
+        t.add_rule(
+            1,
+            Match::any(),
+            vec![Action::Output(1), Action::SetNwTos(9), Action::Output(2)],
+        )
+        .unwrap();
+        let p = pkt([1, 1, 1, 1], [2, 2, 2, 2]);
+        let out = t.process(&p, 0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[0].1, p);
+        assert_eq!(out[1].0, 2);
+        assert_ne!(out[1].1, p);
+    }
+
+    #[test]
+    fn overlapping_prefilter() {
+        let mut t = FlowTable::new();
+        t.add_rule(
+            5,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(1)],
+        )
+        .unwrap();
+        t.add_rule(
+            6,
+            Match::any().with_nw_src([10, 0, 0, 2], 32),
+            vec![Action::Output(1)],
+        )
+        .unwrap();
+        t.add_rule(1, Match::any(), vec![Action::Output(2)]).unwrap();
+        let probe_rule = Match::any().with_nw_src([10, 0, 0, 1], 32).ternary();
+        let ov = t.overlapping(&probe_rule);
+        // Rule for 10.0.0.2 is disjoint; wildcard and self overlap.
+        assert_eq!(ov.len(), 2);
+    }
+
+    #[test]
+    fn remove_by_id_fault_injection() {
+        let mut t = FlowTable::new();
+        let id = t
+            .add_rule(5, Match::any(), vec![Action::Output(1)])
+            .unwrap();
+        assert!(t.remove_by_id(id).is_some());
+        assert!(t.remove_by_id(id).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rule_ids_are_unique_and_stable() {
+        let mut t = FlowTable::new();
+        let a = t.add_rule(1, Match::any().with_tp_src(1), vec![]).unwrap();
+        let b = t.add_rule(2, Match::any().with_tp_src(2), vec![]).unwrap();
+        assert_ne!(a, b);
+        assert!(t.get(a).is_some());
+        assert_eq!(t.get(b).unwrap().priority, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the OpenFlow substrate: ternary match algebra
+//! (overlap/subsumption soundness against sampled packets), flow-table
+//! semantics, and wire-codec roundtrips.
+
+use monocle_openflow::flowmatch::packet_to_headervec;
+use monocle_openflow::wire;
+use monocle_openflow::{
+    Action, FlowMod, FlowModCommand, FlowTable, HeaderVec, Match, OfMessage,
+};
+use monocle_packet::MacAddr;
+use proptest::prelude::*;
+
+fn arb_match() -> impl Strategy<Value = Match> {
+    (
+        prop::option::of(0u16..16),
+        prop::option::of(any::<u16>()),
+        prop::option::of((any::<u32>(), 1u8..=32)),
+        prop::option::of((any::<u32>(), 1u8..=32)),
+        prop::option::of(prop_oneof![Just(1u8), Just(6u8), Just(17u8)]),
+        prop::option::of(any::<u16>()),
+        prop::option::of(any::<u16>()),
+    )
+        .prop_map(|(in_port, dl_type, nw_src, nw_dst, nw_proto, tp_src, tp_dst)| Match {
+            in_port,
+            dl_type: dl_type.map(|t| if t % 2 == 0 { 0x0800 } else { t }),
+            nw_src,
+            nw_dst,
+            nw_proto,
+            tp_src,
+            tp_dst,
+            ..Match::default()
+        })
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u16..48).prop_map(Action::Output),
+            any::<u64>().prop_map(|m| Action::SetDlSrc(MacAddr::from_u64(m & 0xffff_ffff_ffff))),
+            any::<[u8; 4]>().prop_map(Action::SetNwDst),
+            (0u8..64).prop_map(Action::SetNwTos),
+            any::<u16>().prop_map(Action::SetTpDst),
+            Just(Action::StripVlan),
+            (0u16..4096).prop_map(Action::SetVlanVid),
+        ],
+        0..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// If two ternaries overlap, the subsumption-based sample of the more
+    /// specific one restricted to both care sets is consistent; if they do
+    /// NOT overlap, no sampled packet may match both.
+    #[test]
+    fn overlap_soundness(a in arb_match(), b in arb_match()) {
+        let ta = a.ternary();
+        let tb = b.ternary();
+        // A packet built from ta's sample can only match tb if they overlap.
+        let pa = ta.sample_packet();
+        if tb.matches(&pa) {
+            prop_assert!(ta.overlaps(&tb));
+        }
+        let pb = tb.sample_packet();
+        if ta.matches(&pb) {
+            prop_assert!(ta.overlaps(&tb));
+        }
+        // Overlap is symmetric.
+        prop_assert_eq!(ta.overlaps(&tb), tb.overlaps(&ta));
+    }
+
+    /// Constructive overlap completeness: when overlap() is true, merging
+    /// the two values on the union care set yields a packet matching both.
+    #[test]
+    fn overlap_constructive(a in arb_match(), b in arb_match()) {
+        let ta = a.ternary();
+        let tb = b.ternary();
+        if ta.overlaps(&tb) {
+            // witness: ta.value where ta cares, tb.value where tb cares.
+            let w = ta.value.or(&tb.value);
+            prop_assert!(ta.matches(&w), "witness must match a");
+            prop_assert!(tb.matches(&w), "witness must match b");
+        }
+    }
+
+    /// Subsumption implies: every sampled packet of the specific match also
+    /// matches the general one.
+    #[test]
+    fn subsumption_soundness(a in arb_match(), b in arb_match()) {
+        let ta = a.ternary();
+        let tb = b.ternary();
+        if ta.subsumes(&tb) {
+            prop_assert!(ta.matches(&tb.sample_packet()));
+            // Subsumption implies overlap (unless tb is unsatisfiable, which
+            // ternary form cannot express).
+            prop_assert!(ta.overlaps(&tb));
+        }
+        prop_assert!(ta.subsumes(&ta));
+    }
+
+    /// Flow-table lookup returns the highest-priority matching rule.
+    #[test]
+    fn lookup_priority_order(matches in prop::collection::vec((arb_match(), 0u16..100), 1..20)) {
+        let mut table = FlowTable::new();
+        for (m, prio) in &matches {
+            // Ignore replacement errors: identical (match, prio) replaces.
+            let _ = table.add_rule(*prio, *m, vec![Action::Output(1)]);
+        }
+        let probe = HeaderVec::ZERO;
+        if let Some(hit) = table.lookup(&probe) {
+            for r in table.rules() {
+                if r.priority > hit.priority {
+                    prop_assert!(!r.tern.matches(&probe),
+                        "higher-priority rule also matches: lookup wrong");
+                }
+            }
+        }
+    }
+
+    /// Wire roundtrip for random FlowMods.
+    #[test]
+    fn flowmod_wire_roundtrip(
+        m in arb_match(),
+        actions in arb_actions(),
+        prio in any::<u16>(),
+        cookie in any::<u64>(),
+        cmd in 0u8..5,
+        xid in any::<u32>(),
+    ) {
+        let command = match cmd {
+            0 => FlowModCommand::Add,
+            1 => FlowModCommand::Modify,
+            2 => FlowModCommand::ModifyStrict,
+            3 => FlowModCommand::Delete,
+            _ => FlowModCommand::DeleteStrict,
+        };
+        let fm = FlowMod {
+            command,
+            match_: m,
+            priority: prio,
+            actions,
+            cookie,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            check_overlap: false,
+        };
+        let msg = OfMessage::FlowMod(fm);
+        let bytes = wire::encode(&msg, xid);
+        let (back, got_xid, used) = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(got_xid, xid);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// PacketIn/PacketOut roundtrips with arbitrary payloads.
+    #[test]
+    fn packet_messages_roundtrip(data in prop::collection::vec(any::<u8>(), 0..200), port in 0u16..49) {
+        let po = OfMessage::PacketOut {
+            in_port: 0xffff,
+            actions: vec![Action::Output(port)],
+            data: data.clone(),
+        };
+        let bytes = wire::encode(&po, 7);
+        let (back, _, _) = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(back, po);
+    }
+
+    /// Applying a delete after an add leaves the table without the rule.
+    #[test]
+    fn add_then_strict_delete_is_noop(m in arb_match(), prio in any::<u16>()) {
+        let mut table = FlowTable::new();
+        table.add_rule(prio, m, vec![Action::Output(9)]).unwrap();
+        let res = table.apply(&FlowMod::delete_strict(prio, m)).unwrap();
+        prop_assert_eq!(res.removed.len(), 1);
+        prop_assert!(table.is_empty());
+    }
+}

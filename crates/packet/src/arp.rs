@@ -1,0 +1,103 @@
+//! ARP packets (Ethernet/IPv4). OpenFlow 1.0 matches `nw_src`/`nw_dst`
+//! against ARP SPA/TPA and `nw_proto` against the low byte of the opcode, so
+//! ARP probes are first-class citizens.
+
+use crate::ethernet::MacAddr;
+use crate::WireError;
+
+/// An Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation: 1 = request, 2 = reply.
+    pub opcode: u16,
+    /// Sender hardware address.
+    pub sha: MacAddr,
+    /// Sender protocol address.
+    pub spa: [u8; 4],
+    /// Target hardware address.
+    pub tha: MacAddr,
+    /// Target protocol address.
+    pub tpa: [u8; 4],
+}
+
+impl ArpPacket {
+    /// Wire length of an Ethernet/IPv4 ARP body.
+    pub const LEN: usize = 28;
+
+    /// Serializes the ARP body into `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+        out.extend_from_slice(&crate::ethertype::IPV4.to_be_bytes()); // ptype
+        out.push(6); // hlen
+        out.push(4); // plen
+        out.extend_from_slice(&self.opcode.to_be_bytes());
+        out.extend_from_slice(&self.sha.0);
+        out.extend_from_slice(&self.spa);
+        out.extend_from_slice(&self.tha.0);
+        out.extend_from_slice(&self.tpa);
+    }
+
+    /// Parses an ARP body.
+    pub fn parse(buf: &[u8]) -> Result<(ArpPacket, usize), WireError> {
+        if buf.len() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        let htype = u16::from_be_bytes([buf[0], buf[1]]);
+        let ptype = u16::from_be_bytes([buf[2], buf[3]]);
+        if htype != 1 || ptype != crate::ethertype::IPV4 || buf[4] != 6 || buf[5] != 4 {
+            return Err(WireError::BadFormat);
+        }
+        Ok((
+            ArpPacket {
+                opcode: u16::from_be_bytes([buf[6], buf[7]]),
+                sha: MacAddr(buf[8..14].try_into().unwrap()),
+                spa: buf[14..18].try_into().unwrap(),
+                tha: MacAddr(buf[18..24].try_into().unwrap()),
+                tpa: buf[24..28].try_into().unwrap(),
+            },
+            Self::LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = ArpPacket {
+            opcode: 1,
+            sha: MacAddr::from_u64(0xaabbccddeeff),
+            spa: [10, 0, 0, 1],
+            tha: MacAddr::default(),
+            tpa: [10, 0, 0, 2],
+        };
+        let mut buf = Vec::new();
+        p.emit(&mut buf);
+        assert_eq!(buf.len(), ArpPacket::LEN);
+        let (back, off) = ArpPacket::parse(&buf).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(off, ArpPacket::LEN);
+    }
+
+    #[test]
+    fn wrong_hardware_type_rejected() {
+        let p = ArpPacket {
+            opcode: 2,
+            sha: MacAddr::default(),
+            spa: [0; 4],
+            tha: MacAddr::default(),
+            tpa: [0; 4],
+        };
+        let mut buf = Vec::new();
+        p.emit(&mut buf);
+        buf[1] = 99;
+        assert_eq!(ArpPacket::parse(&buf).unwrap_err(), WireError::BadFormat);
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(ArpPacket::parse(&[0; 27]).unwrap_err(), WireError::Truncated);
+    }
+}

@@ -1,0 +1,87 @@
+//! RFC 1071 Internet checksum, shared by IPv4/TCP/UDP/ICMP.
+
+/// Ones-complement sum of 16-bit words over `data` starting from `initial`.
+/// Odd trailing byte is padded with zero, per RFC 1071.
+pub fn ones_complement_sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds a 32-bit accumulator into the final 16-bit checksum value.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Computes the Internet checksum of `data`.
+pub fn checksum(data: &[u8]) -> u16 {
+    fold(ones_complement_sum(0, data))
+}
+
+/// IPv4 pseudo-header contribution for TCP/UDP checksums.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], proto: u8, len: u16) -> u32 {
+    let mut acc = 0u32;
+    acc = ones_complement_sum(acc, &src);
+    acc = ones_complement_sum(acc, &dst);
+    acc += u32::from(proto);
+    acc += u32::from(len);
+    acc
+}
+
+/// Verifies that `data` (which embeds its own checksum field) sums to zero.
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: the bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = ones_complement_sum(0, &data);
+        assert_eq!(sum, 0x2ddf0);
+        assert_eq!(fold(sum), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        assert_eq!(checksum(&[0xff]), !0xff00u16);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        // Classic IPv4 header example (from Wikipedia's IPv4 article).
+        let hdr: [u8; 20] = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0xb8, 0x61, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert!(verify(&hdr));
+        let mut broken = hdr;
+        broken[0] ^= 0x10;
+        assert!(!verify(&broken));
+    }
+
+    #[test]
+    fn zero_buffer() {
+        assert_eq!(checksum(&[]), 0xffff);
+        assert_eq!(checksum(&[0, 0]), 0xffff);
+    }
+
+    #[test]
+    fn pseudo_header_changes_sum() {
+        let a = pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 2], 6, 20);
+        let b = pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 3], 6, 20);
+        assert_ne!(fold(a), fold(b));
+    }
+}

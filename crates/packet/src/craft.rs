@@ -1,0 +1,303 @@
+//! Abstract-view ⇄ raw-packet translation (paper §5.2).
+//!
+//! [`craft_packet`] assembles a fully valid wire packet from a
+//! [`PacketFields`] abstract header plus an opaque payload (normally the
+//! serialized [`crate::ProbeMeta`]); all checksums and length fields are
+//! computed here. [`parse_packet`] is the inverse used by the probe
+//! collector: it parses a frame captured at the downstream switch back into
+//! the abstract view so the monitor can compare observed vs expected
+//! headers (rewrite detection).
+
+use crate::arp::ArpPacket;
+use crate::ethernet::EthernetHeader;
+use crate::fields::PacketFields;
+use crate::icmp::IcmpHeader;
+use crate::ipv4::Ipv4Header;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::{ethertype, ipproto, WireError};
+
+/// Errors from packet crafting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CraftError {
+    /// The frame would exceed the maximum size.
+    TooLarge(usize),
+    /// Parse-side error (reported through the same type for symmetry).
+    Wire(WireError),
+}
+
+impl std::fmt::Display for CraftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CraftError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds MTU"),
+            CraftError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CraftError {}
+
+impl From<WireError> for CraftError {
+    fn from(e: WireError) -> Self {
+        CraftError::Wire(e)
+    }
+}
+
+/// Maximum frame size the crafter will produce (standard Ethernet MTU plus
+/// the L2 header; probes are tiny so this is purely defensive).
+pub const MAX_FRAME: usize = 1518;
+
+/// Default TTL placed in crafted IPv4 probes; non-zero so validity checks
+/// pass (§5.1 notes switches may drop zero-TTL packets pre-lookup).
+pub const PROBE_TTL: u8 = 64;
+
+/// Crafts a raw packet from the abstract header view and a payload.
+///
+/// Conditionally-excluded fields in `fields` are ignored, per the §5.2
+/// elimination lemma. The produced frame always passes
+/// [`crate::validate_packet`].
+pub fn craft_packet(fields: &PacketFields, payload: &[u8]) -> Result<Vec<u8>, CraftError> {
+    let f = fields.normalized();
+    let mut out = Vec::with_capacity(64 + payload.len());
+    EthernetHeader {
+        dst: f.dl_dst,
+        src: f.dl_src,
+        vlan: f.vlan,
+        ethertype: f.dl_type,
+    }
+    .emit(&mut out);
+
+    match f.dl_type {
+        ethertype::IPV4 => {
+            let transport_len = match f.nw_proto {
+                ipproto::TCP => TcpHeader::LEN + payload.len(),
+                ipproto::UDP => UdpHeader::LEN + payload.len(),
+                ipproto::ICMP => IcmpHeader::LEN + payload.len(),
+                _ => payload.len(),
+            };
+            Ipv4Header {
+                tos: f.nw_tos << 2,
+                total_len: (Ipv4Header::LEN + transport_len) as u16,
+                ident: 0,
+                dont_frag: true,
+                ttl: PROBE_TTL,
+                proto: f.nw_proto,
+                src: f.nw_src,
+                dst: f.nw_dst,
+            }
+            .emit(&mut out);
+            match f.nw_proto {
+                ipproto::TCP => TcpHeader {
+                    src_port: f.tp_src,
+                    dst_port: f.tp_dst,
+                    seq: 0,
+                    ack: 0,
+                    flags: 0x02,
+                    window: 8192,
+                }
+                .emit(&mut out, f.nw_src, f.nw_dst, payload),
+                ipproto::UDP => UdpHeader {
+                    src_port: f.tp_src,
+                    dst_port: f.tp_dst,
+                }
+                .emit(&mut out, f.nw_src, f.nw_dst, payload),
+                ipproto::ICMP => IcmpHeader {
+                    icmp_type: f.tp_src as u8,
+                    icmp_code: f.tp_dst as u8,
+                    ident: 0,
+                    seq: 0,
+                }
+                .emit(&mut out, payload),
+                _ => out.extend_from_slice(payload),
+            }
+        }
+        ethertype::ARP => {
+            ArpPacket {
+                opcode: u16::from(f.nw_proto),
+                sha: f.dl_src,
+                spa: f.nw_src,
+                tha: f.dl_dst,
+                tpa: f.nw_dst,
+            }
+            .emit(&mut out);
+            // Probe metadata rides as an Ethernet trailer after the ARP body;
+            // switches forward trailers untouched.
+            out.extend_from_slice(payload);
+        }
+        _ => out.extend_from_slice(payload),
+    }
+
+    if out.len() > MAX_FRAME {
+        return Err(CraftError::TooLarge(out.len()));
+    }
+    Ok(out)
+}
+
+/// Parses a raw packet back into the abstract view plus its payload bytes.
+///
+/// The returned [`PacketFields`] is normalized: conditionally-excluded
+/// fields are zero.
+pub fn parse_packet(buf: &[u8]) -> Result<(PacketFields, Vec<u8>), CraftError> {
+    let (eth, mut off) = EthernetHeader::parse(buf)?;
+    let mut f = PacketFields {
+        dl_src: eth.src,
+        dl_dst: eth.dst,
+        dl_type: eth.ethertype,
+        vlan: eth.vlan,
+        nw_src: [0; 4],
+        nw_dst: [0; 4],
+        nw_proto: 0,
+        nw_tos: 0,
+        tp_src: 0,
+        tp_dst: 0,
+    };
+    let payload: Vec<u8>;
+    match eth.ethertype {
+        ethertype::IPV4 => {
+            let (ip, ip_len) = Ipv4Header::parse(&buf[off..])?;
+            f.nw_src = ip.src;
+            f.nw_dst = ip.dst;
+            f.nw_proto = ip.proto;
+            f.nw_tos = ip.dscp();
+            off += ip_len;
+            let ip_payload_end = off + (ip.total_len as usize - Ipv4Header::LEN);
+            let seg = &buf[off..ip_payload_end];
+            match ip.proto {
+                ipproto::TCP => {
+                    let (tcp, tlen) = TcpHeader::parse(seg, ip.src, ip.dst)?;
+                    f.tp_src = tcp.src_port;
+                    f.tp_dst = tcp.dst_port;
+                    payload = seg[tlen..].to_vec();
+                }
+                ipproto::UDP => {
+                    let (udp, ulen) = UdpHeader::parse(seg, ip.src, ip.dst)?;
+                    f.tp_src = udp.src_port;
+                    f.tp_dst = udp.dst_port;
+                    payload = seg[ulen..].to_vec();
+                }
+                ipproto::ICMP => {
+                    let (icmp, ilen) = IcmpHeader::parse(seg)?;
+                    f.tp_src = u16::from(icmp.icmp_type);
+                    f.tp_dst = u16::from(icmp.icmp_code);
+                    payload = seg[ilen..].to_vec();
+                }
+                _ => payload = seg.to_vec(),
+            }
+        }
+        ethertype::ARP => {
+            let (arp, alen) = ArpPacket::parse(&buf[off..])?;
+            f.nw_src = arp.spa;
+            f.nw_dst = arp.tpa;
+            f.nw_proto = arp.opcode as u8;
+            payload = buf[off + alen..].to_vec();
+        }
+        _ => payload = buf[off..].to_vec(),
+    }
+    Ok((f, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::MacAddr;
+
+    fn roundtrip(f: PacketFields) {
+        let payload = b"probe-metadata-here".to_vec();
+        let raw = craft_packet(&f, &payload).unwrap();
+        let (back, pl) = parse_packet(&raw).unwrap();
+        assert_eq!(back, f.normalized());
+        assert_eq!(pl, payload);
+        crate::validate_packet(&raw).unwrap();
+    }
+
+    #[test]
+    fn ipv4_udp_roundtrip() {
+        roundtrip(PacketFields::default());
+    }
+
+    #[test]
+    fn ipv4_tcp_roundtrip() {
+        roundtrip(PacketFields {
+            nw_proto: ipproto::TCP,
+            tp_src: 80,
+            tp_dst: 55555,
+            nw_tos: 0x2e,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn ipv4_icmp_roundtrip() {
+        roundtrip(PacketFields {
+            nw_proto: ipproto::ICMP,
+            tp_src: 8,
+            tp_dst: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn vlan_tagged_roundtrip() {
+        roundtrip(PacketFields {
+            vlan: Some((42, 3)),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn arp_roundtrip() {
+        roundtrip(PacketFields {
+            dl_type: ethertype::ARP,
+            nw_proto: 1, // request
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn other_ip_proto_roundtrip() {
+        roundtrip(PacketFields {
+            nw_proto: 47, // GRE: no transport header modeled
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn unknown_ethertype_roundtrip() {
+        roundtrip(PacketFields {
+            dl_type: 0x88cc, // LLDP
+            dl_src: MacAddr::from_u64(1),
+            dl_dst: MacAddr::from_u64(2),
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn excluded_fields_do_not_affect_wire() {
+        // Two abstract headers differing only in excluded fields produce the
+        // same packet (Lemma 2 of §5.2).
+        let a = PacketFields {
+            dl_type: ethertype::ARP,
+            tp_src: 1,
+            tp_dst: 2,
+            nw_tos: 9,
+            ..Default::default()
+        };
+        let b = PacketFields {
+            dl_type: ethertype::ARP,
+            tp_src: 777,
+            tp_dst: 888,
+            nw_tos: 33,
+            ..Default::default()
+        };
+        assert_eq!(
+            craft_packet(&a, b"x").unwrap(),
+            craft_packet(&b, b"x").unwrap()
+        );
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let err = craft_packet(&PacketFields::default(), &[0u8; 2000]).unwrap_err();
+        assert!(matches!(err, CraftError::TooLarge(_)));
+    }
+}

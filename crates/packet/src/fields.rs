@@ -1,0 +1,166 @@
+//! The abstract packet view (paper §5.1).
+//!
+//! Instead of a stream of bits with cross-field dependencies (checksums,
+//! variable offsets under VLAN encapsulation, ...), Monocle reasons about a
+//! packet as a series of protocol fields mirroring the OpenFlow 1.0 match
+//! tuple. This module defines that view; [`crate::craft`] translates it to
+//! and from real wire packets.
+
+use crate::ethernet::MacAddr;
+use crate::{ethertype, ipproto};
+
+/// Abstract packet header: one slot per OpenFlow 1.0 wire-visible field.
+///
+/// Conditional semantics (the `conditionally-included` notion of §5.2):
+/// * `vlan` is `None` for untagged frames (OpenFlow's `OFP_VLAN_NONE`).
+/// * `nw_*` fields are meaningful only when `dl_type` is IPv4 or ARP.
+/// * `tp_src`/`tp_dst` are meaningful only for TCP/UDP (ports) or ICMP
+///   (type/code); for ARP, `nw_proto` carries the opcode.
+///
+/// Fields that are not meaningful for the chosen `dl_type`/`nw_proto` are
+/// ignored by the crafter and normalized to zero by the parser, which is
+/// exactly the "eliminate conditionally-excluded fields" step whose safety
+/// the paper proves (Lemma 2 of §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketFields {
+    /// Ethernet source address.
+    pub dl_src: MacAddr,
+    /// Ethernet destination address.
+    pub dl_dst: MacAddr,
+    /// EtherType of the payload (after the VLAN tag if present).
+    pub dl_type: u16,
+    /// 802.1Q tag: (VLAN ID, PCP); `None` = untagged.
+    pub vlan: Option<(u16, u8)>,
+    /// IPv4 source (or ARP SPA).
+    pub nw_src: [u8; 4],
+    /// IPv4 destination (or ARP TPA).
+    pub nw_dst: [u8; 4],
+    /// IP protocol (or low byte of the ARP opcode).
+    pub nw_proto: u8,
+    /// 6-bit DSCP.
+    pub nw_tos: u8,
+    /// TCP/UDP source port, or ICMP type.
+    pub tp_src: u16,
+    /// TCP/UDP destination port, or ICMP code.
+    pub tp_dst: u16,
+}
+
+impl Default for PacketFields {
+    fn default() -> Self {
+        PacketFields {
+            dl_src: MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+            dl_dst: MacAddr([0x02, 0, 0, 0, 0, 0x02]),
+            dl_type: ethertype::IPV4,
+            vlan: None,
+            nw_src: [10, 0, 0, 1],
+            nw_dst: [10, 0, 0, 2],
+            nw_proto: ipproto::UDP,
+            nw_tos: 0,
+            tp_src: 10000,
+            tp_dst: 10001,
+        }
+    }
+}
+
+impl PacketFields {
+    /// True when the network-layer fields are wire-visible.
+    pub fn has_network_fields(&self) -> bool {
+        self.dl_type == ethertype::IPV4 || self.dl_type == ethertype::ARP
+    }
+
+    /// True when the transport fields are wire-visible.
+    pub fn has_transport_fields(&self) -> bool {
+        self.dl_type == ethertype::IPV4
+            && matches!(self.nw_proto, ipproto::TCP | ipproto::UDP | ipproto::ICMP)
+    }
+
+    /// Normalizes conditionally-excluded fields to zero, the canonical form
+    /// produced by the parser. Two headers that differ only in excluded
+    /// fields normalize to the same value (Lemma 2 of §5.2 in executable
+    /// form).
+    pub fn normalized(mut self) -> Self {
+        if !self.has_network_fields() {
+            self.nw_src = [0; 4];
+            self.nw_dst = [0; 4];
+            self.nw_proto = 0;
+            self.nw_tos = 0;
+        }
+        if self.dl_type == ethertype::ARP {
+            self.nw_tos = 0;
+        }
+        if !self.has_transport_fields() {
+            self.tp_src = 0;
+            self.tp_dst = 0;
+        }
+        if self.dl_type == ethertype::IPV4 {
+            self.nw_tos &= 0x3f;
+            if self.nw_proto == ipproto::ICMP {
+                // ICMP type/code are single bytes on the wire.
+                self.tp_src &= 0xff;
+                self.tp_dst &= 0xff;
+            }
+        }
+        if let Some((vid, pcp)) = self.vlan {
+            self.vlan = Some((vid & 0x0fff, pcp & 0x07));
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ipv4_udp() {
+        let f = PacketFields::default();
+        assert!(f.has_network_fields());
+        assert!(f.has_transport_fields());
+    }
+
+    #[test]
+    fn arp_has_no_transport() {
+        let f = PacketFields {
+            dl_type: ethertype::ARP,
+            ..Default::default()
+        };
+        assert!(f.has_network_fields());
+        assert!(!f.has_transport_fields());
+    }
+
+    #[test]
+    fn normalization_zeroes_excluded() {
+        let f = PacketFields {
+            dl_type: 0x86dd, // IPv6: nothing below L2 is modeled
+            nw_src: [1, 2, 3, 4],
+            tp_src: 99,
+            ..Default::default()
+        };
+        let n = f.normalized();
+        assert_eq!(n.nw_src, [0; 4]);
+        assert_eq!(n.tp_src, 0);
+        assert_eq!(n.nw_proto, 0);
+    }
+
+    #[test]
+    fn normalization_masks_tos_and_vlan() {
+        let f = PacketFields {
+            nw_tos: 0xff,
+            vlan: Some((0x1fff, 0x1f)),
+            ..Default::default()
+        };
+        let n = f.normalized();
+        assert_eq!(n.nw_tos, 0x3f);
+        assert_eq!(n.vlan, Some((0x0fff, 0x07)));
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let f = PacketFields {
+            dl_type: ethertype::ARP,
+            tp_dst: 1234,
+            ..Default::default()
+        };
+        assert_eq!(f.normalized(), f.normalized().normalized());
+    }
+}

@@ -1,0 +1,129 @@
+//! Probe payload metadata (paper §4.2).
+//!
+//! Monocle monitors many rules in parallel; when a probe returns, the
+//! collector must know *which* rule it was testing and against which version
+//! of the flow table it was generated. The paper solves this by embedding
+//! metadata "such as rule under test and expected result to the probe packet
+//! payload that cannot be touched by the switches". [`ProbeMeta`] is that
+//! record: a fixed 32-byte block with magic, version and its own checksum so
+//! corrupted or foreign payloads are never misattributed.
+
+use crate::checksum;
+
+/// Magic prefix identifying Monocle probe payloads ("MNCL").
+pub const MAGIC: [u8; 4] = *b"MNCL";
+
+/// Format version.
+pub const VERSION: u8 = 1;
+
+/// Encoded size in bytes.
+pub const ENCODED_LEN: usize = 32;
+
+/// Metadata carried in every probe's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProbeMeta {
+    /// Identifier of the switch under test.
+    pub switch_id: u32,
+    /// Identifier of the rule under test (monitor-local).
+    pub rule_id: u64,
+    /// Flow-table epoch at generation time; probes from stale epochs are
+    /// discarded (the §4.2 in-flight invalidation mechanism).
+    pub epoch: u32,
+    /// Per-probe sequence number (disambiguates retransmissions).
+    pub seq: u32,
+    /// Compact code of the outcome the monitor expects (present-state port
+    /// set hash); lets a collector classify without a lookup.
+    pub expected_code: u32,
+}
+
+impl ProbeMeta {
+    /// Serializes to the fixed 32-byte wire form.
+    pub fn encode(&self) -> [u8; ENCODED_LEN] {
+        let mut out = [0u8; ENCODED_LEN];
+        out[0..4].copy_from_slice(&MAGIC);
+        out[4] = VERSION;
+        // out[5..8] reserved (zero)
+        out[8..12].copy_from_slice(&self.switch_id.to_be_bytes());
+        out[12..20].copy_from_slice(&self.rule_id.to_be_bytes());
+        out[20..24].copy_from_slice(&self.epoch.to_be_bytes());
+        out[24..28].copy_from_slice(&self.seq.to_be_bytes());
+        out[28..30].copy_from_slice(&(self.expected_code as u16).to_be_bytes());
+        let ck = checksum::checksum(&out[0..30]);
+        out[30..32].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Decodes from the front of `buf`. Returns `None` when the magic,
+    /// version or checksum do not match — callers treat such payloads as
+    /// non-probe traffic.
+    pub fn decode(buf: &[u8]) -> Option<ProbeMeta> {
+        if buf.len() < ENCODED_LEN {
+            return None;
+        }
+        let buf = &buf[..ENCODED_LEN];
+        if buf[0..4] != MAGIC || buf[4] != VERSION {
+            return None;
+        }
+        if !checksum::verify(buf) {
+            return None;
+        }
+        Some(ProbeMeta {
+            switch_id: u32::from_be_bytes(buf[8..12].try_into().unwrap()),
+            rule_id: u64::from_be_bytes(buf[12..20].try_into().unwrap()),
+            epoch: u32::from_be_bytes(buf[20..24].try_into().unwrap()),
+            seq: u32::from_be_bytes(buf[24..28].try_into().unwrap()),
+            expected_code: u32::from(u16::from_be_bytes(buf[28..30].try_into().unwrap())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProbeMeta {
+        ProbeMeta {
+            switch_id: 7,
+            rule_id: 0xdead_beef_cafe,
+            epoch: 42,
+            seq: 1001,
+            expected_code: 0x1234,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let enc = m.encode();
+        assert_eq!(ProbeMeta::decode(&enc), Some(m));
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let m = sample();
+        let mut buf = m.encode().to_vec();
+        buf.extend_from_slice(b"trailing payload");
+        assert_eq!(ProbeMeta::decode(&buf), Some(m));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let m = sample();
+        for i in 0..ENCODED_LEN {
+            let mut enc = m.encode();
+            enc[i] ^= 0x5a;
+            assert_eq!(ProbeMeta::decode(&enc), None, "byte {i} flip undetected");
+        }
+    }
+
+    #[test]
+    fn short_buffer() {
+        assert_eq!(ProbeMeta::decode(&[0; 10]), None);
+    }
+
+    #[test]
+    fn non_probe_payload() {
+        assert_eq!(ProbeMeta::decode(&[0u8; ENCODED_LEN]), None);
+        assert_eq!(ProbeMeta::decode(b"GET / HTTP/1.1\r\nHost: example.org\r\n"), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! UDP header with pseudo-header checksum.
+
+use crate::{checksum, WireError};
+
+/// UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpHeader {
+    /// Wire length of the header.
+    pub const LEN: usize = 8;
+
+    /// Serializes header + payload with checksum into `out`.
+    pub fn emit(&self, out: &mut Vec<u8>, src: [u8; 4], dst: [u8; 4], payload: &[u8]) {
+        let start = out.len();
+        let len = (Self::LEN + payload.len()) as u16;
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(payload);
+        let mut acc = checksum::pseudo_header_sum(src, dst, crate::ipproto::UDP, len);
+        acc = checksum::ones_complement_sum(acc, &out[start..]);
+        let mut ck = checksum::fold(acc);
+        if ck == 0 {
+            ck = 0xffff; // RFC 768: zero checksum means "absent"
+        }
+        out[start + 6..start + 8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Parses and verifies a UDP datagram. Returns header and payload offset.
+    pub fn parse(buf: &[u8], src: [u8; 4], dst: [u8; 4]) -> Result<(UdpHeader, usize), WireError> {
+        if buf.len() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        if len < Self::LEN || len > buf.len() {
+            return Err(WireError::BadLength);
+        }
+        let ck = u16::from_be_bytes([buf[6], buf[7]]);
+        if ck != 0 {
+            let mut acc = checksum::pseudo_header_sum(src, dst, crate::ipproto::UDP, len as u16);
+            acc = checksum::ones_complement_sum(acc, &buf[..len]);
+            if checksum::fold(acc) != 0 {
+                return Err(WireError::BadFormat);
+            }
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            },
+            Self::LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [192, 168, 1, 1];
+    const DST: [u8; 4] = [192, 168, 1, 2];
+
+    #[test]
+    fn roundtrip() {
+        let h = UdpHeader {
+            src_port: 5353,
+            dst_port: 53,
+        };
+        let mut buf = Vec::new();
+        h.emit(&mut buf, SRC, DST, b"query");
+        let (back, off) = UdpHeader::parse(&buf, SRC, DST).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(&buf[off..], b"query");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut buf = Vec::new();
+        h.emit(&mut buf, SRC, DST, b"data!");
+        buf[9] ^= 0x40;
+        assert_eq!(UdpHeader::parse(&buf, SRC, DST).unwrap_err(), WireError::BadFormat);
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        // Craft a datagram with checksum zeroed: must be accepted per RFC 768.
+        let mut buf = vec![0u8; 12];
+        buf[0..2].copy_from_slice(&100u16.to_be_bytes());
+        buf[2..4].copy_from_slice(&200u16.to_be_bytes());
+        buf[4..6].copy_from_slice(&12u16.to_be_bytes());
+        let (h, _) = UdpHeader::parse(&buf, SRC, DST).unwrap();
+        assert_eq!(h.src_port, 100);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut buf = vec![0u8; 8];
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // len < 8
+        assert_eq!(UdpHeader::parse(&buf, SRC, DST).unwrap_err(), WireError::BadLength);
+    }
+}

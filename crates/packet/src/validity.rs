@@ -1,0 +1,153 @@
+//! Switch-side packet validity checks (paper §5.1).
+//!
+//! "A switch may drop packets with a zero TTL or an invalid checksum even
+//! before they reach the flow table matching step. As such, it is important
+//! to generate only valid probe packets." This module is the executable form
+//! of those pre-lookup checks; the simulator's data plane runs it on every
+//! injected packet, so a buggy crafter would be caught as dropped probes.
+
+use crate::ethernet::EthernetHeader;
+use crate::ipv4::Ipv4Header;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::{checksum, ethertype, ipproto, WireError};
+
+/// Reasons a switch would drop a packet before flow-table lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidityError {
+    /// Frame shorter than an Ethernet header or malformed L2.
+    BadEthernet(WireError),
+    /// IPv4 header malformed or checksum mismatch.
+    BadIpv4(WireError),
+    /// TTL is zero.
+    ZeroTtl,
+    /// Transport checksum mismatch or truncation.
+    BadTransport(WireError),
+    /// ARP body malformed.
+    BadArp(WireError),
+}
+
+impl std::fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidityError::BadEthernet(e) => write!(f, "bad ethernet header: {e}"),
+            ValidityError::BadIpv4(e) => write!(f, "bad IPv4 header: {e}"),
+            ValidityError::ZeroTtl => write!(f, "zero TTL"),
+            ValidityError::BadTransport(e) => write!(f, "bad transport segment: {e}"),
+            ValidityError::BadArp(e) => write!(f, "bad ARP body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidityError {}
+
+/// Validates a frame the way a switch ASIC's parser would before lookup.
+pub fn validate_packet(buf: &[u8]) -> Result<(), ValidityError> {
+    let (eth, off) = EthernetHeader::parse(buf).map_err(ValidityError::BadEthernet)?;
+    match eth.ethertype {
+        ethertype::IPV4 => {
+            let (ip, ip_len) = Ipv4Header::parse(&buf[off..]).map_err(ValidityError::BadIpv4)?;
+            if ip.ttl == 0 {
+                return Err(ValidityError::ZeroTtl);
+            }
+            let seg_start = off + ip_len;
+            let seg_end = off + ip.total_len as usize;
+            let seg = &buf[seg_start..seg_end];
+            match ip.proto {
+                ipproto::TCP => {
+                    TcpHeader::parse(seg, ip.src, ip.dst)
+                        .map_err(ValidityError::BadTransport)?;
+                }
+                ipproto::UDP => {
+                    UdpHeader::parse(seg, ip.src, ip.dst)
+                        .map_err(ValidityError::BadTransport)?;
+                }
+                ipproto::ICMP => {
+                    if seg.len() < 8 || !checksum::verify(seg) {
+                        return Err(ValidityError::BadTransport(WireError::BadFormat));
+                    }
+                }
+                _ => {}
+            }
+            Ok(())
+        }
+        ethertype::ARP => {
+            crate::arp::ArpPacket::parse(&buf[off..])
+                .map(|_| ())
+                .map_err(ValidityError::BadArp)
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{craft_packet, PacketFields};
+
+    #[test]
+    fn crafted_packets_are_valid() {
+        for proto in [ipproto::TCP, ipproto::UDP, ipproto::ICMP, 47] {
+            let f = PacketFields {
+                nw_proto: proto,
+                ..Default::default()
+            };
+            let raw = craft_packet(&f, b"payload").unwrap();
+            validate_packet(&raw).unwrap_or_else(|e| panic!("proto {proto}: {e}"));
+        }
+    }
+
+    #[test]
+    fn zero_ttl_rejected() {
+        let f = PacketFields::default();
+        let mut raw = craft_packet(&f, b"p").unwrap();
+        // TTL lives at ethernet(14) + 8; patch it and fix the IP checksum.
+        raw[14 + 8] = 0;
+        raw[14 + 10] = 0;
+        raw[14 + 11] = 0;
+        let ck = checksum::checksum(&raw[14..34]);
+        raw[14 + 10..14 + 12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(validate_packet(&raw), Err(ValidityError::ZeroTtl));
+    }
+
+    #[test]
+    fn corrupt_ip_checksum_rejected() {
+        let raw = craft_packet(&PacketFields::default(), b"p").unwrap();
+        let mut broken = raw.clone();
+        broken[14 + 12] ^= 0xff; // src address byte: checksum now wrong
+        assert!(matches!(
+            validate_packet(&broken),
+            Err(ValidityError::BadIpv4(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_udp_checksum_rejected() {
+        let raw = craft_packet(&PacketFields::default(), b"payload").unwrap();
+        let mut broken = raw;
+        let n = broken.len();
+        broken[n - 1] ^= 0x01;
+        assert!(matches!(
+            validate_packet(&broken),
+            Err(ValidityError::BadTransport(_))
+        ));
+    }
+
+    #[test]
+    fn runt_frame_rejected() {
+        assert!(matches!(
+            validate_packet(&[0u8; 8]),
+            Err(ValidityError::BadEthernet(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_ethertype_passes_l2_only() {
+        let f = PacketFields {
+            dl_type: 0x88cc,
+            ..Default::default()
+        };
+        let raw = craft_packet(&f, b"anything goes here").unwrap();
+        validate_packet(&raw).unwrap();
+    }
+}

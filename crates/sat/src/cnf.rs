@@ -1,0 +1,273 @@
+//! Flat-vector CNF clause database.
+//!
+//! Clauses are stored in a single `Vec<i32>` using the DIMACS body layout:
+//! the literals of each clause followed by a `0` terminator. The paper's
+//! implementation section (§7) reports that exactly this one-dimensional
+//! representation was needed to make constraint construction fast (a
+//! vector-of-vectors "necessitated malloc()-ing of too many small objects").
+//! Building a clause is therefore just a series of `push` calls on one
+//! growable buffer.
+
+/// A propositional variable, 1-based as in DIMACS.
+pub type Var = u32;
+
+/// A literal in DIMACS convention: `v` is the positive literal of variable
+/// `v`, `-v` its negation. `0` is reserved as the clause terminator and is
+/// never a valid literal.
+pub type Lit = i32;
+
+/// Clause database in flat DIMACS layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// `lit lit lit 0 lit lit 0 ...`
+    data: Vec<i32>,
+    /// Highest variable index mentioned (also the variable count).
+    num_vars: Var,
+    /// Number of clauses (number of `0` terminators).
+    num_clauses: usize,
+}
+
+impl Cnf {
+    /// Empty formula (vacuously satisfiable).
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Empty formula with reserved capacity for `lits` literal slots.
+    pub fn with_capacity(lits: usize) -> Self {
+        Cnf {
+            data: Vec::with_capacity(lits),
+            num_vars: 0,
+            num_clauses: 0,
+        }
+    }
+
+    /// Number of variables (the highest index used).
+    pub fn num_vars(&self) -> Var {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.num_clauses
+    }
+
+    /// Total number of literal slots (excluding terminators).
+    pub fn num_lits(&self) -> usize {
+        self.data.len() - self.num_clauses
+    }
+
+    /// Raw flat buffer (DIMACS body layout), mainly for I/O and tests.
+    pub fn raw(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Ensures the variable count is at least `v` even if no clause mentions
+    /// it (used when callers allocate fresh Tseitin variables up front).
+    pub fn grow_vars(&mut self, v: Var) {
+        self.num_vars = self.num_vars.max(v);
+    }
+
+    /// Allocates and returns a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        self.num_vars += 1;
+        self.num_vars
+    }
+
+    /// Adds a clause given as a slice of literals.
+    ///
+    /// An empty slice adds the empty clause, making the formula trivially
+    /// unsatisfiable. Duplicate literals are kept (harmless); callers that
+    /// want tautology elimination should use [`Cnf::add_clause_checked`].
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        for &l in lits {
+            debug_assert!(l != 0, "literal 0 is the clause terminator");
+            self.num_vars = self.num_vars.max(l.unsigned_abs());
+            self.data.push(l);
+        }
+        self.data.push(0);
+        self.num_clauses += 1;
+    }
+
+    /// Adds a clause unless it is a tautology (contains `l` and `-l`);
+    /// duplicate literals are removed. Returns true if the clause was added.
+    pub fn add_clause_checked(&mut self, lits: &[Lit]) -> bool {
+        let start = self.data.len();
+        'outer: for (i, &l) in lits.iter().enumerate() {
+            debug_assert!(l != 0);
+            for &m in &lits[..i] {
+                if m == -l {
+                    self.data.truncate(start);
+                    return false; // tautology
+                }
+                if m == l {
+                    continue 'outer; // duplicate
+                }
+            }
+            self.num_vars = self.num_vars.max(l.unsigned_abs());
+            self.data.push(l);
+        }
+        self.data.push(0);
+        self.num_clauses += 1;
+        true
+    }
+
+    /// Begins an in-place clause; push literals with [`Cnf::push_lit`] and
+    /// finish with [`Cnf::end_clause`]. This is the zero-allocation hot path
+    /// used by the probe-constraint encoder.
+    pub fn begin_clause(&mut self) {}
+
+    /// Pushes one literal of the clause currently being built.
+    pub fn push_lit(&mut self, l: Lit) {
+        debug_assert!(l != 0);
+        self.num_vars = self.num_vars.max(l.unsigned_abs());
+        self.data.push(l);
+    }
+
+    /// Terminates the clause currently being built.
+    pub fn end_clause(&mut self) {
+        self.data.push(0);
+        self.num_clauses += 1;
+    }
+
+    /// Iterator over clauses as literal slices (terminators stripped).
+    pub fn clauses(&self) -> ClauseIter<'_> {
+        ClauseIter {
+            data: &self.data,
+            pos: 0,
+        }
+    }
+
+    /// Appends all clauses of `other` into `self`.
+    pub fn extend_from(&mut self, other: &Cnf) {
+        self.data.extend_from_slice(&other.data);
+        self.num_vars = self.num_vars.max(other.num_vars);
+        self.num_clauses += other.num_clauses;
+    }
+
+    /// Removes all clauses but keeps the allocation (reuse between probes).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.num_vars = 0;
+        self.num_clauses = 0;
+    }
+
+    /// True when the formula contains an empty clause.
+    pub fn has_empty_clause(&self) -> bool {
+        let mut prev_zero = true;
+        for &l in &self.data {
+            if l == 0 {
+                if prev_zero {
+                    return true;
+                }
+                prev_zero = true;
+            } else {
+                prev_zero = false;
+            }
+        }
+        false
+    }
+}
+
+/// Iterator over the clauses of a [`Cnf`].
+pub struct ClauseIter<'a> {
+    data: &'a [i32],
+    pos: usize,
+}
+
+impl<'a> Iterator for ClauseIter<'a> {
+    type Item = &'a [Lit];
+
+    fn next(&mut self) -> Option<&'a [Lit]> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let start = self.pos;
+        let mut end = self.pos;
+        while self.data[end] != 0 {
+            end += 1;
+        }
+        self.pos = end + 1;
+        Some(&self.data[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_layout_roundtrip() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1, -2, 3]);
+        cnf.add_clause(&[-3]);
+        cnf.add_clause(&[2, 4]);
+        assert_eq!(cnf.num_vars(), 4);
+        assert_eq!(cnf.num_clauses(), 3);
+        assert_eq!(cnf.raw(), &[1, -2, 3, 0, -3, 0, 2, 4, 0]);
+        let got: Vec<Vec<i32>> = cnf.clauses().map(|c| c.to_vec()).collect();
+        assert_eq!(got, vec![vec![1, -2, 3], vec![-3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn incremental_builder_matches_add_clause() {
+        let mut a = Cnf::new();
+        a.add_clause(&[5, -6]);
+        let mut b = Cnf::new();
+        b.begin_clause();
+        b.push_lit(5);
+        b.push_lit(-6);
+        b.end_clause();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tautology_and_duplicate_handling() {
+        let mut cnf = Cnf::new();
+        assert!(!cnf.add_clause_checked(&[1, -1, 2]));
+        assert_eq!(cnf.num_clauses(), 0);
+        assert!(cnf.add_clause_checked(&[1, 1, 2]));
+        assert_eq!(cnf.raw(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_clause_detection() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1]);
+        assert!(!cnf.has_empty_clause());
+        cnf.add_clause(&[]);
+        assert!(cnf.has_empty_clause());
+    }
+
+    #[test]
+    fn fresh_vars_and_grow() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[2]);
+        assert_eq!(cnf.fresh_var(), 3);
+        cnf.grow_vars(10);
+        assert_eq!(cnf.num_vars(), 10);
+        cnf.grow_vars(4);
+        assert_eq!(cnf.num_vars(), 10);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = Cnf::new();
+        a.add_clause(&[1, 2]);
+        let mut b = Cnf::new();
+        b.add_clause(&[-3]);
+        a.extend_from(&b);
+        assert_eq!(a.num_clauses(), 2);
+        assert_eq!(a.num_vars(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut cnf = Cnf::with_capacity(64);
+        cnf.add_clause(&[1, 2, 3]);
+        let cap = cnf.data.capacity();
+        cnf.clear();
+        assert_eq!(cnf.num_clauses(), 0);
+        assert!(cnf.data.capacity() >= cap);
+    }
+}

@@ -1,0 +1,197 @@
+//! DIMACS CNF reader/writer.
+//!
+//! The paper's implementation (§7) uses the DIMACS format \[4\] as the lingua
+//! franca between its Cython constraint converter and PicoSAT. We keep the
+//! same interchange format for debugging probe instances and for corpus
+//! tests.
+
+use crate::cnf::Cnf;
+use std::fmt::Write as _;
+
+/// Errors produced when parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// Header `p cnf <vars> <clauses>` is malformed.
+    BadHeader(String),
+    /// A token could not be parsed as an integer literal.
+    BadLiteral(String),
+    /// Literal exceeds the declared variable count.
+    LiteralOutOfRange(i32),
+    /// Fewer/more clauses than the header declared.
+    ClauseCountMismatch {
+        /// Count promised by the header.
+        declared: usize,
+        /// Count actually present in the body.
+        found: usize,
+    },
+    /// Final clause lacks the `0` terminator.
+    MissingTerminator,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::BadHeader(s) => write!(f, "bad DIMACS header: {s}"),
+            DimacsError::BadLiteral(s) => write!(f, "bad literal token: {s}"),
+            DimacsError::LiteralOutOfRange(l) => write!(f, "literal out of range: {l}"),
+            DimacsError::ClauseCountMismatch { declared, found } => {
+                write!(f, "clause count mismatch: declared {declared}, found {found}")
+            }
+            DimacsError::MissingTerminator => write!(f, "final clause missing 0 terminator"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text. Comment lines (`c ...`) are skipped; the header is
+/// validated against the body.
+pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
+    let mut declared_vars: Option<u32> = None;
+    let mut declared_clauses: Option<usize> = None;
+    let mut cnf = Cnf::new();
+    let mut in_clause = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
+            let v = it
+                .next()
+                .and_then(|t| t.parse::<u32>().ok())
+                .ok_or_else(|| DimacsError::BadHeader(line.to_string()))?;
+            let c = it
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(|| DimacsError::BadHeader(line.to_string()))?;
+            declared_vars = Some(v);
+            declared_clauses = Some(c);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let lit: i32 = tok
+                .parse()
+                .map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+            if lit == 0 {
+                cnf.end_clause();
+                in_clause = false;
+            } else {
+                if let Some(v) = declared_vars {
+                    if lit.unsigned_abs() > v {
+                        return Err(DimacsError::LiteralOutOfRange(lit));
+                    }
+                }
+                cnf.push_lit(lit);
+                in_clause = true;
+            }
+        }
+    }
+    if in_clause {
+        return Err(DimacsError::MissingTerminator);
+    }
+    if let Some(c) = declared_clauses {
+        if c != cnf.num_clauses() {
+            return Err(DimacsError::ClauseCountMismatch {
+                declared: c,
+                found: cnf.num_clauses(),
+            });
+        }
+    }
+    if let Some(v) = declared_vars {
+        cnf.grow_vars(v);
+    }
+    Ok(cnf)
+}
+
+/// Serializes a CNF to DIMACS text.
+pub fn emit(cnf: &Cnf) -> String {
+    let mut out = String::with_capacity(cnf.raw().len() * 4 + 32);
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.clauses() {
+        for &l in clause {
+            let _ = write!(out, "{l} ");
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1, -3]);
+        cnf.add_clause(&[2]);
+        cnf.add_clause(&[-1, -2, 3]);
+        let text = emit(&cnf);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.raw(), cnf.raw());
+        assert_eq!(back.num_vars(), cnf.num_vars());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "c a comment\n\np cnf 3 2\n1 -2 0\nc mid comment\n3 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.num_vars(), 3);
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let text = "p cnf 4 1\n1 2\n3 4 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses().next().unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bad_header() {
+        assert!(matches!(
+            parse("p dnf 1 1\n1 0\n"),
+            Err(DimacsError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn literal_out_of_range() {
+        assert!(matches!(
+            parse("p cnf 2 1\n5 0\n"),
+            Err(DimacsError::LiteralOutOfRange(5))
+        ));
+    }
+
+    #[test]
+    fn clause_count_mismatch() {
+        assert!(matches!(
+            parse("p cnf 2 3\n1 0\n2 0\n"),
+            Err(DimacsError::ClauseCountMismatch {
+                declared: 3,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_terminator() {
+        assert!(matches!(
+            parse("p cnf 2 1\n1 2\n"),
+            Err(DimacsError::MissingTerminator)
+        ));
+    }
+
+    #[test]
+    fn solves_parsed_instance() {
+        let cnf = parse("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let m = crate::solve(&cnf).model();
+        assert!(m.value(2));
+    }
+}

@@ -1,0 +1,235 @@
+//! Plain DPLL reference solver.
+//!
+//! A deliberately simple solver (recursive unit propagation + branching, no
+//! clause learning) kept for two purposes:
+//!
+//! 1. **Differential testing** — the property-based test suite checks that
+//!    [`crate::CdclSolver`] and [`DpllSolver`] agree on random formulas.
+//! 2. **Ablation** — the `ablation_encodings` Criterion bench measures how
+//!    much CDCL buys on real probe-generation instances (the paper observes
+//!    that for these tiny instances the solver is never the bottleneck; the
+//!    ablation quantifies that claim for our implementation).
+
+use crate::cnf::Cnf;
+use crate::{Model, SatResult};
+
+/// Simple DPLL solver. Stateless; construct and call [`DpllSolver::solve`].
+#[derive(Debug, Default)]
+pub struct DpllSolver {
+    /// Optional cap on the number of branching decisions.
+    decision_budget: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Undef,
+    True,
+    False,
+}
+
+impl DpllSolver {
+    /// Fresh solver without a budget.
+    pub fn new() -> Self {
+        DpllSolver::default()
+    }
+
+    /// Limits the number of branching decisions; exceeding the budget yields
+    /// [`SatResult::Unknown`].
+    pub fn with_decision_budget(mut self, budget: u64) -> Self {
+        self.decision_budget = Some(budget);
+        self
+    }
+
+    /// Solves `cnf`.
+    pub fn solve(&self, cnf: &Cnf) -> SatResult {
+        let clauses: Vec<Vec<i32>> = cnf.clauses().map(|c| c.to_vec()).collect();
+        if clauses.iter().any(|c| c.is_empty()) {
+            return SatResult::Unsat;
+        }
+        let n = cnf.num_vars() as usize;
+        let mut assign = vec![Assign::Undef; n + 1];
+        let mut budget = self.decision_budget;
+        match Self::dpll(&clauses, &mut assign, &mut budget) {
+            Some(true) => {
+                let values = assign
+                    .iter()
+                    .map(|&a| a == Assign::True)
+                    .collect::<Vec<_>>();
+                SatResult::Sat(Model::from_values(values))
+            }
+            Some(false) => SatResult::Unsat,
+            None => SatResult::Unknown,
+        }
+    }
+
+    fn lit_val(assign: &[Assign], l: i32) -> Assign {
+        let a = assign[l.unsigned_abs() as usize];
+        match (a, l > 0) {
+            (Assign::Undef, _) => Assign::Undef,
+            (Assign::True, true) | (Assign::False, false) => Assign::True,
+            _ => Assign::False,
+        }
+    }
+
+    /// Unit propagation over the full clause list. Returns false on conflict;
+    /// records assigned variables in `trail`.
+    fn propagate(clauses: &[Vec<i32>], assign: &mut [Assign], trail: &mut Vec<u32>) -> bool {
+        loop {
+            let mut changed = false;
+            for clause in clauses {
+                let mut unassigned: Option<i32> = None;
+                let mut num_unassigned = 0;
+                let mut satisfied = false;
+                for &l in clause {
+                    match Self::lit_val(assign, l) {
+                        Assign::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Assign::Undef => {
+                            num_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                        Assign::False => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match num_unassigned {
+                    0 => return false, // all false: conflict
+                    1 => {
+                        let l = unassigned.unwrap();
+                        let v = l.unsigned_abs();
+                        assign[v as usize] = if l > 0 { Assign::True } else { Assign::False };
+                        trail.push(v);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn dpll(clauses: &[Vec<i32>], assign: &mut Vec<Assign>, budget: &mut Option<u64>) -> Option<bool> {
+        let mut trail = Vec::new();
+        if !Self::propagate(clauses, assign, &mut trail) {
+            for v in trail {
+                assign[v as usize] = Assign::Undef;
+            }
+            return Some(false);
+        }
+        // Pick the first unassigned variable occurring in a non-satisfied clause.
+        let mut branch_var: Option<u32> = None;
+        'outer: for clause in clauses {
+            let mut sat = false;
+            let mut cand: Option<u32> = None;
+            for &l in clause {
+                match Self::lit_val(assign, l) {
+                    Assign::True => {
+                        sat = true;
+                        break;
+                    }
+                    Assign::Undef => cand = Some(l.unsigned_abs()),
+                    Assign::False => {}
+                }
+            }
+            if !sat {
+                if let Some(v) = cand {
+                    branch_var = Some(v);
+                    break 'outer;
+                }
+            }
+        }
+        let Some(v) = branch_var else {
+            return Some(true); // every clause satisfied
+        };
+        if let Some(b) = budget {
+            if *b == 0 {
+                for v in trail {
+                    assign[v as usize] = Assign::Undef;
+                }
+                return None;
+            }
+            *b -= 1;
+        }
+        for val in [Assign::True, Assign::False] {
+            assign[v as usize] = val;
+            match Self::dpll(clauses, assign, budget) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => {
+                    assign[v as usize] = Assign::Undef;
+                    for &t in &trail {
+                        assign[t as usize] = Assign::Undef;
+                    }
+                    return None;
+                }
+            }
+        }
+        assign[v as usize] = Assign::Undef;
+        for t in trail {
+            assign[t as usize] = Assign::Undef;
+        }
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdclSolver, Cnf};
+
+    #[test]
+    fn agrees_with_cdcl_on_simple_formulas() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1, 2]);
+        cnf.add_clause(&[-1, 3]);
+        cnf.add_clause(&[-2, -3]);
+        let d = DpllSolver::new().solve(&cnf);
+        let c = CdclSolver::new().solve(&cnf);
+        assert_eq!(d.is_sat(), c.is_sat());
+        assert!(d.model().satisfies(&cnf));
+    }
+
+    #[test]
+    fn unsat_detection() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1]);
+        cnf.add_clause(&[-1]);
+        assert_eq!(DpllSolver::new().solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pure_units() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[4]);
+        cnf.add_clause(&[-4, -2]);
+        let m = DpllSolver::new().solve(&cnf).model();
+        assert!(m.value(4));
+        assert!(!m.value(2));
+    }
+
+    #[test]
+    fn budget_gives_unknown() {
+        // 3-coloring-ish instance big enough to need decisions.
+        let mut cnf = Cnf::new();
+        for v in (1..=30).step_by(3) {
+            cnf.add_clause(&[v, v + 1, v + 2]);
+        }
+        for v in 1..=28 {
+            cnf.add_clause(&[-v, -(v + 2)]);
+        }
+        let r = DpllSolver::new().with_decision_budget(0).solve(&cnf);
+        assert_eq!(r, SatResult::Unknown);
+    }
+
+    #[test]
+    fn vacuous_formula() {
+        let cnf = Cnf::new();
+        assert!(DpllSolver::new().solve(&cnf).is_sat());
+    }
+}

@@ -1,0 +1,191 @@
+//! If-then-else chain encoding (paper §5.3 + Appendix B, after Velev).
+//!
+//! Monocle's Distinguish constraint mimics TCAM priority matching with a
+//! chain `s = if(i1, t1, if(i2, t2, ... if(in, tn, else)))`: the probe is
+//! processed by the first lower-priority rule it matches, and the outcome of
+//! that rule must differ from the probed rule. The paper encodes the chain
+//! with Velev's quadratic construction; since the construction is quadratic
+//! in the chain length, very long chains are split by substituting a postfix
+//! with a fresh variable, exactly as the appendix prescribes.
+
+use crate::cnf::{Cnf, Lit};
+
+/// Maximum chain length encoded directly before a postfix is folded into a
+/// fresh variable (keeps the quadratic clause count bounded).
+pub const MAX_DIRECT_CHAIN: usize = 24;
+
+/// Encodes `s <-> if(i1,t1, if(i2,t2, ... if(in,tn, else)))` where `i*`,
+/// `t*`, `else_lit` and `s` are literals. Appends clauses to `cnf`.
+///
+/// The generated clauses follow Appendix B:
+/// ```text
+/// (!i1 | !t1 | s)(!i1 | t1 | !s)
+/// (i1 | !i2 | !t2 | s)(i1 | !i2 | t2 | !s)
+/// ...
+/// (i1 | ... | in | !else | s)(i1 | ... | in | else | !s)
+/// ```
+///
+/// Long chains are split recursively: the postfix beyond
+/// [`MAX_DIRECT_CHAIN`] is given a fresh output variable which becomes the
+/// `else` literal of the prefix.
+pub fn encode_ite_chain(cnf: &mut Cnf, s: Lit, chain: &[(Lit, Lit)], else_lit: Lit) {
+    if chain.len() > MAX_DIRECT_CHAIN {
+        let (prefix, postfix) = chain.split_at(MAX_DIRECT_CHAIN);
+        let sub = cnf.fresh_var() as Lit;
+        encode_ite_chain(cnf, sub, postfix, else_lit);
+        encode_ite_chain_direct(cnf, s, prefix, sub);
+    } else {
+        encode_ite_chain_direct(cnf, s, chain, else_lit);
+    }
+}
+
+fn encode_ite_chain_direct(cnf: &mut Cnf, s: Lit, chain: &[(Lit, Lit)], else_lit: Lit) {
+    // Prefix of negated conditions accumulated so far: i1 | i2 | ... | ik.
+    let mut guard: Vec<Lit> = Vec::with_capacity(chain.len() + 3);
+    for &(cond, then) in chain {
+        // (guard... | !cond | !then | s)
+        guard.push(-cond);
+        guard.push(-then);
+        guard.push(s);
+        cnf.add_clause(&guard);
+        guard.truncate(guard.len() - 3);
+        // (guard... | !cond | then | !s)
+        guard.push(-cond);
+        guard.push(then);
+        guard.push(-s);
+        cnf.add_clause(&guard);
+        guard.truncate(guard.len() - 3);
+        guard.push(cond);
+    }
+    // (i1 | ... | in | !else | s) and (i1 | ... | in | else | !s)
+    guard.push(-else_lit);
+    guard.push(s);
+    cnf.add_clause(&guard);
+    guard.truncate(guard.len() - 2);
+    guard.push(else_lit);
+    guard.push(-s);
+    cnf.add_clause(&guard);
+}
+
+/// Evaluates an ITE chain under an assignment. Used by tests to validate the
+/// encoding against the semantic definition.
+pub fn eval_ite_chain(
+    assignment: &dyn Fn(Lit) -> bool,
+    chain: &[(Lit, Lit)],
+    else_lit: Lit,
+) -> bool {
+    for &(cond, then) in chain {
+        if assignment(cond) {
+            return assignment(then);
+        }
+    }
+    assignment(else_lit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdclSolver, SatResult};
+
+    /// Exhaustive check: for a chain over distinct input variables, every
+    /// assignment extends to exactly the output value the chain semantics
+    /// dictate.
+    fn check_chain(chain: &[(Lit, Lit)], else_lit: Lit, n_inputs: u32) {
+        for bits in 0..(1u32 << n_inputs) {
+            let assignment = |l: Lit| {
+                let v = l.unsigned_abs();
+                let val = bits >> (v - 1) & 1 == 1;
+                if l > 0 {
+                    val
+                } else {
+                    !val
+                }
+            };
+            let want = eval_ite_chain(&assignment, chain, else_lit);
+            let mut cnf = Cnf::new();
+            cnf.grow_vars(n_inputs);
+            let s = cnf.fresh_var() as Lit;
+            encode_ite_chain(&mut cnf, s, chain, else_lit);
+            // Pin the inputs.
+            for v in 1..=n_inputs {
+                let lit = if bits >> (v - 1) & 1 == 1 {
+                    v as Lit
+                } else {
+                    -(v as Lit)
+                };
+                cnf.add_clause(&[lit]);
+            }
+            // s must be forced to `want`: check both polarities.
+            let mut cnf_pos = cnf.clone();
+            cnf_pos.add_clause(&[s]);
+            let mut cnf_neg = cnf;
+            cnf_neg.add_clause(&[-s]);
+            let pos = CdclSolver::new().solve(&cnf_pos);
+            let neg = CdclSolver::new().solve(&cnf_neg);
+            assert_eq!(pos.is_sat(), want, "bits={bits:b} expected s={want}");
+            assert_eq!(neg.is_sat(), !want, "bits={bits:b} expected s={want}");
+        }
+    }
+
+    #[test]
+    fn single_link_chain() {
+        // s = if(x1, x2, x3)
+        check_chain(&[(1, 2)], 3, 3);
+    }
+
+    #[test]
+    fn two_link_chain_with_negations() {
+        // s = if(!x1, x2, if(x3, !x4, x1))
+        check_chain(&[(-1, 2), (3, -4)], 1, 4);
+    }
+
+    #[test]
+    fn three_link_chain() {
+        check_chain(&[(1, -2), (-3, 4), (2, 3)], -4, 4);
+    }
+
+    #[test]
+    fn long_chain_splits() {
+        // Build a chain longer than MAX_DIRECT_CHAIN; conditions all false
+        // except the last, so s must equal its `then` literal.
+        let n = (MAX_DIRECT_CHAIN + 5) as i32;
+        // vars 1..=n are conditions, var n+1 is the shared then, n+2 else.
+        let chain: Vec<(Lit, Lit)> = (1..=n).map(|v| (v, n + 1)).collect();
+        let mut cnf = Cnf::new();
+        cnf.grow_vars((n + 2) as u32);
+        let s = cnf.fresh_var() as Lit;
+        encode_ite_chain(&mut cnf, s, &chain, n + 2);
+        // all conditions false except condition #n
+        for v in 1..n {
+            cnf.add_clause(&[-v]);
+        }
+        cnf.add_clause(&[n]);
+        cnf.add_clause(&[n + 1]); // then = true
+        cnf.add_clause(&[-(n + 2)]); // else = false
+        cnf.add_clause(&[-s]); // claim s false -> must be UNSAT
+        assert_eq!(CdclSolver::new().solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_chain_is_else() {
+        // s = else
+        let mut cnf = Cnf::new();
+        cnf.grow_vars(1);
+        let s = cnf.fresh_var() as Lit;
+        encode_ite_chain(&mut cnf, s, &[], 1);
+        cnf.add_clause(&[1]);
+        cnf.add_clause(&[-s]);
+        assert_eq!(CdclSolver::new().solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn quadratic_clause_count() {
+        let chain: Vec<(Lit, Lit)> = (1..=10).map(|v| (v, v + 10)).collect();
+        let mut cnf = Cnf::new();
+        cnf.grow_vars(21);
+        let s = cnf.fresh_var() as Lit;
+        encode_ite_chain(&mut cnf, s, &chain, 21);
+        // 2 clauses per link + 2 for else.
+        assert_eq!(cnf.num_clauses(), 2 * 10 + 2);
+    }
+}

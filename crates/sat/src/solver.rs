@@ -1,0 +1,883 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This is the production solver behind Monocle's probe generation. Probe
+//! instances are small (tens to a few hundred variables — one per header bit
+//! plus Tseitin auxiliaries), so the design favors predictable latency over
+//! massive-instance features: two-watched-literal propagation with blocker
+//! literals, 1-UIP conflict analysis, VSIDS decision heuristic with an
+//! indexed max-heap, phase saving, Luby restarts and activity-based learnt
+//! clause deletion. No preprocessing is performed; the encoder already emits
+//! compact clauses.
+
+use crate::cnf::Cnf;
+use crate::{Model, SatResult};
+
+/// Truth value of a variable: unassigned / true / false.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    Undef,
+    True,
+    False,
+}
+
+/// Internal literal representation: `var * 2 + sign` with 0-based variables;
+/// sign bit 1 means negated.
+type ILit = u32;
+
+#[inline]
+fn ilit(var0: u32, negated: bool) -> ILit {
+    var0 * 2 + negated as u32
+}
+
+#[inline]
+fn ivar(l: ILit) -> u32 {
+    l >> 1
+}
+
+#[inline]
+fn ineg(l: ILit) -> ILit {
+    l ^ 1
+}
+
+#[inline]
+fn is_negated(l: ILit) -> bool {
+    l & 1 == 1
+}
+
+/// Converts an external DIMACS literal to the internal encoding.
+#[inline]
+fn from_dimacs(l: i32) -> ILit {
+    debug_assert!(l != 0);
+    ilit(l.unsigned_abs() - 1, l < 0)
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<ILit>,
+    learnt: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: usize,
+    /// Any other literal of the clause; if it is already true the clause is
+    /// satisfied and the watch list walk can skip touching the clause.
+    blocker: ILit,
+}
+
+/// Counters reported after a [`CdclSolver::solve`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently retained.
+    pub learnt_clauses: u64,
+}
+
+/// Outcome of a single `solve` call together with statistics.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The SAT/UNSAT/UNKNOWN answer.
+    pub result: SatResult,
+    /// Search statistics.
+    pub stats: SolverStats,
+}
+
+/// Indexed max-heap over variable activities (MiniSat-style order heap).
+#[derive(Debug, Default, Clone)]
+struct ActivityHeap {
+    heap: Vec<u32>,
+    /// position of var in `heap`, or `usize::MAX` when absent.
+    index: Vec<usize>,
+}
+
+impl ActivityHeap {
+    fn resize(&mut self, n: usize) {
+        self.index.resize(n, usize::MAX);
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.index[v as usize] != usize::MAX
+    }
+
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.index[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.index[top as usize] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.index[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn decreased_key_fixup(&mut self, v: u32, act: &[f64]) {
+        // After an activity bump the key only grows, so sift up.
+        if let Some(&pos) = self.index.get(v as usize) {
+            if pos != usize::MAX {
+                self.sift_up(pos, act);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] > act[self.heap[parent] as usize] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.index[self.heap[a] as usize] = a;
+        self.index[self.heap[b] as usize] = b;
+    }
+}
+
+/// The CDCL solver. Construct with [`CdclSolver::new`], optionally set a
+/// conflict budget, then call [`CdclSolver::solve`]. A solver instance can be
+/// reused across calls; each call reloads the formula.
+#[derive(Debug)]
+pub struct CdclSolver {
+    // Problem state
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    // Assignment state
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<ILit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // Heuristics
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: ActivityHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    // Config
+    conflict_budget: Option<u64>,
+    max_learnts: usize,
+    // Stats
+    stats: SolverStats,
+    ok: bool,
+    first_learnt_idx: usize,
+}
+
+impl Default for CdclSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CdclSolver {
+    /// Fresh solver with no conflict budget.
+    pub fn new() -> Self {
+        CdclSolver {
+            num_vars: 0,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: ActivityHeap::default(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            conflict_budget: None,
+            max_learnts: 0,
+            stats: SolverStats::default(),
+            ok: true,
+            first_learnt_idx: 0,
+        }
+    }
+
+    /// Limits the search to `budget` conflicts; exceeding it yields
+    /// [`SatResult::Unknown`].
+    pub fn with_conflict_budget(mut self, budget: u64) -> Self {
+        self.conflict_budget = Some(budget);
+        self
+    }
+
+    /// Statistics from the most recent `solve` call.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Solves `cnf` and returns the result.
+    pub fn solve(&mut self, cnf: &Cnf) -> SatResult {
+        self.solve_with_stats(cnf).result
+    }
+
+    /// Solves `cnf` and returns the result with search statistics.
+    pub fn solve_with_stats(&mut self, cnf: &Cnf) -> SolveOutcome {
+        self.reset(cnf.num_vars() as usize);
+        for clause in cnf.clauses() {
+            let ilits: Vec<ILit> = clause.iter().map(|&l| from_dimacs(l)).collect();
+            if !self.add_problem_clause(ilits) {
+                self.ok = false;
+                break;
+            }
+        }
+        let result = if !self.ok {
+            SatResult::Unsat
+        } else {
+            self.search()
+        };
+        self.stats.learnt_clauses = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt)
+            .count() as u64;
+        SolveOutcome {
+            result,
+            stats: self.stats,
+        }
+    }
+
+    fn reset(&mut self, num_vars: usize) {
+        self.num_vars = num_vars;
+        self.clauses.clear();
+        self.watches.clear();
+        self.watches.resize(2 * num_vars, Vec::new());
+        self.assigns.clear();
+        self.assigns.resize(num_vars, LBool::Undef);
+        self.level.clear();
+        self.level.resize(num_vars, 0);
+        self.reason.clear();
+        self.reason.resize(num_vars, None);
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.qhead = 0;
+        self.activity.clear();
+        self.activity.resize(num_vars, 0.0);
+        self.var_inc = 1.0;
+        self.cla_inc = 1.0;
+        self.heap = ActivityHeap::default();
+        self.heap.resize(num_vars);
+        for v in 0..num_vars as u32 {
+            self.heap.insert(v, &self.activity);
+        }
+        self.phase.clear();
+        self.phase.resize(num_vars, false);
+        self.seen.clear();
+        self.seen.resize(num_vars, false);
+        self.stats = SolverStats::default();
+        self.ok = true;
+        self.max_learnts = 0;
+        self.first_learnt_idx = 0;
+    }
+
+    #[inline]
+    fn value_lit(&self, l: ILit) -> LBool {
+        match self.assigns[ivar(l) as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if is_negated(l) {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if is_negated(l) {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    fn add_problem_clause(&mut self, mut lits: Vec<ILit>) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        // Simplify: drop duplicates and false literals, detect tautologies
+        // and already-satisfied clauses.
+        lits.sort_unstable();
+        lits.dedup();
+        let mut i = 0;
+        while i < lits.len() {
+            if i + 1 < lits.len() && lits[i + 1] == ineg(lits[i]) {
+                return true; // tautology: x and !x are adjacent after sort
+            }
+            match self.value_lit(lits[i]) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => {
+                    lits.remove(i);
+                }
+                LBool::Undef => i += 1,
+            }
+        }
+        match lits.len() {
+            0 => false, // empty clause: unsat
+            1 => {
+                self.unchecked_enqueue(lits[0], None);
+                self.propagate().is_none()
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<ILit>, learnt: bool) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len();
+        let w0 = Watcher {
+            clause: idx,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: idx,
+            blocker: lits[0],
+        };
+        self.watches[lits[0] as usize].push(w0);
+        self.watches[lits[1] as usize].push(w1);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        if !learnt {
+            self.first_learnt_idx = self.clauses.len();
+        }
+        idx
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: ILit, from: Option<usize>) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = ivar(l) as usize;
+        self.assigns[v] = if is_negated(l) {
+            LBool::False
+        } else {
+            LBool::True
+        };
+        self.level[v] = self.decision_level();
+        self.reason[v] = from;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = ineg(p);
+            let mut ws = std::mem::take(&mut self.watches[false_lit as usize]);
+            let mut j = 0;
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value_lit(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.clause;
+                // Make sure the false literal is at position 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[j] = Watcher {
+                        clause: cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let cand = self.clauses[cref].lits[k];
+                    if self.value_lit(cand) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[cand as usize].push(Watcher {
+                            clause: cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No replacement: clause is unit or conflicting.
+                ws[j] = Watcher {
+                    clause: cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value_lit(first) == LBool::False {
+                    // Conflict: restore remaining watchers and bail out.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    ws.truncate(j);
+                    self.watches[false_lit as usize] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.unchecked_enqueue(first, Some(cref));
+            }
+            ws.truncate(j);
+            self.watches[false_lit as usize] = ws;
+        }
+        None
+    }
+
+    /// 1-UIP conflict analysis. Returns the learnt clause (asserting literal
+    /// first) and the backjump level.
+    fn analyze(&mut self, mut confl: usize) -> (Vec<ILit>, u32) {
+        let mut learnt: Vec<ILit> = vec![0];
+        let mut counter = 0usize;
+        let mut p: Option<ILit> = None;
+        let mut idx = self.trail.len();
+        loop {
+            {
+                let bump = self.clauses[confl].learnt;
+                if bump {
+                    self.bump_clause(confl);
+                }
+            }
+            let start = usize::from(p.is_some());
+            let lits_len = self.clauses[confl].lits.len();
+            for k in start..lits_len {
+                let q = self.clauses[confl].lits[k];
+                let v = ivar(q) as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v as u32);
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next trail literal to expand.
+            loop {
+                idx -= 1;
+                if self.seen[ivar(self.trail[idx]) as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            let v = ivar(pl) as usize;
+            self.seen[v] = false;
+            counter -= 1;
+            p = Some(pl);
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[v].expect("non-decision literal must have a reason");
+        }
+        learnt[0] = ineg(p.unwrap());
+        // Clear `seen` for the literals kept in the clause.
+        for &l in &learnt[1..] {
+            self.seen[ivar(l) as usize] = false;
+        }
+        // Backjump level: highest level among learnt[1..].
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[ivar(learnt[i]) as usize] > self.level[ivar(learnt[max_i]) as usize] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[ivar(learnt[1]) as usize]
+        };
+        (learnt, bt_level)
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = ivar(l) as usize;
+            self.assigns[v] = LBool::Undef;
+            self.phase[v] = !is_negated(l);
+            self.reason[v] = None;
+            if !self.heap.contains(v as u32) {
+                self.heap.insert(v as u32, &self.activity);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.decreased_key_fixup(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, c: usize) {
+        self.clauses[c].activity += self.cla_inc;
+        if self.clauses[c].activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<ILit> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v as usize] == LBool::Undef {
+                return Some(ilit(v, !self.phase[v as usize]));
+            }
+        }
+        None
+    }
+
+    /// Removes the least active half of removable learnt clauses and rebuilds
+    /// all watch lists. Clauses that are reasons of current assignments or
+    /// binary are kept.
+    fn reduce_db(&mut self) {
+        let locked: Vec<usize> = self.reason.iter().flatten().copied().collect();
+        let mut removable: Vec<usize> = (self.first_learnt_idx..self.clauses.len())
+            .filter(|&i| {
+                self.clauses[i].learnt && self.clauses[i].lits.len() > 2 && !locked.contains(&i)
+            })
+            .collect();
+        removable.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap()
+        });
+        let to_remove: std::collections::HashSet<usize> =
+            removable[..removable.len() / 2].iter().copied().collect();
+        if to_remove.is_empty() {
+            return;
+        }
+        // Compact the clause vector and remap indices.
+        let mut remap: Vec<usize> = vec![usize::MAX; self.clauses.len()];
+        let mut kept = Vec::with_capacity(self.clauses.len() - to_remove.len());
+        for (i, cl) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if !to_remove.contains(&i) {
+                remap[i] = kept.len();
+                kept.push(cl);
+            }
+        }
+        self.clauses = kept;
+        for r in self.reason.iter_mut() {
+            if let Some(idx) = r {
+                *idx = remap[*idx];
+                debug_assert!(*idx != usize::MAX);
+            }
+        }
+        // Rebuild watches.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, cl) in self.clauses.iter().enumerate() {
+            self.watches[cl.lits[0] as usize].push(Watcher {
+                clause: i,
+                blocker: cl.lits[1],
+            });
+            self.watches[cl.lits[1] as usize].push(Watcher {
+                clause: i,
+                blocker: cl.lits[0],
+            });
+        }
+    }
+
+    /// Luby restart sequence (1,1,2,1,1,2,4,...), MiniSat formulation.
+    fn luby(x: u64) -> u64 {
+        let mut size: u64 = 1;
+        let mut seq: u32 = 0;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut x = x;
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    fn search(&mut self) -> SatResult {
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+        self.max_learnts = (self.clauses.len() / 3).max(200);
+        let mut restart_round: u64 = 0;
+        loop {
+            let conflict_cap = Self::luby(restart_round) * 100;
+            restart_round += 1;
+            let mut conflicts_here: u64 = 0;
+            loop {
+                if let Some(confl) = self.propagate() {
+                    self.stats.conflicts += 1;
+                    conflicts_here += 1;
+                    if self.decision_level() == 0 {
+                        return SatResult::Unsat;
+                    }
+                    let (learnt, bt) = self.analyze(confl);
+                    self.backtrack(bt);
+                    if learnt.len() == 1 {
+                        self.unchecked_enqueue(learnt[0], None);
+                    } else {
+                        let asserting = learnt[0];
+                        let idx = self.attach_clause(learnt, true);
+                        self.bump_clause(idx);
+                        self.unchecked_enqueue(asserting, Some(idx));
+                    }
+                    self.decay_activities();
+                    if let Some(budget) = self.conflict_budget {
+                        if self.stats.conflicts >= budget {
+                            return SatResult::Unknown;
+                        }
+                    }
+                } else {
+                    if conflicts_here >= conflict_cap {
+                        self.stats.restarts += 1;
+                        self.backtrack(0);
+                        break;
+                    }
+                    let learnt_count = self.clauses.len() - self.first_learnt_idx;
+                    if learnt_count > self.max_learnts {
+                        self.reduce_db();
+                        self.max_learnts = self.max_learnts * 11 / 10;
+                    }
+                    match self.pick_branch_lit() {
+                        None => {
+                            // Complete assignment: build the model.
+                            let mut values = vec![false; self.num_vars + 1];
+                            for v in 0..self.num_vars {
+                                values[v + 1] = self.assigns[v] == LBool::True;
+                            }
+                            return SatResult::Sat(Model::from_values(values));
+                        }
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(l, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cnf;
+
+    fn solve(cnf: &Cnf) -> SatResult {
+        CdclSolver::new().solve(cnf)
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1]);
+        cnf.add_clause(&[-1, 2]);
+        cnf.add_clause(&[-2, 3]);
+        cnf.add_clause(&[-3, 4]);
+        let m = solve(&cnf).model();
+        for v in 1..=4 {
+            assert!(m.value(v), "var {v}");
+        }
+    }
+
+    #[test]
+    fn conflict_and_learn() {
+        // (1|2)&(1|-2)&(-1|2)&(-1|-2) is unsat
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1, 2]);
+        cnf.add_clause(&[1, -2]);
+        cnf.add_clause(&[-1, 2]);
+        cnf.add_clause(&[-1, -2]);
+        assert_eq!(solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_is_checked() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1, 2, 3]);
+        cnf.add_clause(&[-1, -2]);
+        cnf.add_clause(&[-2, -3]);
+        cnf.add_clause(&[2]);
+        let m = solve(&cnf).model();
+        assert!(m.satisfies(&cnf));
+        assert!(m.value(2));
+        assert!(!m.value(1));
+        assert!(!m.value(3));
+    }
+
+    /// Pigeonhole principle PHP(n+1, n) is a classic hard UNSAT family; tiny
+    /// instances must be solved exactly.
+    fn pigeonhole(holes: u32) -> Cnf {
+        let pigeons = holes + 1;
+        let var = |p: u32, h: u32| -> i32 { (p * holes + h + 1) as i32 };
+        let mut cnf = Cnf::new();
+        for p in 0..pigeons {
+            let clause: Vec<i32> = (0..holes).map(|h| var(p, h)).collect();
+            cnf.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause(&[-var(p1, h), -var(p2, h)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=6 {
+            assert_eq!(solve(&pigeonhole(holes)), SatResult::Unsat, "PHP({holes})");
+        }
+    }
+
+    #[test]
+    fn graph_coloring_as_sat() {
+        // Triangle is 3-colorable but not 2-colorable.
+        let mut two = Cnf::new();
+        // vars: v[node][color] = node*2 + color + 1
+        let v = |n: i32, c: i32| n * 2 + c + 1;
+        for n in 0..3 {
+            two.add_clause(&[v(n, 0), v(n, 1)]);
+        }
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            for c in 0..2 {
+                two.add_clause(&[-v(a, c), -v(b, c)]);
+            }
+        }
+        assert_eq!(solve(&two), SatResult::Unsat);
+    }
+
+    #[test]
+    fn budget_yields_unknown() {
+        // A hard instance with a tiny conflict budget must return Unknown.
+        let cnf = pigeonhole(8);
+        let mut s = CdclSolver::new().with_conflict_budget(5);
+        assert_eq!(s.solve(&cnf), SatResult::Unknown);
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let got: Vec<u64> = (0..15).map(CdclSolver::luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let cnf = pigeonhole(5);
+        let mut s = CdclSolver::new();
+        let out = s.solve_with_stats(&cnf);
+        assert_eq!(out.result, SatResult::Unsat);
+        assert!(out.stats.conflicts > 0);
+        assert!(out.stats.decisions > 0);
+    }
+
+    #[test]
+    fn wide_clause_watch_movement() {
+        // Force watch relocation across a wide clause.
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        for v in 1..=7 {
+            cnf.add_clause(&[-v]);
+        }
+        let m = solve(&cnf).model();
+        assert!(m.value(8));
+    }
+
+    #[test]
+    fn duplicate_and_tautological_input() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1, 1, 1]);
+        cnf.add_clause(&[2, -2]); // tautology: ignored
+        cnf.add_clause(&[-1, 3]);
+        let m = solve(&cnf).model();
+        assert!(m.value(1));
+        assert!(m.value(3));
+    }
+}

@@ -1,0 +1,434 @@
+//! Formula AST and equisatisfiable CNF conversion (paper Appendix B).
+//!
+//! The appendix lists the operations Monocle's encoder needs: conjunction
+//! (concatenation), disjunction (fresh-variable Tseitin transform),
+//! implication, substitution with a variable, restricted negation (literals,
+//! single-disjunction CNFs, trivial-conjunction CNFs) and the if-then-else
+//! chain (see [`crate::ite`]). This module implements all of them over a
+//! small [`Formula`] AST plus a lower-level [`TseitinEncoder`] that works
+//! directly on clause material, which is what the hot probe-encoding path
+//! uses.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Propositional formula AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Constant true/false.
+    Const(bool),
+    /// A literal (DIMACS convention).
+    Lit(Lit),
+    /// Conjunction of sub-formulas.
+    And(Vec<Formula>),
+    /// Disjunction of sub-formulas.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Implication `a -> b`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Equivalence `a <-> b`.
+    Iff(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// `a -> b` convenience constructor.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// `a <-> b` convenience constructor.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// Negation convenience constructor.
+    pub fn not(a: Formula) -> Formula {
+        Formula::Not(Box::new(a))
+    }
+
+    /// Evaluates the formula under an assignment function (for testing).
+    pub fn eval(&self, assignment: &dyn Fn(Var) -> bool) -> bool {
+        match self {
+            Formula::Const(b) => *b,
+            Formula::Lit(l) => {
+                let v = assignment(l.unsigned_abs());
+                if *l > 0 {
+                    v
+                } else {
+                    !v
+                }
+            }
+            Formula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::Implies(a, b) => !a.eval(assignment) || b.eval(assignment),
+            Formula::Iff(a, b) => a.eval(assignment) == b.eval(assignment),
+        }
+    }
+
+    /// Collects the set of (input) variables mentioned by the formula.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Formula::Const(_) => {}
+            Formula::Lit(l) => out.push(l.unsigned_abs()),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// Stateful encoder that appends equisatisfiable clauses to a [`Cnf`],
+/// allocating fresh variables above the input variable range.
+#[derive(Debug)]
+pub struct TseitinEncoder {
+    cnf: Cnf,
+}
+
+impl TseitinEncoder {
+    /// Starts an encoder whose fresh variables begin after `input_vars`.
+    pub fn new(input_vars: Var) -> Self {
+        let mut cnf = Cnf::new();
+        cnf.grow_vars(input_vars);
+        TseitinEncoder { cnf }
+    }
+
+    /// Immutable view of the clauses produced so far.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// Consumes the encoder, returning the final CNF.
+    pub fn into_cnf(self) -> Cnf {
+        self.cnf
+    }
+
+    /// Allocates a fresh auxiliary variable.
+    pub fn fresh(&mut self) -> Var {
+        self.cnf.fresh_var()
+    }
+
+    /// Adds a clause as-is.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.cnf.add_clause(lits);
+    }
+
+    /// Asserts the formula (it must hold in every model).
+    pub fn assert(&mut self, f: &Formula) {
+        match f {
+            Formula::Const(true) => {}
+            Formula::Const(false) => self.cnf.add_clause(&[]),
+            Formula::Lit(l) => self.cnf.add_clause(&[*l]),
+            Formula::And(fs) => {
+                for sub in fs {
+                    self.assert(sub);
+                }
+            }
+            _ => {
+                let l = self.define(f);
+                match l {
+                    DefLit::Const(true) => {}
+                    DefLit::Const(false) => self.cnf.add_clause(&[]),
+                    DefLit::Lit(l) => self.cnf.add_clause(&[l]),
+                }
+            }
+        }
+    }
+
+    /// Returns a literal equivalent to the formula, adding defining clauses
+    /// (full bidirectional Tseitin encoding).
+    pub fn define(&mut self, f: &Formula) -> DefLit {
+        match f {
+            Formula::Const(b) => DefLit::Const(*b),
+            Formula::Lit(l) => DefLit::Lit(*l),
+            Formula::Not(inner) => self.define(inner).negate(),
+            Formula::And(fs) => {
+                let mut lits = Vec::with_capacity(fs.len());
+                for sub in fs {
+                    match self.define(sub) {
+                        DefLit::Const(false) => return DefLit::Const(false),
+                        DefLit::Const(true) => {}
+                        DefLit::Lit(l) => lits.push(l),
+                    }
+                }
+                self.define_and(&lits)
+            }
+            Formula::Or(fs) => {
+                let mut lits = Vec::with_capacity(fs.len());
+                for sub in fs {
+                    match self.define(sub) {
+                        DefLit::Const(true) => return DefLit::Const(true),
+                        DefLit::Const(false) => {}
+                        DefLit::Lit(l) => lits.push(l),
+                    }
+                }
+                self.define_or(&lits)
+            }
+            Formula::Implies(a, b) => {
+                let f = Formula::Or(vec![Formula::not((**a).clone()), (**b).clone()]);
+                self.define(&f)
+            }
+            Formula::Iff(a, b) => {
+                let la = self.define(a);
+                let lb = self.define(b);
+                match (la, lb) {
+                    (DefLit::Const(x), DefLit::Const(y)) => DefLit::Const(x == y),
+                    (DefLit::Const(true), DefLit::Lit(l))
+                    | (DefLit::Lit(l), DefLit::Const(true)) => DefLit::Lit(l),
+                    (DefLit::Const(false), DefLit::Lit(l))
+                    | (DefLit::Lit(l), DefLit::Const(false)) => DefLit::Lit(-l),
+                    (DefLit::Lit(a), DefLit::Lit(b)) => {
+                        let x = self.fresh() as Lit;
+                        // x <-> (a <-> b)
+                        self.cnf.add_clause(&[-x, -a, b]);
+                        self.cnf.add_clause(&[-x, a, -b]);
+                        self.cnf.add_clause(&[x, a, b]);
+                        self.cnf.add_clause(&[x, -a, -b]);
+                        DefLit::Lit(x)
+                    }
+                }
+            }
+        }
+    }
+
+    /// `x <-> (l1 & l2 & ... & ln)` with fresh `x`; returns `x`.
+    pub fn define_and(&mut self, lits: &[Lit]) -> DefLit {
+        match lits.len() {
+            0 => DefLit::Const(true),
+            1 => DefLit::Lit(lits[0]),
+            _ => {
+                let x = self.fresh() as Lit;
+                for &l in lits {
+                    self.cnf.add_clause(&[-x, l]);
+                }
+                let mut long: Vec<Lit> = lits.iter().map(|&l| -l).collect();
+                long.push(x);
+                self.cnf.add_clause(&long);
+                DefLit::Lit(x)
+            }
+        }
+    }
+
+    /// `x <-> (l1 | l2 | ... | ln)` with fresh `x`; returns `x`.
+    pub fn define_or(&mut self, lits: &[Lit]) -> DefLit {
+        match lits.len() {
+            0 => DefLit::Const(false),
+            1 => DefLit::Lit(lits[0]),
+            _ => {
+                let x = self.fresh() as Lit;
+                for &l in lits {
+                    self.cnf.add_clause(&[x, -l]);
+                }
+                let mut long: Vec<Lit> = lits.to_vec();
+                long.push(-x);
+                self.cnf.add_clause(&long);
+                DefLit::Lit(x)
+            }
+        }
+    }
+
+    /// Appendix B disjunction of CNFs: `phi_1 | ... | phi_n` where each
+    /// `phi_i` is given as a set of clauses. Implements the extended Tseitin
+    /// form `(v_i | phi_i)` for fresh selector variables plus the selector
+    /// clause, avoiding the exponential distribution expansion.
+    pub fn assert_or_of_cnfs(&mut self, cnfs: &[Vec<Vec<Lit>>]) {
+        // Single-CNF special case: assert directly.
+        if cnfs.len() == 1 {
+            for clause in &cnfs[0] {
+                self.cnf.add_clause(clause);
+            }
+            return;
+        }
+        let mut selectors = Vec::with_capacity(cnfs.len());
+        for phi in cnfs {
+            let v = self.fresh() as Lit;
+            selectors.push(v);
+            // (!v | clause) for each clause: v -> phi
+            for clause in phi {
+                let mut c = clause.clone();
+                c.push(-v);
+                self.cnf.add_clause(&c);
+            }
+        }
+        self.cnf.add_clause(&selectors);
+    }
+}
+
+/// A literal-or-constant produced by [`TseitinEncoder::define`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefLit {
+    /// Formula reduced to a constant.
+    Const(bool),
+    /// Formula equivalent to this literal in every model of the clauses.
+    Lit(Lit),
+}
+
+impl DefLit {
+    /// Logical negation.
+    pub fn negate(self) -> DefLit {
+        match self {
+            DefLit::Const(b) => DefLit::Const(!b),
+            DefLit::Lit(l) => DefLit::Lit(-l),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdclSolver, SatResult};
+
+    fn sat(cnf: &Cnf) -> SatResult {
+        CdclSolver::new().solve(cnf)
+    }
+
+    /// Exhaustively checks that `assert(f)` over input vars `1..=n` is
+    /// satisfiable for exactly the assignments satisfying `f`.
+    fn check_equisatisfiable(f: &Formula, n: Var) {
+        let mut any_model = false;
+        for bits in 0..(1u32 << n) {
+            let assignment = |v: Var| bits >> (v - 1) & 1 == 1;
+            if f.eval(&assignment) {
+                any_model = true;
+            }
+        }
+        let mut enc = TseitinEncoder::new(n);
+        enc.assert(f);
+        let cnf = enc.into_cnf();
+        assert_eq!(
+            sat(&cnf).is_sat(),
+            any_model,
+            "equisatisfiability mismatch for {f:?}"
+        );
+        // Also check: every model of the CNF restricted to inputs satisfies f.
+        if let SatResult::Sat(m) = sat(&cnf) {
+            let assignment = |v: Var| m.value(v);
+            assert!(f.eval(&assignment), "CNF model does not satisfy {f:?}");
+        }
+    }
+
+    #[test]
+    fn and_or_not() {
+        let f = Formula::And(vec![
+            Formula::Or(vec![Formula::Lit(1), Formula::Lit(-2)]),
+            Formula::Not(Box::new(Formula::Lit(3))),
+        ]);
+        check_equisatisfiable(&f, 3);
+    }
+
+    #[test]
+    fn implication_and_iff() {
+        let f = Formula::implies(
+            Formula::Lit(1),
+            Formula::iff(Formula::Lit(2), Formula::Lit(-3)),
+        );
+        check_equisatisfiable(&f, 3);
+        let contradiction = Formula::And(vec![
+            Formula::Lit(1),
+            Formula::implies(Formula::Lit(1), Formula::Lit(2)),
+            Formula::Lit(-2),
+        ]);
+        check_equisatisfiable(&contradiction, 2);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let f = Formula::Or(vec![Formula::Const(false), Formula::Lit(1)]);
+        check_equisatisfiable(&f, 1);
+        let f = Formula::And(vec![Formula::Const(false), Formula::Lit(1)]);
+        check_equisatisfiable(&f, 1);
+        let f = Formula::Const(false);
+        let mut enc = TseitinEncoder::new(0);
+        enc.assert(&f);
+        assert_eq!(sat(enc.cnf()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn nested_formula() {
+        // (x1 | (x2 & !x3)) <-> !(x4 -> x1)
+        let f = Formula::iff(
+            Formula::Or(vec![
+                Formula::Lit(1),
+                Formula::And(vec![Formula::Lit(2), Formula::Lit(-3)]),
+            ]),
+            Formula::not(Formula::implies(Formula::Lit(4), Formula::Lit(1))),
+        );
+        check_equisatisfiable(&f, 4);
+    }
+
+    #[test]
+    fn or_of_cnfs_extended_form() {
+        // phi1 = (1)&(2), phi2 = (-1)&(-2); phi1|phi2 is satisfiable,
+        // and adding units 1,-2 makes it unsat.
+        let phi1 = vec![vec![1], vec![2]];
+        let phi2 = vec![vec![-1], vec![-2]];
+        let mut enc = TseitinEncoder::new(2);
+        enc.assert_or_of_cnfs(&[phi1.clone(), phi2.clone()]);
+        assert!(sat(enc.cnf()).is_sat());
+
+        let mut enc = TseitinEncoder::new(2);
+        enc.assert_or_of_cnfs(&[phi1, phi2]);
+        enc.add_clause(&[1]);
+        enc.add_clause(&[-2]);
+        assert_eq!(sat(enc.cnf()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn define_and_forces_all_inputs() {
+        let mut enc = TseitinEncoder::new(2);
+        let DefLit::Lit(x) = enc.define_and(&[1, 2]) else {
+            panic!()
+        };
+        enc.add_clause(&[x]);
+        enc.add_clause(&[-1]);
+        // x true requires both inputs true, but input 1 is pinned false.
+        assert_eq!(sat(enc.cnf()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn define_or_requires_some_input() {
+        let mut enc = TseitinEncoder::new(2);
+        let DefLit::Lit(x) = enc.define_or(&[1, 2]) else {
+            panic!()
+        };
+        enc.add_clause(&[x]);
+        enc.add_clause(&[-1]);
+        // x true with input 1 false is satisfied via input 2.
+        let got = sat(enc.cnf());
+        assert!(got.is_sat());
+        assert!(got.model().value(2));
+        // And with both inputs false it must be unsat.
+        let mut enc = TseitinEncoder::new(2);
+        let DefLit::Lit(x) = enc.define_or(&[1, 2]) else {
+            panic!()
+        };
+        enc.add_clause(&[x]);
+        enc.add_clause(&[-1]);
+        enc.add_clause(&[-2]);
+        assert_eq!(sat(enc.cnf()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn vars_collection() {
+        let f = Formula::implies(
+            Formula::Lit(5),
+            Formula::And(vec![Formula::Lit(-2), Formula::Lit(9)]),
+        );
+        assert_eq!(f.vars(), vec![2, 5, 9]);
+    }
+}

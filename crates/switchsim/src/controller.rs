@@ -1,0 +1,103 @@
+//! Controller-side application interface.
+//!
+//! Experiments (and the Monocle proxy harness built on top in the `monocle`
+//! crate) implement [`ControlApp`]; the network event loop invokes the
+//! callbacks and then executes the commands queued on the [`AppCtx`]. This
+//! command-queue design keeps the app a pure state machine — no re-entrant
+//! borrows of the network — which is what makes every experiment replayable.
+
+use crate::SimTime;
+use monocle_openflow::OfMessage;
+
+/// Commands an app may issue from a callback.
+#[derive(Debug)]
+pub enum AppCmd {
+    /// Send a message to switch `sw` (subject to control-channel latency).
+    Send {
+        /// Target switch.
+        sw: usize,
+        /// Transaction id.
+        xid: u32,
+        /// The message.
+        msg: OfMessage,
+    },
+    /// Request an [`ControlApp::on_timer`] callback at an absolute time.
+    Timer {
+        /// Absolute simulation time (clamped to now if in the past).
+        at: SimTime,
+        /// Opaque token passed back.
+        token: u64,
+    },
+}
+
+/// Callback context: the current time plus a command queue.
+#[derive(Debug)]
+pub struct AppCtx {
+    /// Current simulation time.
+    pub now: SimTime,
+    pub(crate) cmds: Vec<AppCmd>,
+}
+
+impl AppCtx {
+    pub(crate) fn new(now: SimTime) -> AppCtx {
+        AppCtx {
+            now,
+            cmds: Vec::new(),
+        }
+    }
+
+    /// Queues a message to a switch.
+    pub fn send(&mut self, sw: usize, xid: u32, msg: OfMessage) {
+        self.cmds.push(AppCmd::Send { sw, xid, msg });
+    }
+
+    /// Schedules a timer callback at absolute time `at`.
+    pub fn timer_at(&mut self, at: SimTime, token: u64) {
+        self.cmds.push(AppCmd::Timer { at, token });
+    }
+
+    /// Schedules a timer callback `dt` from now.
+    pub fn timer_in(&mut self, dt: SimTime, token: u64) {
+        self.timer_at(self.now + dt, token);
+    }
+}
+
+/// A controller-side application (experiment logic or Monocle proxy stack).
+pub trait ControlApp {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut AppCtx) {}
+
+    /// Called for every message a switch sends to the controller.
+    fn on_message(&mut self, ctx: &mut AppCtx, sw: usize, xid: u32, msg: OfMessage);
+
+    /// Called when a previously scheduled timer fires.
+    fn on_timer(&mut self, _ctx: &mut AppCtx, _token: u64) {}
+}
+
+/// A no-op app (lets pure data-plane simulations run).
+#[derive(Debug, Default)]
+pub struct NullApp;
+
+impl ControlApp for NullApp {
+    fn on_message(&mut self, _ctx: &mut AppCtx, _sw: usize, _xid: u32, _msg: OfMessage) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_queues_commands() {
+        let mut ctx = AppCtx::new(1000);
+        ctx.send(3, 7, OfMessage::BarrierRequest);
+        ctx.timer_in(500, 42);
+        assert_eq!(ctx.cmds.len(), 2);
+        match &ctx.cmds[1] {
+            AppCmd::Timer { at, token } => {
+                assert_eq!(*at, 1500);
+                assert_eq!(*token, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Switch behavior profiles.
+//!
+//! Each profile bundles the control-plane throughput numbers the paper
+//! measured (§8.3.1) with the behavioral pathologies of \[16\]:
+//!
+//! | switch      | PktOut/s | PktIn/s | premature ack | reorders |
+//! |-------------|----------|---------|----------------|----------|
+//! | HP 5406zl   | 7006     | 5531    | yes            | no       |
+//! | Dell S4810  | 850      | 401     | no             | no       |
+//! | Dell 8132F  | 9128     | 1105    | no             | no       |
+//! | Pica8 (emu) | —        | —       | yes            | yes      |
+//! | ideal / OVS | high     | high    | no             | no       |
+//!
+//! FlowMod rates are not printed in the paper; they are derived from the
+//! *shape* of Fig. 6 (normalized FlowMod rate vs PacketOut:FlowMod ratio)
+//! so the harness reproduces the same curves. Dell S4810 exposes two rates:
+//! the normal mixed-priority rate and the much higher rate when all rules
+//! share one priority (the `**` series of Figs. 6–7), which is what makes
+//! that configuration *more* sensitive to added load.
+
+use crate::SimTime;
+
+/// Behavioral and performance model of one switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchProfile {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Agent cost of processing one FlowMod (mixed-priority tables), ns.
+    pub flowmod_cost: SimTime,
+    /// Agent cost of one FlowMod when every table rule shares one priority
+    /// (Dell S4810's fast path); `None` = same as `flowmod_cost`.
+    pub flowmod_cost_flat: Option<SimTime>,
+    /// Agent cost of processing one PacketOut, ns.
+    pub packetout_cost: SimTime,
+    /// Cost of generating one PacketIn, ns (1/max PacketIn rate).
+    pub packetin_cost: SimTime,
+    /// Fraction of one PacketIn's cost that stalls the FlowMod/PacketOut
+    /// CPU (the Fig. 7 interference coefficient; PacketIns otherwise ride a
+    /// separate path).
+    pub packetin_interference: f64,
+    /// Maximum queued PacketIns before drops.
+    pub packetin_queue_cap: usize,
+    /// Per-rule data-plane (TCAM) install time, ns. Applied serially after
+    /// the agent has processed the FlowMod.
+    pub dataplane_install_time: SimTime,
+    /// True = barriers/acks are answered when the *agent* has processed the
+    /// command, before the data plane commits (the \[16\] pathology).
+    pub premature_ack: bool,
+    /// True = the pending install queue commits higher-priority rules first
+    /// (Pica8's reordering behavior per \[16\]).
+    pub reorders_installs: bool,
+}
+
+impl SwitchProfile {
+    /// An idealized switch (software switch with truthful, fast updates):
+    /// the role OVS-with-ack-proxy plays in the paper's Fig. 8 baseline.
+    pub fn ideal() -> SwitchProfile {
+        SwitchProfile {
+            name: "ideal",
+            flowmod_cost: crate::time::us(50),
+            flowmod_cost_flat: None,
+            packetout_cost: crate::time::us(20),
+            packetin_cost: crate::time::us(20),
+            packetin_interference: 0.0,
+            packetin_queue_cap: 4096,
+            dataplane_install_time: crate::time::us(10),
+            premature_ack: false,
+            reorders_installs: false,
+        }
+    }
+
+    /// HP ProCurve 5406zl: 7006 PktOut/s, 5531 PktIn/s (§8.3.1), premature
+    /// rule-installation acknowledgments \[14, 16\], serial TCAM updates.
+    pub fn hp5406zl() -> SwitchProfile {
+        SwitchProfile {
+            name: "HP 5406zl",
+            // Agent sustains ~300 mods/s; the TCAM pipeline (below) is the
+            // real bottleneck, which is what makes its premature acks
+            // harmful (\[16\]).
+            flowmod_cost: crate::time::per_sec(300.0),
+            flowmod_cost_flat: None,
+            packetout_cost: crate::time::per_sec(7006.0),
+            packetin_cost: crate::time::per_sec(5531.0),
+            packetin_interference: 0.05,
+            packetin_queue_cap: 256,
+            dataplane_install_time: crate::time::ms(4),
+            premature_ack: true,
+            reorders_installs: false,
+        }
+    }
+
+    /// Pica8 behavior as emulated in the paper's §7 proxy: premature
+    /// barrier responses and reordered installs, OVS-like agent speed but
+    /// slow data-plane commits.
+    pub fn pica8() -> SwitchProfile {
+        SwitchProfile {
+            name: "Pica8 (emulated)",
+            flowmod_cost: crate::time::us(200),
+            flowmod_cost_flat: None,
+            packetout_cost: crate::time::us(100),
+            packetin_cost: crate::time::us(100),
+            packetin_interference: 0.05,
+            packetin_queue_cap: 512,
+            dataplane_install_time: crate::time::ms(5),
+            premature_ack: true,
+            reorders_installs: true,
+        }
+    }
+
+    /// Dell S4810 (production-grade): 850 PktOut/s, 401 PktIn/s; truthful
+    /// but slow; mixed-priority FlowMod path.
+    pub fn dell_s4810() -> SwitchProfile {
+        SwitchProfile {
+            name: "DELL S4810",
+            flowmod_cost: crate::time::per_sec(42.0),
+            flowmod_cost_flat: Some(crate::time::per_sec(700.0)),
+            packetout_cost: crate::time::per_sec(850.0),
+            packetin_cost: crate::time::per_sec(401.0),
+            packetin_interference: 0.10,
+            packetin_queue_cap: 128,
+            dataplane_install_time: crate::time::ms(2),
+            premature_ack: false,
+            reorders_installs: false,
+        }
+    }
+
+    /// Dell S4810 with an all-equal-priority table (the `**` series): the
+    /// baseline FlowMod rate is much higher, so added PacketOut/PacketIn
+    /// load hurts relatively more (Figs. 6–7).
+    pub fn dell_s4810_flat() -> SwitchProfile {
+        SwitchProfile {
+            name: "DELL S4810**",
+            packetin_interference: 0.60,
+            ..SwitchProfile::dell_s4810()
+        }
+    }
+
+    /// Dell 8132F with experimental OpenFlow support: 9128 PktOut/s,
+    /// 1105 PktIn/s.
+    pub fn dell_8132f() -> SwitchProfile {
+        SwitchProfile {
+            name: "DELL 8132F",
+            flowmod_cost: crate::time::per_sec(80.0),
+            flowmod_cost_flat: None,
+            packetout_cost: crate::time::per_sec(9128.0),
+            packetin_cost: crate::time::per_sec(1105.0),
+            packetin_interference: 0.05,
+            packetin_queue_cap: 256,
+            dataplane_install_time: crate::time::ms(3),
+            premature_ack: false,
+            reorders_installs: false,
+        }
+    }
+
+    /// The FlowMod agent cost given whether the table is flat-priority.
+    pub fn flowmod_cost_for(&self, flat_priority_table: bool) -> SimTime {
+        if flat_priority_table {
+            self.flowmod_cost_flat.unwrap_or(self.flowmod_cost)
+        } else {
+            self.flowmod_cost
+        }
+    }
+
+    /// Maximum PacketOut rate implied by the profile, 1/s (for reports).
+    pub fn max_packetout_rate(&self) -> f64 {
+        1e9 / self.packetout_cost as f64
+    }
+
+    /// Maximum PacketIn rate implied by the profile, 1/s (for reports).
+    pub fn max_packetin_rate(&self) -> f64 {
+        1e9 / self.packetin_cost as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_encode_paper_rates() {
+        let hp = SwitchProfile::hp5406zl();
+        assert!((hp.max_packetout_rate() - 7006.0).abs() < 1.0);
+        assert!((hp.max_packetin_rate() - 5531.0).abs() < 1.0);
+        let s4810 = SwitchProfile::dell_s4810();
+        assert!((s4810.max_packetout_rate() - 850.0).abs() < 1.0);
+        assert!((s4810.max_packetin_rate() - 401.0).abs() < 1.0);
+        let d8132 = SwitchProfile::dell_8132f();
+        assert!((d8132.max_packetout_rate() - 9128.0).abs() < 2.0);
+        assert!((d8132.max_packetin_rate() - 1105.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pathologies() {
+        assert!(SwitchProfile::hp5406zl().premature_ack);
+        assert!(!SwitchProfile::hp5406zl().reorders_installs);
+        assert!(SwitchProfile::pica8().premature_ack);
+        assert!(SwitchProfile::pica8().reorders_installs);
+        assert!(!SwitchProfile::ideal().premature_ack);
+        assert!(!SwitchProfile::dell_s4810().premature_ack);
+    }
+
+    #[test]
+    fn flat_priority_fast_path() {
+        let p = SwitchProfile::dell_s4810();
+        assert!(p.flowmod_cost_for(true) < p.flowmod_cost_for(false));
+        let hp = SwitchProfile::hp5406zl();
+        assert_eq!(hp.flowmod_cost_for(true), hp.flowmod_cost_for(false));
+    }
+}

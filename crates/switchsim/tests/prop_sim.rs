@@ -1,0 +1,153 @@
+//! Property tests for the discrete-event simulator: determinism,
+//! conservation laws, and control-plane ordering invariants.
+
+use monocle_openflow::{Action, FlowMod, Match, OfMessage};
+use monocle_packet::PacketFields;
+use monocle_switchsim::controller::NullApp;
+use monocle_switchsim::{time, ControlApp, Network, NetworkConfig, NodeRef, SwitchProfile};
+use proptest::prelude::*;
+
+fn line_net(seed: u64, loss: f64, hops: usize) -> (Network, usize, usize) {
+    let mut net = Network::new(NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    });
+    for _ in 0..hops {
+        net.add_switch(SwitchProfile::ideal());
+    }
+    let h1 = net.add_host();
+    let h2 = net.add_host();
+    net.connect_host(h1, 0);
+    for i in 1..hops {
+        let l = net.connect(NodeRef::Switch(i - 1), NodeRef::Switch(i));
+        net.set_link_loss(l, loss);
+    }
+    net.connect_host(h2, hops - 1);
+    (net, h1, h2)
+}
+
+fn install_chain(net: &mut Network, hops: usize) {
+    let mut app = NullApp;
+    for sw in 0..hops {
+        // First switch: host on port 1, trunk on port 2; middle switches:
+        // in on 1, out on 2; last: host on port 2.
+        let out = if sw == 0 || sw < hops - 1 { 2 } else { 2 };
+        net.app_send(
+            sw,
+            sw as u32,
+            &OfMessage::FlowMod(FlowMod::add(1, Match::any(), vec![Action::Output(out)])),
+        );
+    }
+    net.run_for(&mut app, time::ms(100));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: a host never receives more packets than were sent, and
+    /// with loss-free links it receives exactly the sent count.
+    #[test]
+    fn packet_conservation(seed in any::<u64>(), n in 1u64..200, hops in 2usize..5) {
+        let (mut net, h1, h2) = line_net(seed, 0.0, hops);
+        install_chain(&mut net, hops);
+        net.add_host_flow(
+            h1,
+            PacketFields::default(),
+            1,
+            net.now(),
+            time::us(500),
+            net.now() + time::us(500) * (n - 1),
+        );
+        let mut app = NullApp;
+        net.run_for(&mut app, time::s(2));
+        prop_assert_eq!(net.host_received(h2), n);
+        prop_assert_eq!(net.host_received(h1), 0);
+    }
+
+    /// With lossy links, received <= sent, and the loss is reproducible for
+    /// a fixed seed.
+    #[test]
+    fn lossy_links_bounded_and_deterministic(seed in any::<u64>(), loss in 0.1f64..0.9) {
+        let run = |seed| {
+            let (mut net, h1, h2) = line_net(seed, loss, 3);
+            install_chain(&mut net, 3);
+            net.add_host_flow(h1, PacketFields::default(), 1, net.now(),
+                              time::us(500), net.now() + time::ms(50));
+            let mut app = NullApp;
+            net.run_for(&mut app, time::s(2));
+            net.host_received(h2)
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a, b, "same seed, same loss pattern");
+        prop_assert!(a <= 101);
+    }
+
+    /// Agent throughput: FlowMods are processed at exactly the profile's
+    /// serialized rate, independent of burst size.
+    #[test]
+    fn agent_rate_is_profile_rate(burst in 10u32..200) {
+        let mut net = Network::new(NetworkConfig::default());
+        let sw = net.add_switch(SwitchProfile::dell_s4810());
+        // Mixed priorities so the slow path is used.
+        net.switch_mut(sw).dataplane_mut()
+            .add_rule(1, Match::any().with_tp_src(1), vec![]).unwrap();
+        net.switch_mut(sw).dataplane_mut()
+            .add_rule(2, Match::any().with_tp_src(2), vec![]).unwrap();
+        for i in 0..burst {
+            net.app_send(sw, i, &OfMessage::FlowMod(FlowMod::add(
+                3,
+                Match::any().with_nw_dst((0x0a00_0000u32 | i).to_be_bytes(), 32),
+                vec![],
+            )));
+        }
+        let mut app = NullApp;
+        // Run exactly 1 simulated second past the channel latency.
+        net.run_until(&mut app, time::us(500) + time::s(1));
+        let done = net.switch(sw).stats.flowmods_processed;
+        let expected = 42.min(u64::from(burst)); // profile: 42 mods/s
+        prop_assert!(done.abs_diff(expected) <= 2,
+            "processed {done}, expected ~{expected}");
+    }
+
+    /// Barrier ordering on truthful switches: the reply never arrives before
+    /// every prior FlowMod is committed to the data plane.
+    #[test]
+    fn barrier_after_installs(n_rules in 1u32..30) {
+        struct BarrierCheck {
+            reply_at: Option<u64>,
+        }
+        impl ControlApp for BarrierCheck {
+            fn on_message(
+                &mut self,
+                ctx: &mut monocle_switchsim::AppCtx,
+                _: usize,
+                _: u32,
+                msg: OfMessage,
+            ) {
+                if matches!(msg, OfMessage::BarrierReply) {
+                    self.reply_at = Some(ctx.now);
+                }
+            }
+        }
+        let mut net = Network::new(NetworkConfig::default());
+        let sw = net.add_switch(SwitchProfile::dell_8132f());
+        for i in 0..n_rules {
+            net.app_send(sw, i, &OfMessage::FlowMod(FlowMod::add(
+                5,
+                Match::any().with_nw_dst((0x0a00_0000u32 | i).to_be_bytes(), 32),
+                vec![Action::Output(1)],
+            )));
+        }
+        net.app_send(sw, 999, &OfMessage::BarrierRequest);
+        let mut app = BarrierCheck { reply_at: None };
+        net.run_for(&mut app, time::s(60));
+        prop_assert!(app.reply_at.is_some(), "barrier must be answered");
+        prop_assert_eq!(
+            net.switch(sw).dataplane().len(),
+            n_rules as usize,
+            "every rule committed before the reply"
+        );
+        prop_assert_eq!(net.switch(sw).pending_installs(), 0);
+    }
+}

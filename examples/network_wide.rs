@@ -1,0 +1,41 @@
+//! Network-wide catching-rule planning (§6): coloring strategies on a
+//! FatTree and a WAN-like topology.
+//!
+//! Shows the tradeoff the paper evaluates in Fig. 9: strategy 1 (one
+//! reserved field) needs very few values; strategy 2 (two fields, square
+//! graph) needs at least max-degree+1 but keeps probes off the control
+//! channel of uninvolved switches.
+//!
+//! Run: `cargo run --example network_wide`
+
+use monocle::catching::{plan, values_without_coloring, Strategy};
+use monocle_netgraph::generators;
+
+fn show(name: &str, g: &monocle_netgraph::Graph) {
+    let p1 = plan(g, Strategy::OneField, 500_000);
+    let p2 = plan(g, Strategy::TwoFields, 500_000);
+    println!(
+        "{name}: {} switches, {} links | no-coloring {} values | strategy-1 {} values{} | strategy-2 {} values",
+        g.len(),
+        g.num_edges(),
+        values_without_coloring(g),
+        p1.num_values,
+        if p1.optimal { " (optimal)" } else { "" },
+        p2.num_values,
+    );
+    // Show the rules one switch would carry under strategy 1.
+    let rules_sw0: Vec<_> = p1.rules.iter().filter(|r| r.switch == 0).collect();
+    println!(
+        "  switch 0 (color {}) preinstalls {} catching rule(s); its probes carry VLAN tag {:#x}",
+        p1.colors[0],
+        rules_sw0.len(),
+        p1.probe_tag(0),
+    );
+}
+
+fn main() {
+    show("FatTree(4)", &generators::fattree(4));
+    show("FatTree(8)", &generators::fattree(8));
+    show("WAN (Waxman, 120 nodes)", &generators::waxman(120, 0.15, 0.4, 7));
+    show("ISP (pref. attach, 500 nodes)", &generators::barabasi_albert(500, 2, 7));
+}

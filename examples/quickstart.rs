@@ -1,0 +1,61 @@
+//! Quickstart: generate a probe for the paper's Figure 1 scenario.
+//!
+//! A switch holds two rules:
+//!   1. (src=10.0.0.1, dst=*) -> port A   (the rule we want to verify)
+//!   2. (*, *)               -> port B   (default route)
+//!
+//! Monocle synthesizes a probe packet whose observable outcome differs
+//! depending on whether rule 1 is installed, then crafts it into a real
+//! wire packet.
+//!
+//! Run: `cargo run --example quickstart`
+
+use monocle::generator::{generate_probe, GeneratorConfig};
+use monocle::CatchSpec;
+use monocle_openflow::{Action, FlowTable, Match};
+use monocle_packet::{craft_packet, validate_packet, ProbeMeta};
+
+fn main() {
+    // Build the expected flow table (what Monocle's proxy would have
+    // tracked from the controller's FlowMods).
+    let mut table = FlowTable::new();
+    let rule_1 = table
+        .add_rule(
+            10,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(1)], // port A
+        )
+        .unwrap();
+    table
+        .add_rule(1, Match::any(), vec![Action::Output(2)]) // port B
+        .unwrap();
+
+    // Ask the SAT-based generator for a probe plan.
+    let plan = generate_probe(
+        &table,
+        rule_1,
+        &CatchSpec::default(),
+        &GeneratorConfig::default(),
+    )
+    .expect("rule 1 is monitorable");
+
+    println!("probe header (abstract): {:?}", plan.fields);
+    println!("present  => output ports {:?}", plan.present.observations.iter().map(|o| o.0).collect::<Vec<_>>());
+    println!("absent   => output ports {:?}", plan.absent.observations.iter().map(|o| o.0).collect::<Vec<_>>());
+    assert_eq!(plan.fields.nw_src, [10, 0, 0, 1], "probe must hit rule 1");
+
+    // Craft the real packet, with probe metadata in the payload (§4.2).
+    let meta = ProbeMeta {
+        switch_id: 1,
+        rule_id: rule_1.0,
+        epoch: 0,
+        seq: 1,
+        expected_code: 0,
+    };
+    let frame = craft_packet(&plan.fields, &meta.encode()).unwrap();
+    validate_packet(&frame).unwrap();
+    println!("crafted {} wire bytes; checksums valid", frame.len());
+    println!(
+        "outcome check: probe on port A ⇒ rule OK; on port B ⇒ raise alarm (Figure 1)"
+    );
+}
