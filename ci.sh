@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint, and refresh the probe-generation
+# perf baseline. Run from the repo root. Fully offline — all third-party
+# deps are vendored under crates/vendor/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace --all-targets
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== perf baseline: Table 2 probe generation =="
+# Capped rule count keeps CI fast while staying above the 500-rule floor the
+# engine-vs-stateless acceptance criterion is measured at.
+./target/release/table2_probe_generation --rules 600 --json BENCH_probe_generation.json
+
+echo "CI OK"

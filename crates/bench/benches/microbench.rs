@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use monocle::encode::{build_instance, CatchSpec, EncodingStyle};
+use monocle::engine::{EngineConfig, ProbeEngine};
 use monocle::generator::{generate_probe, GeneratorConfig};
 use monocle_datasets::acl::{generate, AclConfig};
 use monocle_datasets::fib::l3_host_routes;
@@ -40,6 +41,34 @@ fn bench_probe_generation(c: &mut Criterion) {
                 black_box(generate_probe(&table, id, &catch, &gen_cfg)).ok()
             })
         });
+        // Engine comparison arms on the same table/rule stream.
+        let mut warm = ProbeEngine::default();
+        let mut j = 0;
+        g.bench_function(BenchmarkId::new("engine_warm", name), |b| {
+            b.iter(|| {
+                let id = ids[j % ids.len()];
+                j += 1;
+                black_box(warm.generate(&table, id, &catch)).ok()
+            })
+        });
+        g.bench_function(BenchmarkId::new("engine_cold_batch", name), |b| {
+            b.iter(|| {
+                let mut eng = ProbeEngine::default();
+                black_box(eng.generate_batch(&table, &ids, &catch).len())
+            })
+        });
+        g.bench_function(
+            BenchmarkId::new("engine_cold_batch_no_fastpath", name),
+            |b| {
+                b.iter(|| {
+                    let mut eng = ProbeEngine::new(EngineConfig {
+                        fast_path: false,
+                        ..EngineConfig::default()
+                    });
+                    black_box(eng.generate_batch(&table, &ids, &catch).len())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -75,7 +104,11 @@ fn bench_encoding_ablation(c: &mut Criterion) {
                 if let Ok(inst) =
                     build_instance(table.rules(), r, &catch, EncodingStyle::Implication)
                 {
-                    black_box(DpllSolver::new().with_decision_budget(100_000).solve(&inst.cnf));
+                    black_box(
+                        DpllSolver::new()
+                            .with_decision_budget(100_000)
+                            .solve(&inst.cnf),
+                    );
                 }
             }
         })

@@ -24,7 +24,11 @@ struct InstallFib {
 impl Experiment for InstallFib {
     fn on_start(&mut self, io: &mut ExpIo) {
         for (i, r) in self.rules.iter().enumerate() {
-            io.send_flowmod(0, i as u64, FlowMod::add(r.priority, r.match_, r.actions.clone()));
+            io.send_flowmod(
+                0,
+                i as u64,
+                FlowMod::add(r.priority, r.match_, r.actions.clone()),
+            );
         }
     }
 }

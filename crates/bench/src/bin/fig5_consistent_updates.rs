@@ -66,7 +66,11 @@ impl Experiment for Reroute {
     fn on_timer(&mut self, io: &mut ExpIo, _token: u64) {
         // Phase 1 for every flow: install the S2 rule (forward to S1 = port 2).
         for (i, f) in self.flows.iter().enumerate() {
-            io.send_flowmod(S2, i as u64, FlowMod::add(100, flow_match(f), forward_to(2)));
+            io.send_flowmod(
+                S2,
+                i as u64,
+                FlowMod::add(100, flow_match(f), forward_to(2)),
+            );
         }
     }
 
@@ -124,7 +128,14 @@ fn run(mode: &str, profile: SwitchProfile, flows: usize, pps: u64) -> RunResult 
         }
     }
     for f in &exp.flows {
-        net.add_host_flow(h1, f.fields, u64::from(f.id), time::ms(500), interval, t_end);
+        net.add_host_flow(
+            h1,
+            f.fields,
+            u64::from(f.id),
+            time::ms(500),
+            interval,
+            t_end,
+        );
     }
     let (received, completion_s) = match mode {
         "monocle" => {
@@ -138,7 +149,10 @@ fn run(mode: &str, profile: SwitchProfile, flows: usize, pps: u64) -> RunResult 
                 .filter_map(|x| *x)
                 .max()
                 .unwrap_or(0);
-            (net.host_received(h2), time::to_secs(done.saturating_sub(time::s(1))))
+            (
+                net.host_received(h2),
+                time::to_secs(done.saturating_sub(time::s(1))),
+            )
         }
         _ => {
             let mut app = BarrierApp::new(exp);
@@ -151,7 +165,10 @@ fn run(mode: &str, profile: SwitchProfile, flows: usize, pps: u64) -> RunResult 
                 .filter_map(|x| *x)
                 .max()
                 .unwrap_or(0);
-            (net.host_received(h2), time::to_secs(done.saturating_sub(time::s(1))))
+            (
+                net.host_received(h2),
+                time::to_secs(done.saturating_sub(time::s(1))),
+            )
         }
     };
     RunResult {

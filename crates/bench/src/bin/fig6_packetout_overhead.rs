@@ -14,14 +14,7 @@ use monocle_switchsim::{time, ControlApp, Network, NetworkConfig, SwitchProfile}
 
 struct Nothing;
 impl ControlApp for Nothing {
-    fn on_message(
-        &mut self,
-        _: &mut monocle_switchsim::AppCtx,
-        _: usize,
-        _: u32,
-        _: OfMessage,
-    ) {
-    }
+    fn on_message(&mut self, _: &mut monocle_switchsim::AppCtx, _: usize, _: u32, _: OfMessage) {}
 }
 
 /// Measured FlowMods/s for a given PacketOut:FlowMod ratio of k:2.
@@ -30,7 +23,11 @@ fn flowmod_rate(profile: &SwitchProfile, flat_priority: bool, k: usize, seconds:
     let sw = net.add_switch(profile.clone());
     // Table composition decides the Dell fast path: flat = one priority.
     for i in 0..100u32 {
-        let prio = if flat_priority { 10 } else { 10 + (i % 50) as u16 };
+        let prio = if flat_priority {
+            10
+        } else {
+            10 + (i % 50) as u16
+        };
         net.switch_mut(sw)
             .dataplane_mut()
             .add_rule(
@@ -50,14 +47,22 @@ fn flowmod_rate(profile: &SwitchProfile, flat_priority: bool, k: usize, seconds:
     for r in 0..rounds {
         for _ in 0..k {
             xid += 1;
-            net.app_send(sw, xid, &OfMessage::PacketOut {
-                in_port: 0xffff,
-                actions: vec![Action::Output(1)],
-                data: frame.clone(),
-            });
+            net.app_send(
+                sw,
+                xid,
+                &OfMessage::PacketOut {
+                    in_port: 0xffff,
+                    actions: vec![Action::Output(1)],
+                    data: frame.clone(),
+                },
+            );
         }
         let dst = (0x0c00_0000u32 | r).to_be_bytes();
-        let prio = if flat_priority { 10 } else { 10 + (r % 50) as u16 };
+        let prio = if flat_priority {
+            10
+        } else {
+            10 + (r % 50) as u16
+        };
         xid += 1;
         net.app_send(
             sw,

@@ -12,14 +12,7 @@ use monocle_switchsim::{time, ControlApp, Network, NetworkConfig, SwitchProfile}
 
 struct Sink;
 impl ControlApp for Sink {
-    fn on_message(
-        &mut self,
-        _: &mut monocle_switchsim::AppCtx,
-        _: usize,
-        _: u32,
-        _: OfMessage,
-    ) {
-    }
+    fn on_message(&mut self, _: &mut monocle_switchsim::AppCtx, _: usize, _: u32, _: OfMessage) {}
 }
 
 fn flowmod_rate(profile: &SwitchProfile, flat: bool, packetin_rate: u64, seconds: u64) -> f64 {
@@ -84,7 +77,11 @@ fn flowmod_rate(profile: &SwitchProfile, flat: bool, packetin_rate: u64, seconds
         net.app_send(
             sw,
             xid,
-            &OfMessage::FlowMod(FlowMod::add(prio, Match::any().with_nw_dst(dst, 32), vec![])),
+            &OfMessage::FlowMod(FlowMod::add(
+                prio,
+                Match::any().with_nw_dst(dst, 32),
+                vec![],
+            )),
         );
     }
     let mut app = Sink;

@@ -10,13 +10,15 @@
 //! Paper reference: Monocle's completion trails the ideal network by only
 //! ~350 ms over a ~3.5 s update.
 //!
-//! Usage: `fig8_large_network [--paths N] [--batch N] [--interval-ms N]`
+//! Usage: `fig8_large_network [--paths N] [--batch N] [--interval-ms N] [--horizon-s N]`
 
 use monocle::harness::{ExpIo, Experiment, HarnessConfig, MonocleApp};
 use monocle_netgraph::generators::{fattree, fattree_edge_switches};
 use monocle_netgraph::paths::random_paths;
 use monocle_openflow::{FlowMod, Match, PortNo};
-use monocle_switchsim::{time, ControlApp, Network, NetworkConfig, NodeRef, SimTime, SwitchProfile};
+use monocle_switchsim::{
+    time, ControlApp, Network, NetworkConfig, NodeRef, SimTime, SwitchProfile,
+};
 use std::collections::HashMap;
 
 struct PathInstall {
@@ -41,7 +43,11 @@ impl PathInstall {
         let m = Match::any()
             .with_nw_src([10, 2, (i >> 8) as u8, i as u8], 32)
             .with_nw_dst([10, 3, (i >> 8) as u8, i as u8], 32);
-        FlowMod::add(100, m, vec![monocle_openflow::Action::Output(self.ports[&(sw, next)])])
+        FlowMod::add(
+            100,
+            m,
+            vec![monocle_openflow::Action::Output(self.ports[&(sw, next)])],
+        )
     }
 
     fn launch_batch(&mut self, io: &mut ExpIo) {
@@ -109,7 +115,12 @@ impl Experiment for PathInstall {
     }
 }
 
-fn build(paths_n: usize, batch: usize, interval: SimTime, ideal: bool) -> (Network, PathInstall, Vec<usize>) {
+fn build(
+    paths_n: usize,
+    batch: usize,
+    interval: SimTime,
+    ideal: bool,
+) -> (Network, PathInstall, Vec<usize>) {
     let g = fattree(4);
     let edges = fattree_edge_switches(4);
     let mut net = Network::new(NetworkConfig::default());
@@ -143,7 +154,11 @@ fn build(paths_n: usize, batch: usize, interval: SimTime, ideal: bool) -> (Netwo
     // Random paths between hypervisors: hypervisor -> ToR -> ... -> ToR ->
     // hypervisor.
     let tor_paths = random_paths(&g, &edges, paths_n, 0xF18);
-    let tor_to_h: HashMap<usize, usize> = edges.iter().copied().zip(hypervisors.iter().copied()).collect();
+    let tor_to_h: HashMap<usize, usize> = edges
+        .iter()
+        .copied()
+        .zip(hypervisors.iter().copied())
+        .collect();
     let full_paths: Vec<Vec<usize>> = tor_paths
         .into_iter()
         .map(|p| {
@@ -194,6 +209,7 @@ fn main() {
     let mut paths_n = 2000usize;
     let mut batch = 40usize;
     let mut interval_ms = 10u64;
+    let mut horizon_s = 60u64;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -209,10 +225,16 @@ fn main() {
                 interval_ms = args[i + 1].parse().unwrap();
                 i += 2;
             }
+            "--horizon-s" => {
+                horizon_s = args[i + 1].parse().unwrap();
+                i += 2;
+            }
             other => panic!("unknown arg {other}"),
         }
     }
-    println!("== Figure 8: batched update of {paths_n} paths (batch {batch} per {interval_ms} ms) ==");
+    println!(
+        "== Figure 8: batched update of {paths_n} paths (batch {batch} per {interval_ms} ms) =="
+    );
     println!("(paper: Monocle ~350 ms behind the ideal network over the full update)");
     println!("mode\tprogress");
 
@@ -220,19 +242,29 @@ fn main() {
     let (mut net, exp, _) = build(paths_n, batch, time::ms(interval_ms), true);
     let mut app = monocle::harness::BarrierApp::new(exp);
     net.start(&mut app);
-    net.run_until(&mut app, time::s(60));
+    net.run_until(&mut app, time::s(horizon_s));
     let t_ideal = summarize("ideal", &app.experiment.done_at);
 
     // Monocle over Pica8-like switches.
     let (mut net, exp, core) = build(paths_n, batch, time::ms(interval_ms), false);
     let mut app = MonocleApp::build(exp, &net, &core, HarnessConfig::default());
     net.start(&mut app);
-    net.run_until(&mut app, time::s(60));
+    net.run_until(&mut app, time::s(horizon_s));
     let t_mon = summarize("monocle", &app.experiment.done_at);
 
     println!(
         "monocle finishes {:.0} ms after the ideal network",
         (t_mon - t_ideal) * 1e3
+    );
+    let gs = app.probe_engine_stats();
+    println!(
+        "probe engines: {} solves, {} fast-path, {} cache hits / {} misses, \
+         {} incremental re-encodes",
+        gs.solver_calls,
+        gs.fast_path_hits,
+        gs.cache_hits,
+        gs.cache_misses,
+        gs.reencodes_incremental
     );
 }
 

@@ -32,7 +32,7 @@ fn run_corpus(name: &str, corpus: &[CorpusEntry], exact_budget: u64) {
         strat2.push(plan(&e.graph, Strategy::TwoFields, exact_budget).num_values);
     }
     println!("\n== Figure 9 ({name}, {} topologies) ==", corpus.len());
-    println!("series          \t{}", "CDF summary (#reserved values)");
+    println!("series          \tCDF summary (#reserved values)");
     println!("No coloring     \t{}", cdf_summary(no_coloring));
     println!("Coloring (1)    \t{}", cdf_summary(strat1.clone()));
     println!("Coloring (2)    \t{}", cdf_summary(strat2.clone()));
@@ -86,5 +86,9 @@ fn main() {
     let zoo = zoo_like(zoo_n, seed);
     run_corpus("Topology-Zoo-like", &zoo, 200_000);
     let rf = rocketfuel_like(rf_max, seed);
-    run_corpus("Rocketfuel-like", &rf, 0 /* greedy, like the paper's fallback */);
+    run_corpus(
+        "Rocketfuel-like",
+        &rf,
+        0, /* greedy, like the paper's fallback */
+    );
 }

@@ -30,11 +30,15 @@ fn measure(profile: &SwitchProfile) -> (f64, f64) {
     net.connect_host(host, sw);
     let frame = monocle_packet::craft_packet(&PacketFields::default(), b"rate").unwrap();
     for xid in 0..20_000u32 {
-        net.app_send(sw, xid, &OfMessage::PacketOut {
-            in_port: 0xffff,
-            actions: vec![Action::Output(1)],
-            data: frame.clone(),
-        });
+        net.app_send(
+            sw,
+            xid,
+            &OfMessage::PacketOut {
+                in_port: 0xffff,
+                actions: vec![Action::Output(1)],
+                data: frame.clone(),
+            },
+        );
     }
     let mut app = Counter::default();
     let horizon = time::s(60);
@@ -50,7 +54,11 @@ fn measure(profile: &SwitchProfile) -> (f64, f64) {
     net.connect_host(src, sw);
     net.switch_mut(sw)
         .dataplane_mut()
-        .add_rule(1, Match::any(), vec![Action::Output(action::PORT_CONTROLLER)])
+        .add_rule(
+            1,
+            Match::any(),
+            vec![Action::Output(action::PORT_CONTROLLER)],
+        )
         .unwrap();
     // Offer 4x the nominal capacity for 5 seconds.
     let offered = 4.0 * profile.max_packetin_rate();

@@ -1,5 +1,5 @@
 //! **Table 2**: probe generation time and success rate on the two ACL
-//! datasets.
+//! datasets — now with an engine-vs-stateless comparison.
 //!
 //! Paper reference (measured on a 2.93-GHz Xeon X5647, PicoSAT backend):
 //!
@@ -9,17 +9,47 @@
 //! Stanford   1.48      3.85      2442  / 2755
 //! ```
 //!
-//! Usage: `table2_probe_generation [--rules N] [--style ite]`
-//! (`--rules` truncates each dataset for quick runs).
+//! Three arms per dataset:
+//!
+//! * `stateless` — per-rule [`monocle::generator::generate_probe`], the
+//!   paper's §5.3 formulation (full re-encode per call);
+//! * `engine-batch` — one cold [`monocle::engine::ProbeEngine::generate_batch`]
+//!   over the same rules (shared session + guess-and-verify fast path);
+//! * `engine-reprobe` — the same batch again on the unchanged table: the
+//!   steady-state §3 sweep, which must be pure cache hits (zero solves).
+//!
+//! Usage: `table2_probe_generation [--rules N] [--style ite] [--json PATH]
+//! [--no-fast-path]`
+//!
+//! `--json` writes a machine-readable baseline (see
+//! `BENCH_probe_generation.json` at the repo root) so future changes have a
+//! perf trajectory.
 
 use monocle::encode::EncodingStyle;
-use monocle::generator::{generate_probe_with_stats, GeneratorConfig};
+use monocle::engine::{EngineConfig, ProbeEngine};
+use monocle::generator::{generate_probe_with_stats, GenStats, GeneratorConfig};
 use monocle::CatchSpec;
 use monocle_datasets::acl::{generate, AclConfig};
-use monocle_openflow::FlowTable;
+use monocle_openflow::{FlowTable, RuleId};
 use std::time::Instant;
 
-fn run_dataset(name: &str, cfg: &AclConfig, limit: Option<usize>, style: EncodingStyle) {
+struct ArmResult {
+    label: &'static str,
+    total_s: f64,
+    avg_ms: f64,
+    max_ms: f64,
+    found: usize,
+    total: usize,
+    stats: GenStats,
+}
+
+struct DatasetResult {
+    name: &'static str,
+    rules: usize,
+    arms: Vec<ArmResult>,
+}
+
+fn build_table(cfg: &AclConfig, limit: Option<usize>) -> (FlowTable, Vec<RuleId>) {
     let rules = generate(cfg);
     let mut table = FlowTable::new();
     let mut ids = Vec::new();
@@ -28,44 +58,179 @@ fn run_dataset(name: &str, cfg: &AclConfig, limit: Option<usize>, style: Encodin
             ids.push(id);
         }
     }
-    let ids: Vec<_> = match limit {
+    let ids = match limit {
         Some(n) => ids.into_iter().take(n).collect(),
         None => ids,
     };
+    (table, ids)
+}
+
+fn run_stateless(
+    table: &FlowTable,
+    ids: &[RuleId],
+    gen_cfg: &GeneratorConfig,
+    catch: &CatchSpec,
+) -> ArmResult {
+    let mut times_ms: Vec<f64> = Vec::with_capacity(ids.len());
+    let mut found = 0usize;
+    let mut agg = GenStats::default();
+    let t_all = Instant::now();
+    for &id in ids {
+        let t0 = Instant::now();
+        let res = generate_probe_with_stats(table, id, catch, gen_cfg);
+        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        if let Ok((_, stats)) = res {
+            found += 1;
+            agg.merge(&stats);
+        }
+    }
+    ArmResult {
+        label: "stateless",
+        total_s: t_all.elapsed().as_secs_f64(),
+        avg_ms: times_ms.iter().sum::<f64>() / times_ms.len().max(1) as f64,
+        max_ms: times_ms.iter().cloned().fold(0.0, f64::max),
+        found,
+        total: ids.len(),
+        stats: agg,
+    }
+}
+
+fn run_engine(
+    engine: &mut ProbeEngine,
+    label: &'static str,
+    table: &FlowTable,
+    ids: &[RuleId],
+    catch: &CatchSpec,
+) -> ArmResult {
+    let t_all = Instant::now();
+    let (results, stats) = engine.generate_batch_with_stats(table, ids, catch);
+    let total_s = t_all.elapsed().as_secs_f64();
+    let found = results.iter().filter(|r| r.is_ok()).count();
+    let per_ms = total_s * 1e3 / ids.len().max(1) as f64;
+    ArmResult {
+        label,
+        total_s,
+        avg_ms: per_ms,
+        max_ms: per_ms, // batch arms are timed in aggregate
+        found,
+        total: ids.len(),
+        stats,
+    }
+}
+
+fn run_dataset(
+    name: &'static str,
+    cfg: &AclConfig,
+    limit: Option<usize>,
+    style: EncodingStyle,
+    fast_path: bool,
+) -> DatasetResult {
+    let (table, ids) = build_table(cfg, limit);
     let gen_cfg = GeneratorConfig {
         style,
         ..GeneratorConfig::default()
     };
     let catch = CatchSpec::default();
-    let mut times_ms: Vec<f64> = Vec::with_capacity(ids.len());
-    let mut found = 0usize;
-    let mut relevant_total = 0usize;
-    let t_all = Instant::now();
-    for &id in &ids {
-        let t0 = Instant::now();
-        let res = generate_probe_with_stats(&table, id, &catch, &gen_cfg);
-        let dt = t0.elapsed().as_secs_f64() * 1e3;
-        times_ms.push(dt);
-        if let Ok((_, stats)) = res {
-            found += 1;
-            relevant_total += stats.relevant_rules;
-        }
+
+    let stateless = run_stateless(&table, &ids, &gen_cfg, &catch);
+    let mut engine = ProbeEngine::new(EngineConfig {
+        gen: gen_cfg.clone(),
+        fast_path,
+        ..EngineConfig::default()
+    });
+    let cold = run_engine(&mut engine, "engine-batch", &table, &ids, &catch);
+    let warm = run_engine(&mut engine, "engine-reprobe", &table, &ids, &catch);
+
+    for arm in [&stateless, &cold, &warm] {
+        println!(
+            "{name}\t{}\t{:.3}\t{:.3}\t{} / {}\t({:.2}s total | {} solves | {} cache hits | {} fast-path)",
+            arm.label,
+            arm.avg_ms,
+            arm.max_ms,
+            arm.found,
+            arm.total,
+            arm.total_s,
+            arm.stats.solver_calls,
+            arm.stats.cache_hits,
+            arm.stats.fast_path_hits,
+        );
     }
-    let total_s = t_all.elapsed().as_secs_f64();
-    let avg = times_ms.iter().sum::<f64>() / times_ms.len() as f64;
-    let max = times_ms.iter().cloned().fold(0.0, f64::max);
+    let speedup = stateless.total_s / cold.total_s.max(1e-12);
     println!(
-        "{name}\t{avg:.2}\t{max:.2}\t{found} / {total}\t({:.1}% | avg overlap {:.1} rules | {total_s:.1}s total)",
-        100.0 * found as f64 / ids.len() as f64,
-        relevant_total as f64 / found.max(1) as f64,
-        total = ids.len(),
+        "{name}\tspeedup: engine-batch {speedup:.1}x vs stateless; re-probe solver calls: {}",
+        warm.stats.solver_calls
     );
+    DatasetResult {
+        name,
+        rules: table.len(),
+        arms: vec![stateless, cold, warm],
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Labels/names here are static identifiers; assert instead of escaping.
+    assert!(!s.contains(['"', '\\']), "label needs escaping: {s}");
+    s
+}
+
+fn write_json(path: &str, style: EncodingStyle, fast_path: bool, datasets: &[DatasetResult]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"table2_probe_generation\",\n");
+    out.push_str(&format!("  \"style\": \"{style:?}\",\n"));
+    out.push_str(&format!("  \"fast_path\": {fast_path},\n"));
+    out.push_str("  \"datasets\": [\n");
+    for (di, d) in datasets.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"name\": \"{}\",\n      \"rules\": {},\n",
+            json_escape_free(d.name),
+            d.rules
+        ));
+        let stateless = &d.arms[0];
+        let cold = &d.arms[1];
+        out.push_str(&format!(
+            "      \"speedup_engine_batch_vs_stateless\": {:.3},\n",
+            stateless.total_s / cold.total_s.max(1e-12)
+        ));
+        out.push_str("      \"arms\": [\n");
+        for (ai, a) in d.arms.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"label\": \"{}\", \"total_s\": {:.6}, \"avg_ms\": {:.6}, \
+                 \"max_ms\": {:.6}, \"found\": {}, \"total\": {}, \"solver_calls\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"fast_path_hits\": {}, \
+                 \"reencodes_incremental\": {}, \"reencodes_full\": {}}}{}\n",
+                json_escape_free(a.label),
+                a.total_s,
+                a.avg_ms,
+                a.max_ms,
+                a.found,
+                a.total,
+                a.stats.solver_calls,
+                a.stats.cache_hits,
+                a.stats.cache_misses,
+                a.stats.fast_path_hits,
+                a.stats.reencodes_incremental,
+                a.stats.reencodes_full,
+                if ai + 1 < d.arms.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if di + 1 < datasets.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write json baseline");
+    println!("wrote {path}");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut limit = None;
     let mut style = EncodingStyle::Implication;
+    let mut json_path: Option<String> = None;
+    let mut fast_path = true;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -81,12 +246,29 @@ fn main() {
                 };
                 i += 2;
             }
+            "--json" => {
+                json_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--no-fast-path" => {
+                fast_path = false;
+                i += 1;
+            }
             other => panic!("unknown arg {other}"),
         }
     }
     println!("== Table 2: time Monocle takes to generate a probe ==");
     println!("(paper: Campus 4.03/5.29 ms, 10642/10958; Stanford 1.48/3.85 ms, 2442/2755)");
-    println!("Data set\tavg [ms]\tmax [ms]\tprobes found");
-    run_dataset("Campus", &AclConfig::campus_like(), limit, style);
-    run_dataset("Stanford", &AclConfig::stanford_like(), limit, style);
+    println!("Data set\tarm\tavg [ms]\tmax [ms]\tprobes found");
+    let campus = run_dataset("Campus", &AclConfig::campus_like(), limit, style, fast_path);
+    let stanford = run_dataset(
+        "Stanford",
+        &AclConfig::stanford_like(),
+        limit,
+        style,
+        fast_path,
+    );
+    if let Some(path) = json_path {
+        write_json(&path, style, fast_path, &[campus, stanford]);
+    }
 }

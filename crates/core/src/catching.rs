@@ -124,9 +124,7 @@ pub fn plan(topology: &Graph, strategy: Strategy, exact_budget: u64) -> CatchPla
                         switch: sw,
                         priority: CATCH_PRIORITY,
                         match_: Match::any().with_dl_vlan((value_base + u64::from(c)) as u16),
-                        actions: vec![Action::Output(
-                            monocle_openflow::action::PORT_CONTROLLER,
-                        )],
+                        actions: vec![Action::Output(monocle_openflow::action::PORT_CONTROLLER)],
                     });
                 }
             }

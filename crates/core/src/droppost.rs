@@ -80,10 +80,7 @@ pub fn postpone(fm: &FlowMod, tag: DropTag, neighbor_port: PortNo) -> Option<Pos
     let mut finalize = fm.clone();
     finalize.command = FlowModCommand::ModifyStrict;
     finalize.actions = Vec::new();
-    Some(PostponedDrop {
-        stand_in,
-        finalize,
-    })
+    Some(PostponedDrop { stand_in, finalize })
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //!   does not raise an alarm, it just keeps probing (§4.1).
 
 use crate::encode::CatchSpec;
+use crate::engine::ProbeEngine;
 use crate::expect::ExpectedTable;
 use crate::generator::{generate_probe, GeneratorConfig, ProbeError};
 use crate::plan::{ProbePlan, Verdict};
@@ -96,12 +97,15 @@ struct ActiveUpdate {
     live_seqs: Vec<u32>,
 }
 
-/// The per-switch dynamic monitor. Owns the expected table.
+/// The per-switch dynamic monitor. Owns the expected table and the
+/// session-based [`ProbeEngine`] every real-table generation runs through
+/// (update bursts and the proxy's steady-state sweeps share one cache).
 #[derive(Debug)]
 pub struct DynamicMonitor {
     cfg: DynamicConfig,
     expected: ExpectedTable,
     catch: CatchSpec,
+    engine: ProbeEngine,
     active: Vec<ActiveUpdate>,
     queued: std::collections::VecDeque<(u64, FlowMod)>,
     next_seq: u32,
@@ -111,10 +115,12 @@ impl DynamicMonitor {
     /// Creates a monitor; `catch` is the per-switch collection spec (tag
     /// pins + injection port).
     pub fn new(cfg: DynamicConfig, catch: CatchSpec) -> DynamicMonitor {
+        let engine = ProbeEngine::with_gen(cfg.gen.clone());
         DynamicMonitor {
             cfg,
             expected: ExpectedTable::new(),
             catch,
+            engine,
             active: Vec::new(),
             queued: std::collections::VecDeque::new(),
             next_seq: 0,
@@ -127,9 +133,33 @@ impl DynamicMonitor {
     }
 
     /// Mutable access for pre-installing rules outside the proxied stream
-    /// (catching rules).
+    /// (catching rules). Callers mutating the table this way should also
+    /// push the delta via [`DynamicMonitor::engine_mut`]'s
+    /// [`ProbeEngine::note_delta`]; the engine's fingerprint check covers
+    /// forgotten notifications.
     pub fn expected_mut(&mut self) -> &mut ExpectedTable {
         &mut self.expected
+    }
+
+    /// The shared probe engine (statistics inspection).
+    pub fn engine(&self) -> &ProbeEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access (delta notifications, cache control).
+    pub fn engine_mut(&mut self) -> &mut ProbeEngine {
+        &mut self.engine
+    }
+
+    /// Batch-generates plans for rules of the *current* expected table
+    /// through the shared engine under the monitor's own catch spec (the
+    /// steady-state sweep entry point).
+    pub fn generate_batch_expected(
+        &mut self,
+        ids: &[RuleId],
+    ) -> Vec<Result<ProbePlan, ProbeError>> {
+        self.engine
+            .generate_batch(self.expected.table(), ids, &self.catch)
     }
 
     /// Number of unconfirmed (actively probed) updates.
@@ -167,8 +197,43 @@ impl DynamicMonitor {
 
     fn start_update(&mut self, now: u64, token: u64, fm: FlowMod) -> Vec<DynAction> {
         let mut actions = Vec::new();
-        // Snapshot the pre-state for modify/delete probe construction.
-        let pre_table = self.expected.table().clone();
+        // §4.1: a deletion is the opposite of an installation — its probe is
+        // the *pre-state* plan, awaited on the absent outcome. Plan it
+        // before the delta invalidates the engine cache: a steady-state
+        // sweep has usually probed the victim already, making this a pure
+        // cache hit.
+        let pre_planned: Option<(ProbePlan, Verdict)> = match fm.command {
+            FlowModCommand::DeleteStrict | FlowModCommand::Delete => {
+                let victim = self
+                    .expected
+                    .table()
+                    .rules()
+                    .iter()
+                    .find(|r| fm.match_.ternary().subsumes(&r.tern))
+                    .map(|r| r.id);
+                victim.and_then(|id| {
+                    self.engine
+                        .generate(self.expected.table(), id, &self.catch)
+                        .ok()
+                        .map(|p| (p, Verdict::Absent))
+                })
+            }
+            _ => None,
+        };
+        // Modify probes need the rule's pre-state version; snapshot just
+        // that rule (not the whole table) before the delta lands.
+        let old_version = match fm.command {
+            FlowModCommand::ModifyStrict | FlowModCommand::Modify => self
+                .expected
+                .table()
+                .rules()
+                .iter()
+                .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
+                .cloned(),
+            _ => None,
+        };
+        // Feed the delta to the engine (incremental invalidation), apply it.
+        self.engine.note_flowmod(&fm);
         let apply_result = self.expected.apply(&fm);
         actions.push(DynAction::Forward(fm.clone()));
         let planned: Option<(ProbePlan, Verdict)> = match fm.command {
@@ -178,33 +243,18 @@ impl DynamicMonitor {
                     .ok()
                     .and_then(|r| r.added.first().copied());
                 rule_id.and_then(|id| {
-                    self.generate(self.expected.table(), id)
+                    self.engine
+                        .generate(self.expected.table(), id, &self.catch)
+                        .ok()
                         .map(|p| (p, Verdict::Present))
                 })
             }
-            FlowModCommand::DeleteStrict | FlowModCommand::Delete => {
-                // §4.1: a deletion is the opposite of an installation: use
-                // the pre-state plan and wait for the *absent* outcome.
-                let victim = pre_table
-                    .rules()
-                    .iter()
-                    .find(|r| fm.match_.ternary().subsumes(&r.tern))
-                    .map(|r| r.id);
-                victim.and_then(|id| {
-                    self.generate(&pre_table, id)
-                        .map(|p| (p, Verdict::Absent))
-                })
-            }
+            FlowModCommand::DeleteStrict | FlowModCommand::Delete => pre_planned,
             FlowModCommand::ModifyStrict | FlowModCommand::Modify => {
                 // §4.1 synthetic table: expected post-state, all rules of
                 // lower priority removed, the OLD version re-inserted just
                 // below the modified rule. The probe then always hits either
                 // version and must tell them apart.
-                let old = pre_table
-                    .rules()
-                    .iter()
-                    .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
-                    .cloned();
                 let new_id = self
                     .expected
                     .table()
@@ -212,7 +262,7 @@ impl DynamicMonitor {
                     .iter()
                     .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
                     .map(|r| r.id);
-                match (old, new_id, fm.priority) {
+                match (old_version, new_id, fm.priority) {
                     (Some(old_rule), Some(new_id), p) if p > 0 => {
                         let mut synth = FlowTable::new();
                         for r in self.expected.table().rules() {
@@ -277,6 +327,9 @@ impl DynamicMonitor {
         actions
     }
 
+    /// Stateless generation for the §4.1 *synthetic* modify table: one-shot
+    /// constructions with throwaway rule ids would only thrash the engine's
+    /// session, so they bypass it.
     fn generate(&self, table: &FlowTable, id: RuleId) -> Option<ProbePlan> {
         match generate_probe(table, id, &self.catch, &self.cfg.gen) {
             Ok(p) => Some(p),
@@ -301,9 +354,7 @@ impl DynamicMonitor {
         let mut alarmed: Vec<u64> = Vec::new();
         let mut silent_done: Vec<u64> = Vec::new();
         for a in &mut self.active {
-            if a.silent_confirm
-                && a.attempts >= 2
-                && now >= a.last_contrary.max(a.started) + window
+            if a.silent_confirm && a.attempts >= 2 && now >= a.last_contrary.max(a.started) + window
             {
                 // §3.3 negative probing: enough probes went quiet.
                 silent_done.push(a.token);

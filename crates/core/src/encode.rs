@@ -20,8 +20,9 @@
 
 use crate::outcome::{BitCondition, OutcomeDiff};
 use monocle_openflow::headerspace::HEADER_BITS;
-use monocle_openflow::{Field, Forwarding, Rule, Ternary};
-use monocle_sat::{encode_ite_chain, Cnf, Lit};
+use monocle_openflow::{Field, Forwarding, Rule, RuleId, Ternary};
+use monocle_sat::{encode_ite_chain, Cnf, Lit, Var};
+use std::collections::HashMap;
 
 /// Which Distinguish encoding to emit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,6 +134,107 @@ fn not_matches_clause(h: &Ternary, probed: &Ternary) -> Option<Vec<Lit>> {
     }
 }
 
+/// Pushes the Collect constraint: unit clauses for every catch pin.
+fn push_pins(cnf: &mut Cnf, catch: &CatchSpec) {
+    for (field, value) in catch.all_pins() {
+        let off = field.offset();
+        for i in 0..field.width() {
+            let var = (off + i + 1) as Lit;
+            cnf.add_clause(&[if value >> i & 1 == 1 { var } else { -var }]);
+        }
+    }
+}
+
+/// Pushes Hit's avoid clauses for every relevant rule of priority ≥ the
+/// probed rule (equal-priority overlap is undefined behavior per the OF
+/// spec, footnote 1, so those are conservatively avoided too) and returns
+/// the lower-priority rules in table order. `Shadowed` when some higher
+/// rule fully covers the probed one.
+fn push_hit_avoid<'a>(
+    cnf: &mut Cnf,
+    relevant: &[&'a Rule],
+    probed: &Rule,
+) -> Result<Vec<&'a Rule>, BuildError> {
+    let mut lower: Vec<&Rule> = Vec::new();
+    for &r in relevant {
+        if r.priority >= probed.priority {
+            match not_matches_clause(&r.tern, &probed.tern) {
+                Some(clause) => cnf.add_clause(&clause),
+                None => {
+                    return Err(BuildError::Shadowed {
+                        by_priority: r.priority,
+                    })
+                }
+            }
+        } else {
+            lower.push(r);
+        }
+    }
+    Ok(lower)
+}
+
+/// Emits the Implication-style Distinguish clauses. `match_lits[i]` is the
+/// `Matches(P, L_i)` literal of the i-th lower rule (`None` = constant
+/// true); `diffs` holds one [`OutcomeDiff`] per lower rule plus the virtual
+/// table miss as its last element. Shared verbatim between the stateless
+/// builder and [`EncodeSession::build_instance`] so the two encoders cannot
+/// drift apart.
+fn emit_distinguish_implication(cnf: &mut Cnf, match_lits: &[Option<Lit>], diffs: &[OutcomeDiff]) {
+    let k = match_lits.len();
+    debug_assert_eq!(diffs.len(), k + 1);
+    for i in 0..=k {
+        // i == k is the table-miss case (m_miss = const true).
+        let cond = diffs[i].condition();
+        if cond == BitCondition::Const(true) {
+            continue;
+        }
+        // Clause: !m_i | m_1 | ... | m_{i-1} | cond
+        let mut clause: Vec<Lit> = Vec::new();
+        let mut satisfied = false;
+        if i < k {
+            // m_i = true (always-matching rule): !m_i drops out.
+            if let Some(m) = match_lits[i] {
+                clause.push(-m);
+            }
+        }
+        for m in match_lits.iter().take(i) {
+            match m {
+                Some(l) => clause.push(*l),
+                None => {
+                    // An earlier lower rule matches everything: rule i can
+                    // never be the highest match.
+                    satisfied = true;
+                    break;
+                }
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        match cond {
+            BitCondition::Const(false) => {}
+            BitCondition::Clause(ls) => clause.extend(ls),
+            BitCondition::Cnf(cs) => {
+                let z = cnf.fresh_var() as Lit;
+                for c in &cs {
+                    let mut cc = c.clone();
+                    cc.push(-z);
+                    cnf.add_clause(&cc);
+                }
+                clause.push(z);
+            }
+            BitCondition::Const(true) => unreachable!(),
+        }
+        if clause.is_empty() {
+            // IsHighestMatch is unconditionally true and the outcome
+            // indistinguishable: no probe exists.
+            cnf.add_clause(&[]);
+        } else {
+            cnf.add_clause(&clause);
+        }
+    }
+}
+
 /// `m ⇔ Matches(P, L)` over L's cared bits; `None` means constant true
 /// (match-anything rule).
 fn define_matches(cnf: &mut Cnf, tern: &Ternary) -> Option<Lit> {
@@ -192,16 +294,10 @@ fn condition_literal(cnf: &mut Cnf, true_lit: Lit, cond: &BitCondition) -> Lit {
     }
 }
 
-/// Builds the full probe-generation SAT instance for `probed` against
-/// `table` (all rules of the switch, priority-descending) under `catch`.
-pub fn build_instance(
-    table: &[Rule],
-    probed: &Rule,
-    catch: &CatchSpec,
-    style: EncodingStyle,
-) -> Result<Instance, BuildError> {
-    // Reserved-field discipline: the probed rule must not rewrite pinned
-    // fields (§3.2), nor may its match contradict the pins.
+/// Reserved-field discipline check shared by every build path: the probed
+/// rule must not rewrite pinned fields (§3.2), nor may its match contradict
+/// the pins.
+pub fn check_catch_pins(probed: &Rule, catch: &CatchSpec) -> Result<(), BuildError> {
     for &(field, value) in &catch.all_pins() {
         if field != Field::InPort && probed.fwd.touches_field(field) {
             return Err(BuildError::RewritesReserved(field));
@@ -214,39 +310,28 @@ pub fn build_instance(
             }
         }
     }
+    Ok(())
+}
+
+/// Builds the full probe-generation SAT instance for `probed` against
+/// `table` (all rules of the switch, priority-descending) under `catch`.
+pub fn build_instance(
+    table: &[Rule],
+    probed: &Rule,
+    catch: &CatchSpec,
+    style: EncodingStyle,
+) -> Result<Instance, BuildError> {
+    check_catch_pins(probed, catch)?;
 
     let relevant = relevant_rules(table, probed);
     let mut cnf = Cnf::with_capacity(64 + relevant.len() * 8);
     cnf.grow_vars(HEADER_BITS as u32);
 
-    // ---- Hit: match the probed rule ... ----
+    // ---- Hit: match the probed rule, carry the Collect pins, avoid all
+    // higher-priority overlapping rules. ----
     push_units(&mut cnf, &probed.tern);
-    // ---- Collect: ... and the catch pins ... ----
-    for (field, value) in catch.all_pins() {
-        let off = field.offset();
-        for i in 0..field.width() {
-            let var = (off + i + 1) as Lit;
-            cnf.add_clause(&[if value >> i & 1 == 1 { var } else { -var }]);
-        }
-    }
-    // ---- Hit: ... while avoiding all higher-priority overlapping rules.
-    // Equal-priority overlap is undefined behavior per the OF spec
-    // (footnote 1); we conservatively avoid those rules too.
-    let mut lower: Vec<&Rule> = Vec::new();
-    for r in &relevant {
-        if r.priority >= probed.priority {
-            match not_matches_clause(&r.tern, &probed.tern) {
-                Some(clause) => cnf.add_clause(&clause),
-                None => {
-                    return Err(BuildError::Shadowed {
-                        by_priority: r.priority,
-                    })
-                }
-            }
-        } else {
-            lower.push(r);
-        }
-    }
+    push_pins(&mut cnf, catch);
+    let lower = push_hit_avoid(&mut cnf, &relevant, probed)?;
 
     // ---- Distinguish over lower-priority rules + virtual table miss. ----
     let miss = Forwarding::drop();
@@ -265,69 +350,19 @@ pub fn build_instance(
     match style {
         EncodingStyle::Implication => {
             // m_j literals, computed lazily in order.
-            let mut match_lits: Vec<Option<Lit>> = Vec::with_capacity(lower.len());
-            for l in &lower {
-                match_lits.push(define_matches(&mut cnf, &l.tern));
-            }
-            let k = lower.len();
-            for i in 0..=k {
-                // i == k is the table-miss case (m_miss = const true).
-                let cond = diffs[i].condition();
-                if cond == BitCondition::Const(true) {
-                    continue;
-                }
-                // Clause: !m_i | m_1 | ... | m_{i-1} | cond
-                let mut clause: Vec<Lit> = Vec::new();
-                let mut satisfied = false;
-                if i < k {
-                    match match_lits[i] {
-                        Some(m) => clause.push(-m),
-                        None => {} // m_i = true: !m_i drops out
-                    }
-                }
-                for m in match_lits.iter().take(i) {
-                    match m {
-                        Some(l) => clause.push(*l),
-                        None => {
-                            // An earlier lower rule matches everything: rule
-                            // i can never be the highest match.
-                            satisfied = true;
-                            break;
-                        }
-                    }
-                }
-                if satisfied {
-                    continue;
-                }
-                match cond {
-                    BitCondition::Const(false) => {}
-                    BitCondition::Clause(ls) => clause.extend(ls),
-                    BitCondition::Cnf(cs) => {
-                        let z = cnf.fresh_var() as Lit;
-                        for c in &cs {
-                            let mut cc = c.clone();
-                            cc.push(-z);
-                            cnf.add_clause(&cc);
-                        }
-                        clause.push(z);
-                    }
-                    BitCondition::Const(true) => unreachable!(),
-                }
-                if clause.is_empty() {
-                    // IsHighestMatch is unconditionally true and the outcome
-                    // indistinguishable: no probe exists.
-                    cnf.add_clause(&[]);
-                } else {
-                    cnf.add_clause(&clause);
-                }
-            }
+            let match_lits: Vec<Option<Lit>> = lower
+                .iter()
+                .map(|l| define_matches(&mut cnf, &l.tern))
+                .collect();
+            emit_distinguish_implication(&mut cnf, &match_lits, &diffs);
         }
         EncodingStyle::IteChain => {
             // true_lit anchors constants.
             let true_lit = cnf.fresh_var() as Lit;
             cnf.add_clause(&[true_lit]);
             let mut chain: Vec<(Lit, Lit)> = Vec::new();
-            let mut else_lit = condition_literal(&mut cnf, true_lit, &diffs[lower.len()].condition());
+            let mut else_lit =
+                condition_literal(&mut cnf, true_lit, &diffs[lower.len()].condition());
             for (i, l) in lower.iter().enumerate() {
                 let cond_lit = condition_literal(&mut cnf, true_lit, &diffs[i].condition());
                 match define_matches(&mut cnf, &l.tern) {
@@ -357,39 +392,196 @@ pub fn build_instance(
 /// sub-instance is already unsatisfiable the rule is hidden/conflicting;
 /// otherwise it is indistinguishable, §3.5).
 pub fn build_hit_only(table: &[Rule], probed: &Rule, catch: &CatchSpec) -> Result<Cnf, BuildError> {
-    let inst = build_instance(
-        table,
-        probed,
-        catch,
-        // Implication style with all Distinguish clauses dropped: rebuild
-        // manually to avoid them.
-        EncodingStyle::Implication,
-    );
-    // Cheaper: rebuild just Hit+Collect here.
-    let _ = inst;
     let mut cnf = Cnf::new();
     cnf.grow_vars(HEADER_BITS as u32);
     push_units(&mut cnf, &probed.tern);
-    for (field, value) in catch.all_pins() {
-        let off = field.offset();
-        for i in 0..field.width() {
-            let var = (off + i + 1) as Lit;
-            cnf.add_clause(&[if value >> i & 1 == 1 { var } else { -var }]);
-        }
+    push_pins(&mut cnf, catch);
+    push_hit_avoid(&mut cnf, &relevant_rules(table, probed), probed)?;
+    Ok(cnf)
+}
+
+/// Cached per-rule `Matches` definition: the Tseitin literal (allocated from
+/// the session's stable pool) and its defining clauses. `tern` is stored so
+/// a stale template (rule id reused with different content) self-invalidates
+/// at lookup time.
+#[derive(Debug, Clone)]
+struct MatchTemplate {
+    tern: Ternary,
+    lit: Option<Lit>,
+    clauses: Cnf,
+}
+
+/// A shared, reusable encoding session (the [`crate::engine::ProbeEngine`]
+/// backend).
+///
+/// Stateless [`build_instance`] re-derives every lower rule's `Matches`
+/// Tseitin definition per probed rule — O(table · overlap) clause
+/// construction for a full-table sweep. The session instead allocates each
+/// rule's match literal once from a *stable variable pool* (above
+/// [`HEADER_BITS`]) and memoizes its defining clauses, so every instance in
+/// a batch splices the cached clause block in with a single `memcpy`-style
+/// [`Cnf::extend_from`]. [`OutcomeDiff`] computations are memoized per
+/// forwarding-behavior pair for the same reason (ACL-style tables draw
+/// actions from a small set, so the hit rate is high).
+///
+/// Templates validate themselves against the rule's current ternary, so
+/// FlowMod churn never yields stale encodings — at worst a changed rule
+/// costs one re-encode (tracked by the caller as an incremental re-encode).
+/// Only the [`EncodingStyle::Implication`] encoding is session-accelerated;
+/// the ITE chain (a paper-faithfulness ablation, not a production path)
+/// falls back to the stateless builder.
+#[derive(Debug, Default)]
+pub struct EncodeSession {
+    templates: HashMap<RuleId, MatchTemplate>,
+    /// Memoized diffs keyed probed-fwd → lower-fwd (nested so lookups need
+    /// no owned key).
+    diffs: HashMap<Forwarding, HashMap<Forwarding, OutcomeDiff>>,
+    /// Next stable variable (0 = uninitialized; real pool starts above
+    /// `HEADER_BITS`).
+    next_var: Var,
+}
+
+impl EncodeSession {
+    /// Fresh session.
+    pub fn new() -> EncodeSession {
+        EncodeSession::default()
     }
-    for r in relevant_rules(table, probed) {
-        if r.priority >= probed.priority {
-            match not_matches_clause(&r.tern, &probed.tern) {
-                Some(clause) => cnf.add_clause(&clause),
-                None => {
-                    return Err(BuildError::Shadowed {
-                        by_priority: r.priority,
-                    })
+
+    /// Drops all cached state (table replaced wholesale, or pool compaction).
+    pub fn reset(&mut self) {
+        self.templates.clear();
+        self.diffs.clear();
+        self.next_var = 0;
+    }
+
+    /// Number of cached per-rule match templates.
+    pub fn cached_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// High-water mark of the stable variable pool.
+    pub fn pool_vars(&self) -> u32 {
+        self.next_var.saturating_sub(HEADER_BITS as Var)
+    }
+
+    /// Drops the template of one rule (rule deleted or modified).
+    pub fn invalidate(&mut self, id: RuleId) {
+        self.templates.remove(&id);
+    }
+
+    fn alloc_var(&mut self) -> Var {
+        if self.next_var == 0 {
+            self.next_var = HEADER_BITS as Var;
+        }
+        self.next_var += 1;
+        self.next_var
+    }
+
+    /// Returns (creating or refreshing as needed) the match template of
+    /// `rule`.
+    fn template(&mut self, rule: &Rule) -> &MatchTemplate {
+        let stale = match self.templates.get(&rule.id) {
+            Some(t) => t.tern != rule.tern,
+            None => true,
+        };
+        if stale {
+            let mut lits = Vec::new();
+            for bit in rule.tern.care.iter_ones() {
+                let var = (bit + 1) as Lit;
+                lits.push(if rule.tern.value.get(bit) { var } else { -var });
+            }
+            let (lit, clauses) = match lits.len() {
+                0 => (None, Cnf::new()),
+                1 => (Some(lits[0]), Cnf::new()),
+                _ => {
+                    let m = self.alloc_var() as Lit;
+                    let mut cnf = Cnf::with_capacity(lits.len() * 3 + 2);
+                    for &l in &lits {
+                        cnf.add_clause(&[-m, l]);
+                    }
+                    let mut long: Vec<Lit> = lits.iter().map(|&l| -l).collect();
+                    long.push(m);
+                    cnf.add_clause(&long);
+                    (Some(m), cnf)
                 }
+            };
+            self.templates.insert(
+                rule.id,
+                MatchTemplate {
+                    tern: rule.tern,
+                    lit,
+                    clauses,
+                },
+            );
+        }
+        &self.templates[&rule.id]
+    }
+
+    fn diff(&mut self, a: &Forwarding, b: &Forwarding) -> &OutcomeDiff {
+        if !self.diffs.contains_key(a) {
+            self.diffs.insert(a.clone(), HashMap::new());
+        }
+        let inner = self.diffs.get_mut(a).unwrap();
+        if !inner.contains_key(b) {
+            inner.insert(b.clone(), OutcomeDiff::compute(a, b));
+        }
+        &inner[b]
+    }
+
+    /// Session-accelerated counterpart of [`build_instance`] (Implication
+    /// style). Semantically identical — only the auxiliary variable
+    /// numbering differs.
+    pub fn build_instance(
+        &mut self,
+        table: &[Rule],
+        probed: &Rule,
+        catch: &CatchSpec,
+    ) -> Result<Instance, BuildError> {
+        check_catch_pins(probed, catch)?;
+
+        let relevant = relevant_rules(table, probed);
+        let mut cnf = Cnf::with_capacity(64 + relevant.len() * 8);
+        cnf.grow_vars(HEADER_BITS as Var);
+
+        // Hit + Collect + avoid (identical to the stateless builder).
+        push_units(&mut cnf, &probed.tern);
+        push_pins(&mut cnf, catch);
+        let lower = push_hit_avoid(&mut cnf, &relevant, probed)?;
+
+        // Distinguish: match literals come from the shared templates; their
+        // defining clauses are spliced in wholesale.
+        let mut match_lits: Vec<Option<Lit>> = Vec::with_capacity(lower.len());
+        for l in &lower {
+            let t = self.template(l);
+            match_lits.push(t.lit);
+            cnf.extend_from(&t.clauses);
+        }
+        // Instance-local fresh variables must not collide with the pool.
+        if self.next_var > 0 {
+            cnf.grow_vars(self.next_var);
+        }
+
+        let miss = Forwarding::drop();
+        let mut uses_counting = false;
+        let mut diffs: Vec<OutcomeDiff> = Vec::with_capacity(lower.len() + 1);
+        for l in &lower {
+            diffs.push(self.diff(&probed.fwd, &l.fwd).clone());
+        }
+        diffs.push(self.diff(&probed.fwd, &miss).clone());
+        for d in &diffs {
+            if d.needs_counting() {
+                uses_counting = true;
             }
         }
+
+        emit_distinguish_implication(&mut cnf, &match_lits, &diffs);
+
+        Ok(Instance {
+            cnf,
+            uses_counting,
+            relevant_rules: relevant.len(),
+        })
     }
-    Ok(cnf)
 }
 
 #[cfg(test)]
@@ -459,14 +651,25 @@ mod tests {
             ),
         ]);
         let probed2 = t2.rules().iter().find(|r| r.priority == 10).unwrap();
-        let inst = build_instance(t2.rules(), probed2, &downstream_catch, EncodingStyle::Implication)
-            .unwrap();
+        let inst = build_instance(
+            t2.rules(),
+            probed2,
+            &downstream_catch,
+            EncodingStyle::Implication,
+        )
+        .unwrap();
         let model = solve(&inst.cnf).model();
         let h = probe_bits(&model);
         // Probe must: carry VLAN 3, have src 10.0.0.1, NOT have dst 10.0.0.2.
         assert_eq!(h.field(Field::DlVlan), 3);
-        assert_eq!(h.field(Field::NwSrc), u64::from(u32::from_be_bytes([10, 0, 0, 1])));
-        assert_ne!(h.field(Field::NwDst), u64::from(u32::from_be_bytes([10, 0, 0, 2])));
+        assert_eq!(
+            h.field(Field::NwSrc),
+            u64::from(u32::from_be_bytes([10, 0, 0, 1]))
+        );
+        assert_ne!(
+            h.field(Field::NwDst),
+            u64::from(u32::from_be_bytes([10, 0, 0, 2]))
+        );
         let _ = probed;
     }
 
@@ -569,8 +772,13 @@ mod tests {
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 10).unwrap();
         assert_eq!(
-            build_instance(t.rules(), probed, &CatchSpec::default(), EncodingStyle::Implication)
-                .unwrap_err(),
+            build_instance(
+                t.rules(),
+                probed,
+                &CatchSpec::default(),
+                EncodingStyle::Implication
+            )
+            .unwrap_err(),
             BuildError::Shadowed { by_priority: 20 }
         );
     }
@@ -584,9 +792,13 @@ mod tests {
             (10, Match::any(), vec![Action::Output(1)]),
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 20).unwrap();
-        let inst =
-            build_instance(t.rules(), probed, &CatchSpec::default(), EncodingStyle::Implication)
-                .unwrap();
+        let inst = build_instance(
+            t.rules(),
+            probed,
+            &CatchSpec::default(),
+            EncodingStyle::Implication,
+        )
+        .unwrap();
         assert!(solve(&inst.cnf).is_sat());
     }
 
@@ -595,9 +807,13 @@ mod tests {
         // Drop rule over a drop-by-miss table: nothing observable either way.
         let t = table_from(vec![(20, Match::any().with_tp_dst(23), vec![])]);
         let probed = &t.rules()[0];
-        let inst =
-            build_instance(t.rules(), probed, &CatchSpec::default(), EncodingStyle::Implication)
-                .unwrap();
+        let inst = build_instance(
+            t.rules(),
+            probed,
+            &CatchSpec::default(),
+            EncodingStyle::Implication,
+        )
+        .unwrap();
         assert_eq!(solve(&inst.cnf), SatResult::Unsat);
     }
 
@@ -647,9 +863,13 @@ mod tests {
             (10, Match::any(), vec![Action::Output(2)]),
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 30).unwrap();
-        let inst =
-            build_instance(t.rules(), probed, &CatchSpec::default(), EncodingStyle::Implication)
-                .unwrap();
+        let inst = build_instance(
+            t.rules(),
+            probed,
+            &CatchSpec::default(),
+            EncodingStyle::Implication,
+        )
+        .unwrap();
         // The 99.0.0.1 rule is disjoint: filtered out.
         assert_eq!(inst.relevant_rules, 1);
     }
@@ -665,9 +885,13 @@ mod tests {
             (10, Match::any(), vec![Action::SelectOutput(vec![1, 2])]),
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 20).unwrap();
-        let inst =
-            build_instance(t.rules(), probed, &CatchSpec::default(), EncodingStyle::Implication)
-                .unwrap();
+        let inst = build_instance(
+            t.rules(),
+            probed,
+            &CatchSpec::default(),
+            EncodingStyle::Implication,
+        )
+        .unwrap();
         assert!(inst.uses_counting);
         assert!(solve(&inst.cnf).is_sat());
     }
@@ -684,9 +908,13 @@ mod tests {
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 20).unwrap();
         // Full instance: UNSAT (indistinguishable); hit-only: SAT.
-        let full =
-            build_instance(t.rules(), probed, &CatchSpec::default(), EncodingStyle::Implication)
-                .unwrap();
+        let full = build_instance(
+            t.rules(),
+            probed,
+            &CatchSpec::default(),
+            EncodingStyle::Implication,
+        )
+        .unwrap();
         assert_eq!(solve(&full.cnf), SatResult::Unsat);
         let hit = build_hit_only(t.rules(), probed, &CatchSpec::default()).unwrap();
         assert!(solve(&hit).is_sat());

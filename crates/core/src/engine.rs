@@ -1,0 +1,713 @@
+//! Session-based, cache-aware probe generation: the [`ProbeEngine`].
+//!
+//! §5.3 makes probe generation the hot path of network-wide verification
+//! (Table 2, Fig. 8): the stateless [`crate::generator::generate_probe`]
+//! re-encodes the entire flow table into CNF on every call, so steady-state
+//! re-probing (§3) and large sweeps pay full encoding cost even when the
+//! table has not changed. The engine amortizes that cost with three layers:
+//!
+//! 1. **Plan cache** — keyed by `(rule, catch-spec)` and invalidated by
+//!    table deltas. A steady-state re-probe of an unchanged rule is a pure
+//!    lookup: *zero* SAT solves, zero encoding work.
+//! 2. **Guess-and-verify fast path** — the probed rule's own sample packet
+//!    (pins applied, §5.2-repaired) is checked against the semantic oracle
+//!    ([`crate::plan::verify_probe`]) before any SAT instance is built.
+//!    Acceptance is deliberately restricted to cases provably equivalent to
+//!    the SAT formulation (see [`ProbeEngine`] invariants below), so the
+//!    engine's answers match stateless generation; the common ACL case
+//!    (unicast/drop rules distinguished by output port) never hits the
+//!    solver.
+//! 3. **Encoding session** — when the solver *is* needed, the instance is
+//!    assembled through a shared [`EncodeSession`]: per-rule `Matches`
+//!    Tseitin templates with stable variables, spliced rather than rebuilt,
+//!    plus a memoized [`crate::outcome::OutcomeDiff`] table.
+//!
+//! ## Fingerprints and invalidation
+//!
+//! The engine never owns the flow table — every call takes `&FlowTable` and
+//! the engine lazily synchronizes to it. Synchronization is driven by a
+//! *table fingerprint* (order-sensitive hash of every rule's id, priority,
+//! ternary and forwarding behavior). When the fingerprint changes, the rule
+//! snapshot diff identifies exactly the added/removed/modified rules, and
+//! only cached plans whose rule **overlaps** a changed rule are dropped —
+//! the key soundness fact being that a generated plan depends solely on the
+//! probed rule's overlap neighborhood (any rule a probe can hit overlaps
+//! the probed rule by definition), the catch pins, and the generator
+//! config. Rules elsewhere in the table may influence *which* probe fresh
+//! generation would pick (spare-value selection), but never the validity of
+//! a cached one.
+//!
+//! Consumers that proxy FlowMods ([`crate::proxy::MonitorProxy`], wired by
+//! the [`crate::harness`] Multiplexer) additionally push deltas via
+//! [`ProbeEngine::note_flowmod`], which evicts overlapping plans eagerly;
+//! the fingerprint check remains the safety net for out-of-band mutations.
+
+use crate::encode::{self, CatchSpec, EncodeSession, EncodingStyle};
+use crate::generator::{self, GenStats, GeneratorConfig, ProbeError};
+use crate::plan::ProbePlan;
+use monocle_openflow::headerspace::HEADER_BITS;
+use monocle_openflow::{FlowMod, FlowTable, PortNo, Rule, RuleId, Ternary};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Underlying generator settings (encoding style, budgets, ports).
+    pub gen: GeneratorConfig,
+    /// Enable the guess-and-verify fast path (§5.2 sample-repair + semantic
+    /// oracle). Sound and SAT-equivalent by construction; disable only to
+    /// force every generation through the solver (benchmark ablations).
+    pub fast_path: bool,
+    /// Session variable pool is compacted once it exceeds
+    /// `pool_slack_factor * table_len + 1024` stable variables.
+    pub pool_slack_factor: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            gen: GeneratorConfig::default(),
+            fast_path: true,
+            pool_slack_factor: 4,
+        }
+    }
+}
+
+/// One cached generation result plus the probed rule's ternary (used for
+/// overlap-based invalidation without consulting the table).
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    tern: Ternary,
+    result: Result<ProbePlan, ProbeError>,
+}
+
+/// Snapshot of one rule at last synchronization.
+#[derive(Debug, Clone)]
+struct RuleSnap {
+    id: RuleId,
+    tern: Ternary,
+    sig: u64,
+}
+
+/// Engine-level lifecycle counters (plan-cache and invalidation behavior);
+/// per-call solver/encoding counters live in [`GenStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Table synchronizations that found an unchanged fingerprint.
+    pub syncs_clean: u64,
+    /// Incremental synchronizations (snapshot diff + overlap invalidation).
+    pub syncs_incremental: u64,
+    /// Full resynchronizations (first sync, wholesale replacement, or
+    /// ambiguous reorder).
+    pub syncs_full: u64,
+    /// Plan-cache entries evicted by invalidation.
+    pub plans_invalidated: u64,
+}
+
+/// Stateful, cache-aware probe generator for one switch's flow table.
+///
+/// Construct one per monitored table (e.g. per [`crate::proxy::MonitorProxy`])
+/// and route all generation through it; [`crate::generator::generate_probe`]
+/// remains as the stateless one-shot path and the engine's reference
+/// semantics.
+///
+/// ## Equivalence invariant
+///
+/// For any table state, [`ProbeEngine::generate`] and the stateless
+/// [`crate::generator::generate_probe`] agree on success/failure and error
+/// classification, and every engine-produced plan passes the semantic
+/// oracle. (Probe
+/// *packets* may differ — both paths verify their candidate against
+/// [`crate::plan::verify_probe`], so both are sound; the property tests in
+/// `tests/prop_engine.rs` exercise this across randomized FlowMod edit
+/// sequences.)
+#[derive(Debug)]
+pub struct ProbeEngine {
+    cfg: EngineConfig,
+    session: EncodeSession,
+    snapshot: Vec<RuleSnap>,
+    table_fp: u64,
+    synced: bool,
+    plan_cache: HashMap<(RuleId, u64), CacheEntry>,
+    total: GenStats,
+    engine_stats: EngineStats,
+}
+
+impl Default for ProbeEngine {
+    fn default() -> Self {
+        ProbeEngine::new(EngineConfig::default())
+    }
+}
+
+impl ProbeEngine {
+    /// Creates an engine.
+    pub fn new(cfg: EngineConfig) -> ProbeEngine {
+        ProbeEngine {
+            cfg,
+            session: EncodeSession::new(),
+            snapshot: Vec::new(),
+            table_fp: 0,
+            synced: false,
+            plan_cache: HashMap::new(),
+            total: GenStats::default(),
+            engine_stats: EngineStats::default(),
+        }
+    }
+
+    /// Engine wrapping the given generator settings (fast path on).
+    pub fn with_gen(gen: GeneratorConfig) -> ProbeEngine {
+        ProbeEngine::new(EngineConfig {
+            gen,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// The generator configuration in use.
+    pub fn gen_config(&self) -> &GeneratorConfig {
+        &self.cfg.gen
+    }
+
+    /// Aggregate generation statistics since construction (or [`Self::reset_stats`]).
+    pub fn stats(&self) -> GenStats {
+        self.total
+    }
+
+    /// Engine lifecycle counters.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine_stats
+    }
+
+    /// Zeroes the aggregate counters (bench epochs).
+    pub fn reset_stats(&mut self) {
+        self.total = GenStats::default();
+        self.engine_stats = EngineStats::default();
+    }
+
+    /// Number of cached plans (success and failure entries).
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Drops all cached state; the next call resynchronizes from scratch.
+    pub fn clear(&mut self) {
+        self.session.reset();
+        self.plan_cache.clear();
+        self.snapshot.clear();
+        self.synced = false;
+    }
+
+    /// Delta notification: a FlowMod is about to be (or was just) applied to
+    /// the monitored table. Eagerly evicts cached plans whose rule overlaps
+    /// the mod's match — the incremental-invalidation fast path; the
+    /// fingerprint check in [`Self::generate`] remains the safety net for
+    /// mutations that bypass this hook.
+    pub fn note_flowmod(&mut self, fm: &FlowMod) {
+        self.note_delta(fm.match_.ternary());
+    }
+
+    /// As [`Self::note_flowmod`] for an already-compiled match.
+    pub fn note_delta(&mut self, tern: Ternary) {
+        let evicted = self.evict_overlapping(&[tern]);
+        self.engine_stats.plans_invalidated += evicted;
+    }
+
+    /// Generates (or retrieves) the probe plan for `id` in `table`.
+    pub fn generate(
+        &mut self,
+        table: &FlowTable,
+        id: RuleId,
+        catch: &CatchSpec,
+    ) -> Result<ProbePlan, ProbeError> {
+        self.generate_with_stats(table, id, catch).0
+    }
+
+    /// As [`Self::generate`], also returning this call's statistics.
+    pub fn generate_with_stats(
+        &mut self,
+        table: &FlowTable,
+        id: RuleId,
+        catch: &CatchSpec,
+    ) -> (Result<ProbePlan, ProbeError>, GenStats) {
+        self.sync(table);
+        let catch_k = catch_key(catch);
+        let mut st = GenStats::default();
+        let res = self.generate_inner(table, id, catch, catch_k, &mut st);
+        self.total.merge(&st);
+        (res, st)
+    }
+
+    /// Batch generation: one synchronization, shared session, shared diff
+    /// cache across all `ids`. Returns results in input order.
+    pub fn generate_batch(
+        &mut self,
+        table: &FlowTable,
+        ids: &[RuleId],
+        catch: &CatchSpec,
+    ) -> Vec<Result<ProbePlan, ProbeError>> {
+        self.generate_batch_with_stats(table, ids, catch).0
+    }
+
+    /// As [`Self::generate_batch`], also returning the batch's aggregate
+    /// statistics.
+    pub fn generate_batch_with_stats(
+        &mut self,
+        table: &FlowTable,
+        ids: &[RuleId],
+        catch: &CatchSpec,
+    ) -> (Vec<Result<ProbePlan, ProbeError>>, GenStats) {
+        self.sync(table);
+        let catch_k = catch_key(catch);
+        let mut st = GenStats::default();
+        let out = ids
+            .iter()
+            .map(|&id| self.generate_inner(table, id, catch, catch_k, &mut st))
+            .collect();
+        self.total.merge(&st);
+        (out, st)
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn generate_inner(
+        &mut self,
+        table: &FlowTable,
+        id: RuleId,
+        catch: &CatchSpec,
+        catch_k: u64,
+        st: &mut GenStats,
+    ) -> Result<ProbePlan, ProbeError> {
+        if let Some(entry) = self.plan_cache.get(&(id, catch_k)) {
+            st.cache_hits += 1;
+            return entry.result.clone();
+        }
+        st.cache_misses += 1;
+        let Some(probed) = table.get(id) else {
+            // Not cached: there is no ternary to invalidate by.
+            return Err(ProbeError::NoSuchRule(id));
+        };
+        let result = self.generate_uncached(table, probed, catch, st);
+        // Cacheability: plans and the Hidden/Indistinguishable/CatchConflict/
+        // RewritesReserved/SolverBudget errors are fully determined by the
+        // rule's overlap neighborhood + pins, so overlap eviction keeps them
+        // exact. RepairFailed is the one outcome that also depends on
+        // *disjoint* rules (spare-value / domain selection scans the whole
+        // table), so caching it could pin a stale failure — regenerate it
+        // every time instead (it is rare by construction).
+        if !matches!(result, Err(ProbeError::RepairFailed)) {
+            self.plan_cache.insert(
+                (id, catch_k),
+                CacheEntry {
+                    tern: probed.tern,
+                    result: result.clone(),
+                },
+            );
+        }
+        result
+    }
+
+    fn generate_uncached(
+        &mut self,
+        table: &FlowTable,
+        probed: &Rule,
+        catch: &CatchSpec,
+        st: &mut GenStats,
+    ) -> Result<ProbePlan, ProbeError> {
+        if self.cfg.fast_path {
+            if let Some(plan) = self.try_fast_path(table, probed, catch) {
+                st.fast_path_hits += 1;
+                st.relevant_rules += plan.relevant_rules;
+                return Ok(plan);
+            }
+        }
+        if self.cfg.gen.style == EncodingStyle::Implication {
+            match self.session.build_instance(table.rules(), probed, catch) {
+                Ok(inst) => {
+                    st.reencodes_incremental += 1;
+                    generator::solve_and_finish(table, probed, catch, &self.cfg.gen, inst, st)
+                }
+                Err(e) => Err(generator::map_build_error(e)),
+            }
+        } else {
+            // ITE chain (ablation style) has no session acceleration.
+            match encode::build_instance(table.rules(), probed, catch, self.cfg.gen.style) {
+                Ok(inst) => {
+                    st.reencodes_full += 1;
+                    generator::solve_and_finish(table, probed, catch, &self.cfg.gen, inst, st)
+                }
+                Err(e) => Err(generator::map_build_error(e)),
+            }
+        }
+    }
+
+    /// Guess-and-verify: repair the probed rule's sample packet and check it
+    /// semantically. Accepts only candidates that are *provably also models
+    /// of the SAT instance*, keeping the engine equivalent to stateless
+    /// generation:
+    ///
+    /// * the (normalized) probe matches the probed rule and no other rule of
+    ///   priority ≥ it — exactly the conservative Hit constraint;
+    /// * catch pins hold (checked by the oracle);
+    /// * present/absent outcomes are unicast-or-drop and differ in *output
+    ///   port sets* — the one distinguishing condition whose SAT encoding
+    ///   ([`crate::outcome::OutcomeDiff`]) is unconditionally true, so the
+    ///   candidate satisfies Distinguish under any lower-rule chain.
+    ///
+    /// Anything subtler (rewrite-only differences, ECMP/multicast,
+    /// counting) falls through to the solver.
+    fn try_fast_path(
+        &self,
+        table: &FlowTable,
+        probed: &Rule,
+        catch: &CatchSpec,
+    ) -> Option<ProbePlan> {
+        encode::check_catch_pins(probed, catch).ok()?;
+        let pins = catch.all_pins();
+        let mut sample = probed.tern.sample_packet();
+        for &(f, v) in &pins {
+            sample.set_field(f, v);
+        }
+        let repaired = generator::repair_header(table, catch, &self.cfg.gen, sample);
+        let candidates: &[_] = if repaired == sample {
+            &[sample]
+        } else {
+            &[repaired, sample]
+        };
+        let relevant = encode::relevant_rules(table.rules(), probed).len();
+        for &cand in candidates {
+            let Some(plan) = generator::finish(table, probed, &pins, cand, relevant) else {
+                continue;
+            };
+            // Conservative Hit on the *normalized* header: no rule of equal
+            // or higher priority (other than the probed one) may match.
+            let conservative_hit = !table.rules().iter().any(|r| {
+                r.id != probed.id && r.priority >= probed.priority && r.tern.matches(&plan.header)
+            });
+            if !conservative_hit {
+                continue;
+            }
+            // Port-set distinguishing over simple outcomes only.
+            if plan.present.observations.len() > 1 || plan.absent.observations.len() > 1 {
+                continue;
+            }
+            let p_port: Option<PortNo> = plan.present.observations.first().map(|o| o.0);
+            let a_port: Option<PortNo> = plan.absent.observations.first().map(|o| o.0);
+            if p_port != a_port {
+                return Some(plan);
+            }
+        }
+        None
+    }
+
+    /// Lazily synchronizes cached state to `table`.
+    fn sync(&mut self, table: &FlowTable) {
+        let fp = table_fingerprint(table);
+        if self.synced && fp == self.table_fp {
+            self.engine_stats.syncs_clean += 1;
+            return;
+        }
+        if !self.synced {
+            self.engine_stats.syncs_full += 1;
+            self.full_resync(table, fp);
+            return;
+        }
+        // Incremental: diff the rule snapshot by id+content signature.
+        let old: HashMap<RuleId, (u64, Ternary)> = self
+            .snapshot
+            .iter()
+            .map(|s| (s.id, (s.sig, s.tern)))
+            .collect();
+        let mut changed: Vec<Ternary> = Vec::new();
+        let mut seen: std::collections::HashSet<RuleId> =
+            std::collections::HashSet::with_capacity(table.len());
+        for r in table.rules() {
+            seen.insert(r.id);
+            match old.get(&r.id) {
+                Some(&(sig, _)) if sig == rule_sig(r) => {}
+                Some(&(_, tern)) => {
+                    // Modified in place: both the old and the new footprint
+                    // define the affected neighborhood.
+                    changed.push(tern);
+                    changed.push(r.tern);
+                    self.session.invalidate(r.id);
+                }
+                None => changed.push(r.tern),
+            }
+        }
+        for s in &self.snapshot {
+            if !seen.contains(&s.id) {
+                changed.push(s.tern);
+                self.session.invalidate(s.id);
+            }
+        }
+        if changed.is_empty() {
+            // Same rules, different fingerprint: an equal-priority reorder.
+            // Plan validity can depend on tie order, so drop everything.
+            self.engine_stats.syncs_full += 1;
+            self.engine_stats.plans_invalidated += self.plan_cache.len() as u64;
+            self.plan_cache.clear();
+        } else {
+            self.engine_stats.syncs_incremental += 1;
+            let evicted = self.evict_overlapping(&changed);
+            self.engine_stats.plans_invalidated += evicted;
+        }
+        self.snapshot = snapshot_of(table);
+        self.table_fp = fp;
+        self.maybe_compact(table.len());
+    }
+
+    fn full_resync(&mut self, table: &FlowTable, fp: u64) {
+        self.engine_stats.plans_invalidated += self.plan_cache.len() as u64;
+        self.plan_cache.clear();
+        self.session.reset();
+        self.snapshot = snapshot_of(table);
+        self.table_fp = fp;
+        self.synced = true;
+    }
+
+    /// Evicts cached plans whose rule overlaps any of `terns`; returns the
+    /// eviction count. (Overlap is the exact dependency relation: a probe
+    /// for rule R can only interact with rules overlapping R.)
+    fn evict_overlapping(&mut self, terns: &[Ternary]) -> u64 {
+        let before = self.plan_cache.len();
+        self.plan_cache
+            .retain(|_, e| !terns.iter().any(|t| t.overlaps(&e.tern)));
+        (before - self.plan_cache.len()) as u64
+    }
+
+    /// Compacts the session variable pool when modify/delete churn has
+    /// stranded too many stable variables.
+    fn maybe_compact(&mut self, table_len: usize) {
+        let budget = self.cfg.pool_slack_factor as u64 * table_len as u64 + 1024;
+        if u64::from(self.session.pool_vars()) > budget {
+            self.session.reset();
+        }
+    }
+}
+
+/// Order-sensitive content fingerprint of a flow table.
+fn table_fingerprint(table: &FlowTable) -> u64 {
+    let mut h = DefaultHasher::new();
+    HEADER_BITS.hash(&mut h);
+    for r in table.rules() {
+        r.id.hash(&mut h);
+        rule_sig(r).hash(&mut h);
+    }
+    table.len().hash(&mut h);
+    h.finish()
+}
+
+/// Content signature of one rule: everything probe generation reads.
+fn rule_sig(r: &Rule) -> u64 {
+    let mut h = DefaultHasher::new();
+    r.priority.hash(&mut h);
+    r.tern.hash(&mut h);
+    r.fwd.hash(&mut h);
+    h.finish()
+}
+
+fn snapshot_of(table: &FlowTable) -> Vec<RuleSnap> {
+    table
+        .rules()
+        .iter()
+        .map(|r| RuleSnap {
+            id: r.id,
+            tern: r.tern,
+            sig: rule_sig(r),
+        })
+        .collect()
+}
+
+/// Cache key component for a catch spec (field offsets are unique, so this
+/// is collision-free across distinct pin sets in practice).
+fn catch_key(catch: &CatchSpec) -> u64 {
+    let mut h = DefaultHasher::new();
+    for (f, v) in catch.all_pins() {
+        f.offset().hash(&mut h);
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_probe;
+    use monocle_openflow::{Action, Field, Match};
+
+    fn table_from(rules: Vec<(u16, Match, Vec<Action>)>) -> FlowTable {
+        let mut t = FlowTable::new();
+        for (p, m, a) in rules {
+            t.add_rule(p, m, a).unwrap();
+        }
+        t
+    }
+
+    fn fig1_table() -> FlowTable {
+        table_from(vec![
+            (
+                10,
+                Match::any().with_nw_src([10, 0, 0, 1], 32),
+                vec![Action::Output(1)],
+            ),
+            (1, Match::any(), vec![Action::Output(2)]),
+        ])
+    }
+
+    #[test]
+    fn engine_matches_stateless_on_fig1() {
+        let t = fig1_table();
+        let id = t.rules()[0].id;
+        let catch = CatchSpec::default();
+        let mut eng = ProbeEngine::default();
+        let plan = eng.generate(&t, id, &catch).unwrap();
+        let reference = generate_probe(&t, id, &catch, &GeneratorConfig::default()).unwrap();
+        assert_eq!(
+            plan.present.observations[0].0,
+            reference.present.observations[0].0
+        );
+        assert_eq!(
+            plan.absent.observations[0].0,
+            reference.absent.observations[0].0
+        );
+        // The engine's plan independently passes the oracle.
+        let oracle = crate::plan::verify_probe(&t, id, &plan.header, &catch.all_pins());
+        assert!(oracle.is_some());
+    }
+
+    #[test]
+    fn unchanged_table_reprobe_is_pure_cache_hit() {
+        let t = fig1_table();
+        let ids: Vec<RuleId> = t.rules().iter().map(|r| r.id).collect();
+        let catch = CatchSpec::default();
+        // Fast path disabled: the first pass must use the solver, proving
+        // the second pass's zero solver calls come from the cache alone.
+        let mut eng = ProbeEngine::new(EngineConfig {
+            fast_path: false,
+            ..EngineConfig::default()
+        });
+        let (first, st1) = eng.generate_batch_with_stats(&t, &ids, &catch);
+        assert!(st1.solver_calls > 0, "cold pass must solve");
+        assert_eq!(st1.cache_misses, ids.len() as u64);
+        let (second, st2) = eng.generate_batch_with_stats(&t, &ids, &catch);
+        assert_eq!(st2.solver_calls, 0, "warm re-probe must not touch SAT");
+        assert_eq!(st2.cache_hits, ids.len() as u64);
+        assert_eq!(st2.cache_misses, 0);
+        assert_eq!(st2.reencodes_incremental + st2.reencodes_full, 0);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a, b, "cached result must be identical");
+        }
+    }
+
+    #[test]
+    fn fast_path_skips_solver_and_verifies() {
+        let t = fig1_table();
+        let id = t.rules()[0].id;
+        let catch = CatchSpec::default();
+        let mut eng = ProbeEngine::default();
+        let (res, st) = eng.generate_with_stats(&t, id, &catch);
+        let plan = res.unwrap();
+        assert_eq!(st.fast_path_hits, 1);
+        assert_eq!(st.solver_calls, 0);
+        assert!(crate::plan::verify_probe(&t, id, &plan.header, &[]).is_some());
+    }
+
+    #[test]
+    fn flowmod_delta_invalidates_only_neighborhood() {
+        // Two disjoint specific rules over a default route.
+        let mut t = table_from(vec![
+            (
+                10,
+                Match::any().with_nw_dst([10, 0, 0, 1], 32),
+                vec![Action::Output(1)],
+            ),
+            (
+                10,
+                Match::any().with_nw_dst([10, 0, 0, 2], 32),
+                vec![Action::Output(3)],
+            ),
+            (1, Match::any(), vec![Action::Output(2)]),
+        ]);
+        let ids: Vec<RuleId> = t.rules().iter().map(|r| r.id).collect();
+        let catch = CatchSpec::default();
+        let mut eng = ProbeEngine::default();
+        eng.generate_batch(&t, &ids, &catch);
+        assert_eq!(eng.cached_plans(), 3);
+        // Add a rule overlapping only the first specific rule.
+        let fm = FlowMod::add(
+            20,
+            Match::any().with_nw_dst([10, 0, 0, 1], 32).with_nw_proto(6),
+            vec![Action::Output(4)],
+        );
+        eng.note_flowmod(&fm);
+        t.apply(&fm).unwrap();
+        // The disjoint rule's plan survived the delta eviction; the
+        // overlapping ones (rule 1 and the default route) did not.
+        assert_eq!(eng.cached_plans(), 1);
+        let (_, st) = eng.generate_batch_with_stats(&t, &ids, &catch);
+        assert_eq!(st.cache_hits, 1, "disjoint rule re-probe is a cache hit");
+        assert_eq!(eng.engine_stats().syncs_incremental, 1);
+    }
+
+    #[test]
+    fn engine_tracks_table_edits_without_notification() {
+        let mut t = fig1_table();
+        let id = t.rules()[0].id;
+        let catch = CatchSpec::default();
+        let mut eng = ProbeEngine::default();
+        assert!(eng.generate(&t, id, &catch).is_ok());
+        // Out-of-band edit (no note_flowmod): a higher-priority shadow.
+        t.add_rule(
+            20,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(1)],
+        )
+        .unwrap();
+        // The fingerprint safety net must invalidate and re-answer
+        // consistently with stateless generation.
+        let fresh = generate_probe(&t, id, &catch, &GeneratorConfig::default());
+        let engine = eng.generate(&t, id, &catch);
+        assert_eq!(engine.is_ok(), fresh.is_ok());
+        assert_eq!(engine.err(), fresh.err());
+    }
+
+    #[test]
+    fn catch_specs_cached_independently() {
+        let t = fig1_table();
+        let id = t.rules()[0].id;
+        let mut eng = ProbeEngine::default();
+        let default_plan = eng.generate(&t, id, &CatchSpec::default()).unwrap();
+        let pinned = CatchSpec::tag(Field::DlVlan, 0xf03);
+        let pinned_plan = eng.generate(&t, id, &pinned).unwrap();
+        assert_eq!(pinned_plan.header.field(Field::DlVlan), 0xf03);
+        assert_eq!(eng.cached_plans(), 2);
+        // Both stay warm.
+        let (_, st) = eng.generate_with_stats(&t, id, &CatchSpec::default());
+        assert_eq!(st.cache_hits, 1);
+        let _ = default_plan;
+    }
+
+    #[test]
+    fn error_results_are_cached_too() {
+        let t = table_from(vec![
+            (
+                20,
+                Match::any().with_nw_src([10, 0, 0, 1], 32),
+                vec![Action::Output(1)],
+            ),
+            (10, Match::any(), vec![Action::Output(1)]),
+        ]);
+        let id = t.rules()[0].id;
+        let mut eng = ProbeEngine::default();
+        let catch = CatchSpec::default();
+        assert_eq!(
+            eng.generate(&t, id, &catch).unwrap_err(),
+            ProbeError::Indistinguishable
+        );
+        let (res, st) = eng.generate_with_stats(&t, id, &catch);
+        assert_eq!(res.unwrap_err(), ProbeError::Indistinguishable);
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.solver_calls, 0);
+    }
+}

@@ -84,7 +84,8 @@ mod tests {
     fn mirrors_flowmod_semantics() {
         let mut e = ExpectedTable::new();
         let m = Match::any().with_tp_dst(80);
-        e.apply(&FlowMod::add(7, m, vec![Action::Output(2)])).unwrap();
+        e.apply(&FlowMod::add(7, m, vec![Action::Output(2)]))
+            .unwrap();
         e.apply(&FlowMod::delete_strict(7, m)).unwrap();
         assert_eq!(e.table().len(), 0);
         assert_eq!(e.epoch(), 2);

@@ -82,8 +82,10 @@ impl Default for GeneratorConfig {
     }
 }
 
-/// Statistics from one generation call (Table 2 bookkeeping).
-#[derive(Debug, Clone, Copy, Default)]
+/// Statistics from one generation call (Table 2 bookkeeping). Also used as
+/// an *aggregate* by [`crate::engine::ProbeEngine`] via [`GenStats::merge`],
+/// so benches can report cache behavior and incremental-vs-full re-encodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GenStats {
     /// Rules surviving the §5.4 pre-filter.
     pub relevant_rules: usize,
@@ -93,6 +95,37 @@ pub struct GenStats {
     pub conflicts: u64,
     /// True when the domain-strengthened second solve was needed.
     pub strengthened: bool,
+    /// SAT solver invocations (0 when a cache or fast-path hit answered).
+    pub solver_calls: u64,
+    /// Engine plan-cache hits (steady-state re-probe of unchanged rules).
+    pub cache_hits: u64,
+    /// Engine plan-cache misses (generation actually ran).
+    pub cache_misses: u64,
+    /// Guess-and-verify fast-path successes (solver skipped entirely).
+    pub fast_path_hits: u64,
+    /// Instances built through a warm [`crate::encode::EncodeSession`]
+    /// (shared clauses reused — the incremental re-encode path).
+    pub reencodes_incremental: u64,
+    /// Instances built from scratch (stateless builder, cold session, or
+    /// ITE-chain style).
+    pub reencodes_full: u64,
+}
+
+impl GenStats {
+    /// Accumulates `other` into `self` (sums counters, ORs flags) so
+    /// per-call stats can be rolled up into batch/engine aggregates.
+    pub fn merge(&mut self, other: &GenStats) {
+        self.relevant_rules += other.relevant_rules;
+        self.clauses += other.clauses;
+        self.conflicts += other.conflicts;
+        self.strengthened |= other.strengthened;
+        self.solver_calls += other.solver_calls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.fast_path_hits += other.fast_path_hits;
+        self.reencodes_incremental += other.reencodes_incremental;
+        self.reencodes_full += other.reencodes_full;
+    }
 }
 
 /// Generates a verified probe plan for `probed_id` in `table`.
@@ -117,16 +150,44 @@ pub fn generate_probe_with_stats(
         .ok_or(ProbeError::NoSuchRule(probed_id))?;
     let inst = match encode::build_instance(table.rules(), probed, catch, cfg.style) {
         Ok(i) => i,
-        Err(BuildError::Shadowed { .. }) => return Err(ProbeError::Hidden),
-        Err(BuildError::CatchConflict(f)) => return Err(ProbeError::CatchConflict(f)),
-        Err(BuildError::RewritesReserved(f)) => return Err(ProbeError::RewritesReserved(f)),
+        Err(e) => return Err(map_build_error(e)),
     };
     let mut stats = GenStats {
-        relevant_rules: inst.relevant_rules,
-        clauses: inst.cnf.num_clauses(),
+        reencodes_full: 1,
         ..Default::default()
     };
+    let plan = solve_and_finish(table, probed, catch, cfg, inst, &mut stats)?;
+    Ok((plan, stats))
+}
+
+/// Maps constraint-construction failures onto the public error type.
+pub(crate) fn map_build_error(e: BuildError) -> ProbeError {
+    match e {
+        BuildError::Shadowed { .. } => ProbeError::Hidden,
+        BuildError::CatchConflict(f) => ProbeError::CatchConflict(f),
+        BuildError::RewritesReserved(f) => ProbeError::RewritesReserved(f),
+    }
+}
+
+/// The post-encoding half of the §5.2 pipeline: solve `inst`, repair and
+/// verify the model, and fall back to the domain-strengthened re-solve.
+/// Shared between the stateless entry points and the session-backed
+/// [`crate::engine::ProbeEngine`].
+pub(crate) fn solve_and_finish(
+    table: &FlowTable,
+    probed: &Rule,
+    catch: &CatchSpec,
+    cfg: &GeneratorConfig,
+    inst: encode::Instance,
+    stats: &mut GenStats,
+) -> Result<ProbePlan, ProbeError> {
+    // Accumulate (don't assign): batch callers thread one GenStats through
+    // many instances.
+    let relevant = inst.relevant_rules;
+    stats.relevant_rules += relevant;
+    stats.clauses += inst.cnf.num_clauses();
     let mut solver = CdclSolver::new().with_conflict_budget(cfg.conflict_budget);
+    stats.solver_calls += 1;
     let model = match solver.solve(&inst.cnf) {
         SatResult::Sat(m) => m,
         SatResult::Unknown => return Err(ProbeError::SolverBudget),
@@ -134,25 +195,26 @@ pub fn generate_probe_with_stats(
             // Classify: can the rule be hit at all?
             let hit = encode::build_hit_only(table.rules(), probed, catch)
                 .map_err(|_| ProbeError::Hidden)?;
+            stats.solver_calls += 1;
             return match CdclSolver::new().solve(&hit) {
                 SatResult::Sat(_) => Err(ProbeError::Indistinguishable),
                 _ => Err(ProbeError::Hidden),
             };
         }
     };
-    stats.conflicts = solver.stats().conflicts;
+    stats.conflicts += solver.stats().conflicts;
 
     let raw = model_to_header(&model);
     let pins = catch.all_pins();
 
     // Attempt 1: spare-value repair + normalization, then verify.
     let repaired = repair_header(table, catch, cfg, raw);
-    if let Some(plan) = finish(table, probed, &pins, repaired, &mut stats) {
-        return Ok((plan, stats));
+    if let Some(plan) = finish(table, probed, &pins, repaired, relevant) {
+        return Ok(plan);
     }
     // Attempt 2: the unrepaired model (repair may have been the problem).
-    if let Some(plan) = finish(table, probed, &pins, raw, &mut stats) {
-        return Ok((plan, stats));
+    if let Some(plan) = finish(table, probed, &pins, raw, relevant) {
+        return Ok(plan);
     }
     // Attempt 3: re-solve with explicit domain constraints (§5.2's
     // small-domain alternative), then verify again.
@@ -163,13 +225,12 @@ pub fn generate_probe_with_stats(
     };
     add_domain_constraints(&mut cnf, table, catch, cfg);
     let mut solver = CdclSolver::new().with_conflict_budget(cfg.conflict_budget);
+    stats.solver_calls += 1;
     match solver.solve(&cnf) {
         SatResult::Sat(m) => {
             let h = model_to_header(&m);
             stats.conflicts += solver.stats().conflicts;
-            finish(table, probed, &pins, h, &mut stats)
-                .map(|p| (p, stats))
-                .ok_or(ProbeError::RepairFailed)
+            finish(table, probed, &pins, h, relevant).ok_or(ProbeError::RepairFailed)
         }
         SatResult::Unknown => Err(ProbeError::SolverBudget),
         SatResult::Unsat => Err(ProbeError::Indistinguishable),
@@ -177,12 +238,13 @@ pub fn generate_probe_with_stats(
 }
 
 /// Normalizes + verifies a candidate header; builds the plan on success.
-fn finish(
+/// `relevant_rules` is the §5.4 pre-filter count recorded in the plan.
+pub(crate) fn finish(
     table: &FlowTable,
     probed: &Rule,
     pins: &[(Field, u64)],
     header: HeaderVec,
-    _stats: &mut GenStats,
+    relevant_rules: usize,
 ) -> Option<ProbePlan> {
     // Round-trip through the abstract packet view: this applies the
     // conditionally-excluded-field elimination (Lemma 2) exactly as the
@@ -203,7 +265,7 @@ fn finish(
         present,
         absent,
         uses_counting,
-        relevant_rules: _stats.relevant_rules,
+        relevant_rules,
     })
 }
 
@@ -230,7 +292,7 @@ fn model_to_header(model: &monocle_sat::Model) -> HeaderVec {
 /// §5.2 spare-value repair for limited-domain fields. Only substitutes when
 /// the current value is invalid on the wire; the substitute is a valid value
 /// no rule uses (the lemma's precondition).
-fn repair_header(
+pub(crate) fn repair_header(
     table: &FlowTable,
     catch: &CatchSpec,
     cfg: &GeneratorConfig,
@@ -280,11 +342,7 @@ fn any_rule_cares(table: &FlowTable, f: Field) -> bool {
 
 /// First candidate value not used by any rule's match on `f` (also accepts
 /// values that *are* used only as full-field wildcards, per the lemma).
-fn spare_value(
-    table: &FlowTable,
-    f: Field,
-    candidates: impl Iterator<Item = u64>,
-) -> Option<u64> {
+fn spare_value(table: &FlowTable, f: Field, candidates: impl Iterator<Item = u64>) -> Option<u64> {
     let off = f.offset();
     let used: std::collections::BTreeSet<u64> = table
         .rules()
@@ -297,7 +355,12 @@ fn spare_value(
 
 /// Adds "must be one of" domain constraints for the small-domain fields
 /// (strengthened second solve).
-fn add_domain_constraints(cnf: &mut Cnf, table: &FlowTable, catch: &CatchSpec, cfg: &GeneratorConfig) {
+fn add_domain_constraints(
+    cnf: &mut Cnf,
+    table: &FlowTable,
+    catch: &CatchSpec,
+    cfg: &GeneratorConfig,
+) {
     let pinned: Vec<Field> = catch.all_pins().iter().map(|&(f, _)| f).collect();
     if !pinned.contains(&Field::InPort) {
         add_field_equals(cnf, Field::InPort, u64::from(cfg.default_in_port));
@@ -448,10 +511,7 @@ mod tests {
         monocle_packet::validate_packet(&raw).unwrap();
         // Parsing back yields the same header-space point at the in_port.
         let (fields, _) = monocle_packet::parse_packet(&raw).unwrap();
-        assert_eq!(
-            packet_to_headervec(plan.in_port, &fields),
-            plan.header
-        );
+        assert_eq!(packet_to_headervec(plan.in_port, &fields), plan.header);
     }
 
     #[test]

@@ -182,8 +182,8 @@ impl<E: Experiment> MonocleApp<E> {
                 .map(|((_, p), peer)| (*p, *peer))
                 .min_by_key(|(p, _)| *p)
                 .unwrap_or_else(|| panic!("switch {sw} has no switch neighbor to inject from"));
-            let catch = CatchSpec::tag(Field::DlVlan, catch_plan.probe_tag(sw))
-                .with_in_port(in_port);
+            let catch =
+                CatchSpec::tag(Field::DlVlan, catch_plan.probe_tag(sw)).with_in_port(in_port);
             let mut pcfg = ProxyConfig::new(sw as u32, catch);
             if let Some(s) = &cfg.steady {
                 pcfg = pcfg.with_steady(s.clone());
@@ -214,6 +214,17 @@ impl<E: Experiment> MonocleApp<E> {
         self.proxies.get(&sw)
     }
 
+    /// Aggregate probe-generation statistics across every monitored
+    /// switch's [`crate::engine::ProbeEngine`] — the Multiplexer-level view
+    /// of cache behavior (Fig. 8 instrumentation).
+    pub fn probe_engine_stats(&self) -> crate::generator::GenStats {
+        let mut total = crate::generator::GenStats::default();
+        for p in self.proxies.values() {
+            total.merge(&p.engine_stats());
+        }
+        total
+    }
+
     fn adjacency_switch_count(&self) -> usize {
         self.adjacency
             .keys()
@@ -239,17 +250,21 @@ impl<E: Experiment> MonocleApp<E> {
                     let Some(&(up_sw, up_port)) = self.upstream.get(&sw) else {
                         continue;
                     };
-                    let frame =
-                        match monocle_packet::craft_packet(&inj.fields, &inj.meta.encode()) {
-                            Ok(f) => f,
-                            Err(_) => continue,
-                        };
+                    let frame = match monocle_packet::craft_packet(&inj.fields, &inj.meta.encode())
+                    {
+                        Ok(f) => f,
+                        Err(_) => continue,
+                    };
                     let xid = self.xid();
-                    ctx.send(up_sw, xid, OfMessage::PacketOut {
-                        in_port: monocle_openflow::messages::PORT_NONE,
-                        actions: vec![monocle_openflow::Action::Output(up_port)],
-                        data: frame,
-                    });
+                    ctx.send(
+                        up_sw,
+                        xid,
+                        OfMessage::PacketOut {
+                            in_port: monocle_openflow::messages::PORT_NONE,
+                            actions: vec![monocle_openflow::Action::Output(up_port)],
+                            data: frame,
+                        },
+                    );
                 }
                 ProxyOutput::Confirmed { token, verified } => {
                     self.events.push(HarnessEvent::Confirmed {
@@ -258,7 +273,8 @@ impl<E: Experiment> MonocleApp<E> {
                         at: ctx.now,
                         verified,
                     });
-                    self.experiment.on_confirmed(&mut exp_io, sw, token, verified);
+                    self.experiment
+                        .on_confirmed(&mut exp_io, sw, token, verified);
                 }
                 ProxyOutput::RuleFailed { rule_id, at } => {
                     self.events.push(HarnessEvent::RuleFailed {
@@ -329,7 +345,11 @@ impl<E: Experiment> ControlApp for MonocleApp<E> {
                     self.emit_outputs(ctx, sw, outputs);
                 } else {
                     let xid = self.xid();
-                    ctx.send(sw, xid, OfMessage::FlowMod(FlowMod::add(prio, m, actions.clone())));
+                    ctx.send(
+                        sw,
+                        xid,
+                        OfMessage::FlowMod(FlowMod::add(prio, m, actions.clone())),
+                    );
                 }
             }
         }
@@ -493,11 +513,7 @@ mod tests {
         fn on_start(&mut self, io: &mut ExpIo) {
             // Default route out of port 1 (toward S1), then a specific rule
             // out of port 2 (toward S2).
-            io.send_flowmod(
-                0,
-                1,
-                FlowMod::add(5, Match::any(), vec![Action::Output(1)]),
-            );
+            io.send_flowmod(0, 1, FlowMod::add(5, Match::any(), vec![Action::Output(1)]));
             io.send_flowmod(
                 0,
                 2,
@@ -614,9 +630,12 @@ mod tests {
         net.start(&mut app);
         net.run_for(&mut app, time::s(1));
         assert_eq!(app.events.len(), 2);
-        assert!(app
-            .events
-            .iter()
-            .all(|e| matches!(e, HarnessEvent::Confirmed { verified: false, .. })));
+        assert!(app.events.iter().all(|e| matches!(
+            e,
+            HarnessEvent::Confirmed {
+                verified: false,
+                ..
+            }
+        )));
     }
 }

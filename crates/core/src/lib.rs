@@ -19,6 +19,7 @@
 //! | Table 1 constraints, §5.3/§5.4 encodings | [`encode`] |
 //! | §3.2/§3.4 DiffPorts/DiffRewrite, App. B Tables 3–4 | [`outcome`] |
 //! | §5.2 abstract→raw translation, spare values | [`generator`], `monocle-packet` |
+//! | session/cache-aware generation (hot path) | [`engine`] |
 //! | probe plans & semantic verification | [`plan`] |
 //! | §2 expected-state tracking | [`expect`] |
 //! | §3 steady-state monitoring | [`steady`] |
@@ -57,6 +58,7 @@ pub mod catching;
 pub mod droppost;
 pub mod dynamic;
 pub mod encode;
+pub mod engine;
 pub mod expect;
 pub mod generator;
 pub mod harness;
@@ -67,5 +69,6 @@ pub mod reduction;
 pub mod steady;
 
 pub use encode::{CatchSpec, EncodingStyle};
+pub use engine::{EngineConfig, EngineStats, ProbeEngine};
 pub use generator::{generate_probe, GenStats, GeneratorConfig, ProbeError};
 pub use plan::{ConcreteOutcome, ProbePlan, Verdict};

@@ -167,8 +167,7 @@ pub fn diff_rewrite(a: &Forwarding, b: &Forwarding) -> BitCondition {
         // No shared port: rewrites are irrelevant (ports decide).
         return BitCondition::Const(false);
     }
-    let both_multicast =
-        a.kind == ForwardingKind::Multicast && b.kind == ForwardingKind::Multicast;
+    let both_multicast = a.kind == ForwardingKind::Multicast && b.kind == ForwardingKind::Multicast;
     let mut per_port: Vec<BitCondition> = Vec::with_capacity(common.len());
     for p in common {
         let ra = a.rewrite_on_port(p).expect("port from a's set");
@@ -357,11 +356,7 @@ mod tests {
         // rule multicasts to 1 and 2 unrewritten. Port 2 differs by
         // constant-vs-leave -> clause over TOS bits; port 1 contributes
         // nothing.
-        let a = fwd(&[
-            Action::Output(1),
-            Action::SetNwTos(3),
-            Action::Output(2),
-        ]);
+        let a = fwd(&[Action::Output(1), Action::SetNwTos(3), Action::Output(2)]);
         let b = fwd(&[Action::Output(1), Action::Output(2)]);
         let cond = diff_rewrite(&a, &b);
         let BitCondition::Clause(_) = cond else {

@@ -44,7 +44,9 @@ impl ConcreteOutcome {
 
     /// Could this outcome produce observation `(port, hdr)`?
     pub fn may_produce(&self, port: PortNo, hdr: &HeaderVec) -> bool {
-        self.observations.iter().any(|(p, h)| *p == port && h == hdr)
+        self.observations
+            .iter()
+            .any(|(p, h)| *p == port && h == hdr)
     }
 
     /// Deduplicated observation set.
@@ -165,9 +167,7 @@ pub fn verify_probe(
     }
     let present = ConcreteOutcome::of(&probed.fwd, probe);
     // (3) outcome without the rule
-    let mut without = table.clone();
-    without.remove_by_id(probed_id);
-    let absent = match without.lookup(probe) {
+    let absent = match table.lookup_excluding(probe, probed_id) {
         Some(r) => ConcreteOutcome::of(&r.fwd, probe),
         None => ConcreteOutcome::dropped(),
     };
@@ -224,8 +224,7 @@ mod tests {
     #[test]
     fn rewrite_only_difference() {
         let plain = Forwarding::compile(&[Action::Output(1)]).unwrap();
-        let marked =
-            Forwarding::compile(&[Action::SetNwTos(0x2e), Action::Output(1)]).unwrap();
+        let marked = Forwarding::compile(&[Action::SetNwTos(0x2e), Action::Output(1)]).unwrap();
         // A probe whose ToS is already 0x2e is ambiguous; any other is fine.
         let p_clean = hdr([1, 1, 1, 1]);
         let a = ConcreteOutcome::of(&marked, &p_clean);
@@ -245,7 +244,10 @@ mod tests {
         let e34 = Forwarding::compile(&[Action::SelectOutput(vec![3, 4])]).unwrap();
         let p = hdr([1, 1, 1, 1]);
         let a = ConcreteOutcome::of(&e12, &p);
-        assert!(!outcomes_distinguishable(&a, &ConcreteOutcome::of(&e23, &p)));
+        assert!(!outcomes_distinguishable(
+            &a,
+            &ConcreteOutcome::of(&e23, &p)
+        ));
         assert!(outcomes_distinguishable(&a, &ConcreteOutcome::of(&e34, &p)));
     }
 
@@ -304,13 +306,7 @@ mod tests {
         let bad = hdr([9, 9, 9, 9]);
         assert!(verify_probe(&t, probed, &bad, &[]).is_none());
         // Pins are enforced.
-        assert!(verify_probe(
-            &t,
-            probed,
-            &good,
-            &[(monocle_openflow::Field::DlVlan, 3)]
-        )
-        .is_none());
+        assert!(verify_probe(&t, probed, &good, &[(monocle_openflow::Field::DlVlan, 3)]).is_none());
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::catching::{CATCH_PRIORITY, FILTER_PRIORITY};
 use crate::droppost::{self, DropTag};
 use crate::dynamic::{DynAction, DynamicConfig, DynamicMonitor};
 use crate::encode::CatchSpec;
-use crate::generator::{generate_probe, GeneratorConfig};
+use crate::engine::EngineStats;
+use crate::generator::{GenStats, GeneratorConfig};
 use crate::plan::ProbePlan;
 use crate::steady::{SteadyAction, SteadyConfig, SteadyMonitor};
 use monocle_openflow::flowmatch::packet_to_headervec;
@@ -156,6 +157,16 @@ impl MonitorProxy {
         self.dynamic.in_flight()
     }
 
+    /// Aggregate probe-generation statistics of this proxy's engine.
+    pub fn engine_stats(&self) -> GenStats {
+        self.dynamic.engine().stats()
+    }
+
+    /// Engine cache/invalidation lifecycle counters.
+    pub fn engine_lifecycle(&self) -> EngineStats {
+        self.dynamic.engine().engine_stats()
+    }
+
     /// Preinstalls a Monocle-owned rule (catching/filter/drop-tag rules):
     /// recorded in the expected table and forwarded, but not probed.
     pub fn preinstall(
@@ -165,6 +176,7 @@ impl MonitorProxy {
         actions: ActionProgram,
     ) -> Vec<ProxyOutput> {
         let fm = FlowMod::add(priority, match_, actions);
+        self.dynamic.engine_mut().note_flowmod(&fm);
         match self
             .dynamic
             .expected_mut()
@@ -245,36 +257,48 @@ impl MonitorProxy {
                 self.refresh_steady_plans();
             }
             let actions = self.steady.as_mut().unwrap().on_tick(now);
-            out.extend(actions.into_iter().filter_map(|a| self.map_steady_action(a)));
+            out.extend(
+                actions
+                    .into_iter()
+                    .filter_map(|a| self.map_steady_action(a)),
+            );
         }
         out
     }
 
     /// Regenerates steady-state probe plans from the expected table,
     /// skipping Monocle's own infrastructure rules. Returns (found, total).
+    ///
+    /// Generation runs as one [`crate::engine::ProbeEngine::generate_batch`]
+    /// through the proxy's shared engine, so a refresh after unrelated churn
+    /// re-solves only the rules whose overlap neighborhood actually changed
+    /// — steady-state re-probing of an unchanged table is pure cache hits.
     pub fn refresh_steady_plans(&mut self) -> (usize, usize) {
         self.steady_dirty = false;
-        let table = self.dynamic.expected().table().clone();
         let epoch = self.dynamic.expected().epoch();
-        self.unmonitorable.clear();
-        let mut plans = Vec::new();
-        let mut total = 0;
-        for r in table.rules() {
-            if r.priority >= droppost::DROP_TAG_PRIORITY
-                || r.priority == CATCH_PRIORITY
-                || r.priority == FILTER_PRIORITY
-            {
-                continue; // Monocle-owned
-            }
-            total += 1;
-            match generate_probe(&table, r.id, &self.cfg.catch, &self.cfg.gen) {
-                Ok(plan) => plans.push(plan),
-                Err(_) => self.unmonitorable.push(r.id),
-            }
-        }
-        let found = plans.len();
+        let ids: Vec<RuleId> = self
+            .dynamic
+            .expected()
+            .table()
+            .rules()
+            .iter()
+            .filter(|r| {
+                r.priority < droppost::DROP_TAG_PRIORITY
+                    && r.priority != CATCH_PRIORITY
+                    && r.priority != FILTER_PRIORITY
+            })
+            .map(|r| r.id)
+            .collect();
+        let results = self.dynamic.generate_batch_expected(&ids);
+        self.unmonitorable = ids
+            .iter()
+            .zip(&results)
+            .filter_map(|(&id, r)| r.is_err().then_some(id))
+            .collect();
+        let total = ids.len();
+        let found = total - self.unmonitorable.len();
         if let Some(s) = &mut self.steady {
-            s.set_plans(plans, epoch);
+            s.ingest_batch(results, epoch);
         }
         (found, total)
     }
@@ -291,12 +315,9 @@ impl MonitorProxy {
                 }
                 DynAction::Confirmed { token, verified } => {
                     // Drop-postponing: on confirmation, swap in the real drop.
-                    if let Some(pos) = self
-                        .pending_finalize
-                        .iter()
-                        .position(|(t, _)| *t == token)
-                    {
+                    if let Some(pos) = self.pending_finalize.iter().position(|(t, _)| *t == token) {
                         let (_, finalize) = self.pending_finalize.remove(pos);
+                        self.dynamic.engine_mut().note_flowmod(&finalize);
                         let _ = self.dynamic.expected_mut().apply(&finalize);
                         out.push(ProxyOutput::ToSwitch(finalize));
                     }
@@ -314,16 +335,16 @@ impl MonitorProxy {
             SteadyAction::Inject { seq, plan_idx } => {
                 let steady = self.steady.as_ref()?;
                 let plan = steady.plans().get(plan_idx)?;
-                Some(ProxyOutput::Inject(
-                    self.injection_with_epoch(plan, seq | STEADY_SEQ_BIT, steady.epoch),
-                ))
+                Some(ProxyOutput::Inject(self.injection_with_epoch(
+                    plan,
+                    seq | STEADY_SEQ_BIT,
+                    steady.epoch,
+                )))
             }
             SteadyAction::RuleFailed { rule_id, at } => {
                 Some(ProxyOutput::RuleFailed { rule_id, at })
             }
-            SteadyAction::RuleRecovered { rule_id } => {
-                Some(ProxyOutput::RuleRecovered { rule_id })
-            }
+            SteadyAction::RuleRecovered { rule_id } => Some(ProxyOutput::RuleRecovered { rule_id }),
         }
     }
 
@@ -469,11 +490,7 @@ mod tests {
         cfg.drop_postpone = Some((DropTag(63), 4));
         let mut p = MonitorProxy::new(cfg);
         p.preinstall(1, Match::any(), vec![Action::Output(9)]);
-        let drop_fm = FlowMod::add(
-            20,
-            Match::any().with_tp_dst(23).with_nw_proto(6),
-            vec![],
-        );
+        let drop_fm = FlowMod::add(20, Match::any().with_tp_dst(23).with_nw_proto(6), vec![]);
         let outs = p.on_controller_flowmod(0, 5, drop_fm);
         // Forwarded rule is the stand-in, not the drop.
         let ProxyOutput::ToSwitch(ref fm) = outs[0] else {

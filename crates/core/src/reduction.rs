@@ -25,7 +25,7 @@ pub const MAX_VARS: u32 = 96;
 
 /// Bit position in header space for SAT variable `v` (1-based).
 fn var_bit(v: u32) -> usize {
-    assert!(v >= 1 && v <= MAX_VARS);
+    assert!((1..=MAX_VARS).contains(&v));
     let v0 = (v - 1) as usize;
     if v0 < 48 {
         Field::DlSrc.offset() + v0
@@ -68,7 +68,12 @@ pub fn reduce(cnf: &Cnf) -> (FlowTable, RuleId) {
 /// Returns `Some(assignment)` when satisfiable.
 pub fn solve_via_probe_generation(cnf: &Cnf) -> Option<Vec<bool>> {
     let (table, probed) = reduce(cnf);
-    match generate_probe(&table, probed, &CatchSpec::default(), &GeneratorConfig::default()) {
+    match generate_probe(
+        &table,
+        probed,
+        &CatchSpec::default(),
+        &GeneratorConfig::default(),
+    ) {
         Ok(plan) => {
             let mut assignment = vec![false; cnf.num_vars() as usize + 1];
             for v in 1..=cnf.num_vars() {

@@ -8,6 +8,7 @@
 //! This is a pure, time-driven state machine: the harness feeds it ticks
 //! and classified probe verdicts and executes the actions it returns.
 
+use crate::generator::ProbeError;
 use crate::plan::{ProbePlan, Verdict};
 use monocle_openflow::RuleId;
 use std::collections::BTreeMap;
@@ -98,6 +99,22 @@ impl SteadyMonitor {
         self.outstanding.clear();
     }
 
+    /// Replaces the sweep schedule from a
+    /// [`crate::engine::ProbeEngine::generate_batch`] run: successes become
+    /// the new plan cycle, failures are dropped. Returns `(found, total)` —
+    /// Table 2's "probes found" bookkeeping.
+    pub fn ingest_batch(
+        &mut self,
+        batch: Vec<Result<ProbePlan, ProbeError>>,
+        epoch: u32,
+    ) -> (usize, usize) {
+        let total = batch.len();
+        let plans: Vec<ProbePlan> = batch.into_iter().filter_map(Result::ok).collect();
+        let found = plans.len();
+        self.set_plans(plans, epoch);
+        (found, total)
+    }
+
     /// The plans currently being cycled.
     pub fn plans(&self) -> &[ProbePlan] {
         &self.plans
@@ -159,12 +176,15 @@ impl SteadyMonitor {
             self.next_inject_at = now + self.cfg.probe_interval;
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.outstanding.insert(seq, Outstanding {
-                plan_idx,
-                first_sent: now,
-                last_sent: now,
-                attempts: 1,
-            });
+            self.outstanding.insert(
+                seq,
+                Outstanding {
+                    plan_idx,
+                    first_sent: now,
+                    last_sent: now,
+                    attempts: 1,
+                },
+            );
             actions.push(SteadyAction::Inject { seq, plan_idx });
         }
         actions
@@ -198,9 +218,7 @@ impl SteadyMonitor {
 
     /// The plan for an outstanding sequence number (harness lookup).
     pub fn plan_for_seq(&self, seq: u32) -> Option<&ProbePlan> {
-        self.outstanding
-            .get(&seq)
-            .map(|o| &self.plans[o.plan_idx])
+        self.outstanding.get(&seq).map(|o| &self.plans[o.plan_idx])
     }
 }
 
@@ -287,9 +305,9 @@ mod tests {
         );
         // After the full window: failure.
         let acts = m.on_tick(151 * MS);
-        assert!(acts
-            .iter()
-            .any(|x| matches!(x, SteadyAction::RuleFailed { rule_id, .. } if *rule_id == RuleId(7))));
+        assert!(acts.iter().any(
+            |x| matches!(x, SteadyAction::RuleFailed { rule_id, .. } if *rule_id == RuleId(7))
+        ));
         assert_eq!(m.failed_rules().collect::<Vec<_>>(), vec![RuleId(7)]);
     }
 
@@ -302,7 +320,9 @@ mod tests {
             panic!()
         };
         let acts = m.on_verdict(5 * MS, seq, Verdict::Absent);
-        assert!(matches!(acts[0], SteadyAction::RuleFailed { rule_id, .. } if rule_id == RuleId(3)));
+        assert!(
+            matches!(acts[0], SteadyAction::RuleFailed { rule_id, .. } if rule_id == RuleId(3))
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@ fn switch_table(p: &monocle::catching::CatchPlan, sw: usize) -> FlowTable {
         vec![Action::Output(2)],
     )
     .unwrap();
-    t.add_rule(1, Match::any(), vec![Action::Output(1)]).unwrap();
+    t.add_rule(1, Match::any(), vec![Action::Output(1)])
+        .unwrap();
     t
 }
 
@@ -33,12 +34,7 @@ fn probes_evade_own_catchers_on_every_switch() {
     let p = plan(&g, Strategy::OneField, 100_000);
     for sw in 0..g.len() {
         let table = switch_table(&p, sw);
-        let probed = table
-            .rules()
-            .iter()
-            .find(|r| r.priority == 100)
-            .unwrap()
-            .id;
+        let probed = table.rules().iter().find(|r| r.priority == 100).unwrap().id;
         let catch = CatchSpec::tag(Field::DlVlan, p.probe_tag(sw)).with_in_port(1);
         let plan_probe = generate_probe(&table, probed, &catch, &GeneratorConfig::default())
             .unwrap_or_else(|e| panic!("switch {sw}: {e}"));
@@ -73,18 +69,9 @@ fn catch_tag_pins_are_honored_under_conflicting_production_rules() {
     let p = plan(&g, Strategy::OneField, 100_000);
     let mut table = switch_table(&p, 0);
     table
-        .add_rule(
-            200,
-            Match::any().with_dl_vlan(100),
-            vec![Action::Output(3)],
-        )
+        .add_rule(200, Match::any().with_dl_vlan(100), vec![Action::Output(3)])
         .unwrap();
-    let probed = table
-        .rules()
-        .iter()
-        .find(|r| r.priority == 100)
-        .unwrap()
-        .id;
+    let probed = table.rules().iter().find(|r| r.priority == 100).unwrap().id;
     let catch = CatchSpec::tag(Field::DlVlan, p.probe_tag(0)).with_in_port(1);
     let plan_probe = generate_probe(&table, probed, &catch, &GeneratorConfig::default()).unwrap();
     assert_eq!(plan_probe.header.field(Field::DlVlan), p.probe_tag(0));
@@ -105,7 +92,9 @@ fn vlan_matching_production_rule_with_tag_value_is_reported() {
             vec![Action::Output(2)],
         )
         .unwrap();
-    table.add_rule(1, Match::any(), vec![Action::Output(1)]).unwrap();
+    table
+        .add_rule(1, Match::any(), vec![Action::Output(1)])
+        .unwrap();
     let other_tag = p.probe_tag(1);
     let catch = CatchSpec::tag(Field::DlVlan, other_tag).with_in_port(1);
     let err = generate_probe(&table, bad, &catch, &GeneratorConfig::default()).unwrap_err();

@@ -25,8 +25,7 @@ fn arb_fwd() -> impl Strategy<Value = Forwarding> {
     prop_oneof![
         Just(vec![]),
         port.clone().prop_map(|p| vec![Action::Output(p)]),
-        (port.clone(), tos.clone())
-            .prop_map(|(p, t)| vec![Action::SetNwTos(t), Action::Output(p)]),
+        (port.clone(), tos.clone()).prop_map(|(p, t)| vec![Action::SetNwTos(t), Action::Output(p)]),
         // Per-port rewrites need distinct ports: with duplicate-port legs
         // the symbolic side is deliberately conservative (first leg wins),
         // so only the soundness direction would hold.
@@ -44,14 +43,13 @@ fn arb_fwd() -> impl Strategy<Value = Forwarding> {
             }
             vec![Action::SelectOutput(v)]
         }),
-        (port.clone(), port, tos)
-            .prop_map(|(a, b, t)| {
-                let mut v = vec![a];
-                if b != a {
-                    v.push(b);
-                }
-                vec![Action::SetNwTos(t), Action::SelectOutput(v)]
-            }),
+        (port.clone(), port, tos).prop_map(|(a, b, t)| {
+            let mut v = vec![a];
+            if b != a {
+                v.push(b);
+            }
+            vec![Action::SetNwTos(t), Action::SelectOutput(v)]
+        }),
     ]
     .prop_map(|actions| Forwarding::compile(&actions).unwrap())
 }

@@ -200,10 +200,13 @@ fn random_match(rng: &mut StdRng, _cfg: &AclConfig, pool: &[(u32, u8)]) -> Match
         let extra = rng.random_range(0..=8u8);
         let plen = (plen + extra).min(32);
         let host = rng.random_range(0..1u32 << (32 - plen).min(16));
-        m.nw_src = Some(((base | host.checked_shl(32 - u32::from(plen)).unwrap_or(0)) & prefix_mask(plen), plen));
+        m.nw_src = Some((
+            (base | host.checked_shl(32 - u32::from(plen)).unwrap_or(0)) & prefix_mask(plen),
+            plen,
+        ));
     } else {
         let (base, _) = pool[rng.random_range(0..pool.len())];
-        m.nw_src = Some((base | rng.random_range(0..0xffff), 32));
+        m.nw_src = Some((base | rng.random_range(0..0xffffu32), 32));
     }
     // Destination side.
     let style = rng.random_range(0..10);
@@ -216,7 +219,7 @@ fn random_match(rng: &mut StdRng, _cfg: &AclConfig, pool: &[(u32, u8)]) -> Match
         m.nw_dst = Some((base & prefix_mask(plen), plen));
     } else {
         let (base, _) = pool[rng.random_range(0..pool.len())];
-        m.nw_dst = Some((base | rng.random_range(0..0xffff), 32));
+        m.nw_dst = Some((base | rng.random_range(0..0xffffu32), 32));
     }
     // Never emit a match covering the whole IPv4 space: such a rule would
     // shadow every later rule (real ACLs have exactly one terminal
@@ -255,7 +258,10 @@ fn random_action(rng: &mut StdRng, cfg: &AclConfig) -> Vec<Action> {
     } else {
         let port = rng.random_range(1..=cfg.ports);
         if rng.random_bool(0.06) {
-            vec![Action::SetNwTos(rng.random_range(0..64)), Action::Output(port)]
+            vec![
+                Action::SetNwTos(rng.random_range(0..64)),
+                Action::Output(port),
+            ]
         } else {
             vec![Action::Output(port)]
         }
@@ -348,7 +354,10 @@ mod tests {
         let mut shadowed = 0;
         for (i, r) in rules.iter().enumerate().take(600) {
             let tern = r.match_.ternary();
-            if rules[..i].iter().any(|hi| hi.match_.ternary().subsumes(&tern)) {
+            if rules[..i]
+                .iter()
+                .any(|hi| hi.match_.ternary().subsumes(&tern))
+            {
                 shadowed += 1;
             }
         }

@@ -64,8 +64,10 @@ mod tests {
     fn flows_unique_headers() {
         let flows = reroute_flows(300);
         assert_eq!(flows.len(), 300);
-        let set: std::collections::BTreeSet<_> =
-            flows.iter().map(|f| (f.fields.nw_src, f.fields.nw_dst)).collect();
+        let set: std::collections::BTreeSet<_> = flows
+            .iter()
+            .map(|f| (f.fields.nw_src, f.fields.nw_dst))
+            .collect();
         assert_eq!(set.len(), 300, "all flows distinct");
     }
 

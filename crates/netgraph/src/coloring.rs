@@ -29,7 +29,8 @@ pub struct Coloring {
 /// Checks that no edge joins two same-colored nodes.
 pub fn verify_coloring(g: &Graph, coloring: &Coloring) -> bool {
     coloring.colors.len() == g.len()
-        && g.edges().all(|(a, b)| coloring.colors[a] != coloring.colors[b])
+        && g.edges()
+            .all(|(a, b)| coloring.colors[a] != coloring.colors[b])
         && coloring.colors.iter().all(|&c| c < coloring.num_colors)
 }
 
@@ -176,9 +177,7 @@ pub fn color_exact(g: &Graph, node_budget: u64) -> Coloring {
                         .g
                         .neighbors(v)
                         .iter()
-                        .filter_map(|&w| {
-                            (self.colors[w] != u32::MAX).then_some(self.colors[w])
-                        })
+                        .filter_map(|&w| (self.colors[w] != u32::MAX).then_some(self.colors[w]))
                         .collect::<std::collections::BTreeSet<_>>()
                         .len();
                     (sat, self.g.degree(v))
@@ -256,10 +255,20 @@ mod tests {
 
     #[test]
     fn all_solvers_produce_valid_colorings() {
-        let graphs = vec![path(10), cycle(9), cycle(10), clique(6), generators::fattree(4)];
+        let graphs = vec![
+            path(10),
+            cycle(9),
+            cycle(10),
+            clique(6),
+            generators::fattree(4),
+        ];
         for g in &graphs {
             for c in [color_greedy(g), color_dsatur(g), color_exact(g, 100_000)] {
-                assert!(verify_coloring(g, &c), "invalid coloring on {} nodes", g.len());
+                assert!(
+                    verify_coloring(g, &c),
+                    "invalid coloring on {} nodes",
+                    g.len()
+                );
             }
         }
     }

@@ -21,7 +21,7 @@ use rand::{RngExt, SeedableRng};
 /// `k/2` edge) switches. Node order: cores, then per pod aggregation then
 /// edge. `fattree(4)` has 20 nodes.
 pub fn fattree(k: usize) -> Graph {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
     let half = k / 2;
     let cores = half * half;
     let per_pod = half * 2;
@@ -188,7 +188,7 @@ fn connect_components(g: &mut Graph, pts: &[(f64, f64)]) {
             for b in 0..g.len() {
                 if !in_first[b] {
                     let d = dist(pts[a], pts[b]);
-                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
                         best = Some((a, b, d));
                     }
                 }
@@ -208,7 +208,7 @@ mod tests {
         let g = fattree(4);
         assert_eq!(g.len(), 20, "4 core + 8 agg + 8 edge");
         assert_eq!(g.num_edges(), 32); // 16 core-agg + 16 agg-edge
-        // Each of 8 agg switches has 2 core links and 2 edge links.
+                                       // Each of 8 agg switches has 2 core links and 2 edge links.
         let edges = fattree_edge_switches(4);
         assert_eq!(edges.len(), 8);
         for &e in &edges {

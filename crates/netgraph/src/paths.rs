@@ -57,7 +57,12 @@ pub fn distances(g: &Graph, src: usize) -> Vec<usize> {
 /// A randomized shortest path: BFS but with neighbor exploration order
 /// shuffled by `rng`, yielding path diversity across equal-cost routes (the
 /// FatTree has many). Deterministic for a given seed.
-pub fn random_shortest_path(g: &Graph, src: usize, dst: usize, rng: &mut StdRng) -> Option<Vec<usize>> {
+pub fn random_shortest_path(
+    g: &Graph,
+    src: usize,
+    dst: usize,
+    rng: &mut StdRng,
+) -> Option<Vec<usize>> {
     if src == dst {
         return Some(vec![src]);
     }
@@ -96,12 +101,7 @@ pub fn random_shortest_path(g: &Graph, src: usize, dst: usize, rng: &mut StdRng)
 
 /// Generates `count` random endpoint pairs among `endpoints` and their
 /// randomized shortest paths. This is the Fig. 8 workload generator.
-pub fn random_paths(
-    g: &Graph,
-    endpoints: &[usize],
-    count: usize,
-    seed: u64,
-) -> Vec<Vec<usize>> {
+pub fn random_paths(g: &Graph, endpoints: &[usize], count: usize, seed: u64) -> Vec<Vec<usize>> {
     assert!(endpoints.len() >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(count);
@@ -185,6 +185,10 @@ mod tests {
                 seen.insert(p);
             }
         }
-        assert!(seen.len() >= 2, "expected path diversity, got {}", seen.len());
+        assert!(
+            seen.len() >= 2,
+            "expected path diversity, got {}",
+            seen.len()
+        );
     }
 }

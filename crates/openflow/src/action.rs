@@ -195,10 +195,7 @@ impl Forwarding {
                     if ecmp.is_some() {
                         return Err(ActionError::MixedEcmp);
                     }
-                    legs.push(Leg {
-                        port: *p,
-                        rewrite,
-                    });
+                    legs.push(Leg { port: *p, rewrite });
                 }
                 Action::SelectOutput(ports) => {
                     if ecmp.is_some() || !legs.is_empty() {
@@ -207,12 +204,7 @@ impl Forwarding {
                     if ports.is_empty() {
                         return Err(ActionError::EmptySelect);
                     }
-                    ecmp = Some(
-                        ports
-                            .iter()
-                            .map(|&port| Leg { port, rewrite })
-                            .collect(),
-                    );
+                    ecmp = Some(ports.iter().map(|&port| Leg { port, rewrite }).collect());
                 }
                 Action::SetDlSrc(m) => rewrite.set_field(Field::DlSrc, m.to_u64()),
                 Action::SetDlDst(m) => rewrite.set_field(Field::DlDst, m.to_u64()),
@@ -268,7 +260,10 @@ impl Forwarding {
     /// simulator emits all legs; the theory only consults this for
     /// distinguishability and treats duplicate-port legs conservatively).
     pub fn rewrite_on_port(&self, port: PortNo) -> Option<&Rewrite> {
-        self.legs.iter().find(|l| l.port == port).map(|l| &l.rewrite)
+        self.legs
+            .iter()
+            .find(|l| l.port == port)
+            .map(|l| &l.rewrite)
     }
 
     /// Does any leg's rewrite touch field `f`? Used to enforce the "rules
@@ -294,11 +289,7 @@ mod tests {
 
     #[test]
     fn unicast_with_rewrite() {
-        let f = Forwarding::compile(&[
-            Action::SetNwTos(0x2e >> 0),
-            Action::Output(3),
-        ])
-        .unwrap();
+        let f = Forwarding::compile(&[Action::SetNwTos(0x2e), Action::Output(3)]).unwrap();
         assert!(f.is_unicast());
         let leg = &f.legs[0];
         assert_eq!(leg.port, 3);
@@ -312,12 +303,8 @@ mod tests {
     fn per_port_rewrites_accumulate() {
         // Output(1) before the rewrite, Output(2) after: §3.4's
         // "different rewrite actions to packets sent to different ports".
-        let f = Forwarding::compile(&[
-            Action::Output(1),
-            Action::SetTpDst(99),
-            Action::Output(2),
-        ])
-        .unwrap();
+        let f = Forwarding::compile(&[Action::Output(1), Action::SetTpDst(99), Action::Output(2)])
+            .unwrap();
         assert_eq!(f.legs.len(), 2);
         assert!(f.legs[0].rewrite.is_identity());
         assert!(f.legs[1].rewrite.touches(Field::TpDst));
@@ -326,11 +313,8 @@ mod tests {
 
     #[test]
     fn ecmp_compiles() {
-        let f = Forwarding::compile(&[
-            Action::SetNwTos(5),
-            Action::SelectOutput(vec![4, 7, 9]),
-        ])
-        .unwrap();
+        let f = Forwarding::compile(&[Action::SetNwTos(5), Action::SelectOutput(vec![4, 7, 9])])
+            .unwrap();
         assert_eq!(f.kind, ForwardingKind::Ecmp);
         assert_eq!(f.port_set(), vec![4, 7, 9]);
         assert!(f.legs.iter().all(|l| l.rewrite.touches(Field::NwTos)));
@@ -395,12 +379,8 @@ mod tests {
 
     #[test]
     fn rewrite_on_port_lookup() {
-        let f = Forwarding::compile(&[
-            Action::Output(1),
-            Action::SetNwTos(7),
-            Action::Output(2),
-        ])
-        .unwrap();
+        let f = Forwarding::compile(&[Action::Output(1), Action::SetNwTos(7), Action::Output(2)])
+            .unwrap();
         assert!(f.rewrite_on_port(1).unwrap().is_identity());
         assert!(f.rewrite_on_port(2).unwrap().touches(Field::NwTos));
         assert!(f.rewrite_on_port(3).is_none());

@@ -204,7 +204,8 @@ impl Match {
     /// True when a packet with the given abstract header and ingress port
     /// matches. The packet is converted to its header-space point first.
     pub fn matches_packet(&self, in_port: u16, fields: &PacketFields) -> bool {
-        self.ternary().matches(&packet_to_headervec(in_port, fields))
+        self.ternary()
+            .matches(&packet_to_headervec(in_port, fields))
     }
 }
 

@@ -45,7 +45,12 @@ pub struct Rule {
 impl Rule {
     /// Builds a rule (compiling match and actions); `id` is assigned by the
     /// table on insert.
-    fn build(priority: u16, match_: Match, actions: ActionProgram, cookie: u64) -> Result<Rule, TableError> {
+    fn build(
+        priority: u16,
+        match_: Match,
+        actions: ActionProgram,
+        cookie: u64,
+    ) -> Result<Rule, TableError> {
         let fwd = Forwarding::compile(&actions).map_err(TableError::BadActions)?;
         Ok(Rule {
             id: RuleId(0),
@@ -233,9 +238,7 @@ impl FlowTable {
         let id = rule.id;
         // First index with strictly lower priority: keeps insertion order
         // stable among equal priorities.
-        let pos = self
-            .rules
-            .partition_point(|r| r.priority >= rule.priority);
+        let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
         self.rules.insert(pos, rule);
         id
     }
@@ -276,6 +279,14 @@ impl FlowTable {
         self.rules.iter().find(|r| r.tern.matches(pkt))
     }
 
+    /// As [`Self::lookup`] but ignoring rule `skip`: the "table without R"
+    /// view probe verification needs, without cloning the table.
+    pub fn lookup_excluding(&self, pkt: &HeaderVec, skip: RuleId) -> Option<&Rule> {
+        self.rules
+            .iter()
+            .find(|r| r.id != skip && r.tern.matches(pkt))
+    }
+
     /// Processes a packet: looks up the matching rule and returns the output
     /// legs `(port, rewritten header)`. For ECMP rules, `ecmp_choice` picks
     /// the leg (e.g. a flow hash modulo leg count). Returns an empty vector
@@ -301,7 +312,10 @@ impl FlowTable {
     /// Rules overlapping `tern` (the §5.4 pre-filter input), in priority
     /// order.
     pub fn overlapping(&self, tern: &Ternary) -> Vec<&Rule> {
-        self.rules.iter().filter(|r| r.tern.overlaps(tern)).collect()
+        self.rules
+            .iter()
+            .filter(|r| r.tern.overlaps(tern))
+            .collect()
     }
 }
 
@@ -323,7 +337,12 @@ mod tests {
         )
     }
 
-    fn fm(command: FlowModCommand, priority: u16, match_: Match, actions: ActionProgram) -> FlowMod {
+    fn fm(
+        command: FlowModCommand,
+        priority: u16,
+        match_: Match,
+        actions: ActionProgram,
+    ) -> FlowMod {
         FlowMod {
             command,
             priority,
@@ -523,7 +542,12 @@ mod tests {
         let m = Match::any().with_tp_dst(22);
         t.add_rule(5, m, vec![Action::Output(1)]).unwrap();
         let res = t
-            .apply(&fm(FlowModCommand::ModifyStrict, 6, m, vec![Action::Output(2)]))
+            .apply(&fm(
+                FlowModCommand::ModifyStrict,
+                6,
+                m,
+                vec![Action::Output(2)],
+            ))
             .unwrap();
         // No strict match at priority 6 -> behaves as ADD.
         assert_eq!(res.added.len(), 1);
@@ -578,7 +602,8 @@ mod tests {
             vec![Action::Output(1)],
         )
         .unwrap();
-        t.add_rule(1, Match::any(), vec![Action::Output(2)]).unwrap();
+        t.add_rule(1, Match::any(), vec![Action::Output(2)])
+            .unwrap();
         let probe_rule = Match::any().with_nw_src([10, 0, 0, 1], 32).ternary();
         let ov = t.overlapping(&probe_rule);
         // Rule for 10.0.0.2 is disjoint; wildcard and self overlap.

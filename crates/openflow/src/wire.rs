@@ -575,7 +575,7 @@ fn get_actions(body: &mut &[u8]) -> Result<ActionProgram, CodecError> {
     while body.remaining() >= 4 {
         let ty = body.get_u16();
         let len = body.get_u16() as usize;
-        if len < 8 || len % 8 != 0 || body.remaining() < len - 4 {
+        if len < 8 || !len.is_multiple_of(8) || body.remaining() < len - 4 {
             return Err(CodecError::BadAction(ty));
         }
         let mut payload = &body[..len - 4];
@@ -794,7 +794,7 @@ mod tests {
         roundtrip(OfMessage::FlowRemoved {
             match_: Match::any().with_nw_dst([10, 2, 0, 0], 16),
             priority: 77,
-            cookie: 0xc00c_1e,
+            cookie: 0x00c0_0c1e,
             reason: 2,
         });
     }

@@ -2,11 +2,8 @@
 //! (overlap/subsumption soundness against sampled packets), flow-table
 //! semantics, and wire-codec roundtrips.
 
-use monocle_openflow::flowmatch::packet_to_headervec;
 use monocle_openflow::wire;
-use monocle_openflow::{
-    Action, FlowMod, FlowModCommand, FlowTable, HeaderVec, Match, OfMessage,
-};
+use monocle_openflow::{Action, FlowMod, FlowModCommand, FlowTable, HeaderVec, Match, OfMessage};
 use monocle_packet::MacAddr;
 use proptest::prelude::*;
 
@@ -20,16 +17,18 @@ fn arb_match() -> impl Strategy<Value = Match> {
         prop::option::of(any::<u16>()),
         prop::option::of(any::<u16>()),
     )
-        .prop_map(|(in_port, dl_type, nw_src, nw_dst, nw_proto, tp_src, tp_dst)| Match {
-            in_port,
-            dl_type: dl_type.map(|t| if t % 2 == 0 { 0x0800 } else { t }),
-            nw_src,
-            nw_dst,
-            nw_proto,
-            tp_src,
-            tp_dst,
-            ..Match::default()
-        })
+        .prop_map(
+            |(in_port, dl_type, nw_src, nw_dst, nw_proto, tp_src, tp_dst)| Match {
+                in_port,
+                dl_type: dl_type.map(|t| if t % 2 == 0 { 0x0800 } else { t }),
+                nw_src,
+                nw_dst,
+                nw_proto,
+                tp_src,
+                tp_dst,
+                ..Match::default()
+            },
+        )
 }
 
 fn arb_actions() -> impl Strategy<Value = Vec<Action>> {

@@ -98,6 +98,9 @@ mod tests {
 
     #[test]
     fn truncated() {
-        assert_eq!(ArpPacket::parse(&[0; 27]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            ArpPacket::parse(&[0; 27]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 }

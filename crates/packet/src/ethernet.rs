@@ -182,6 +182,9 @@ mod tests {
         let mut buf = vec![0; 14];
         buf[12] = 0x81;
         buf[13] = 0x00;
-        assert_eq!(EthernetHeader::parse(&buf).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            EthernetHeader::parse(&buf).unwrap_err(),
+            WireError::Truncated
+        );
     }
 }

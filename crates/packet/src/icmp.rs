@@ -88,6 +88,9 @@ mod tests {
 
     #[test]
     fn truncated() {
-        assert_eq!(IcmpHeader::parse(&[8, 0, 0]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            IcmpHeader::parse(&[8, 0, 0]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 }

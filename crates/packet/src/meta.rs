@@ -124,6 +124,9 @@ mod tests {
     #[test]
     fn non_probe_payload() {
         assert_eq!(ProbeMeta::decode(&[0u8; ENCODED_LEN]), None);
-        assert_eq!(ProbeMeta::decode(b"GET / HTTP/1.1\r\nHost: example.org\r\n"), None);
+        assert_eq!(
+            ProbeMeta::decode(b"GET / HTTP/1.1\r\nHost: example.org\r\n"),
+            None
+        );
     }
 }

@@ -121,7 +121,10 @@ mod tests {
         h.emit(&mut buf, SRC, DST, b"payload");
         let last = buf.len() - 1;
         buf[last] ^= 0xff;
-        assert_eq!(TcpHeader::parse(&buf, SRC, DST).unwrap_err(), WireError::BadFormat);
+        assert_eq!(
+            TcpHeader::parse(&buf, SRC, DST).unwrap_err(),
+            WireError::BadFormat
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ mod tests {
         let mut buf = Vec::new();
         h.emit(&mut buf, SRC, DST, b"data!");
         buf[9] ^= 0x40;
-        assert_eq!(UdpHeader::parse(&buf, SRC, DST).unwrap_err(), WireError::BadFormat);
+        assert_eq!(
+            UdpHeader::parse(&buf, SRC, DST).unwrap_err(),
+            WireError::BadFormat
+        );
     }
 
     #[test]
@@ -107,6 +110,9 @@ mod tests {
     fn bad_length_rejected() {
         let mut buf = vec![0u8; 8];
         buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // len < 8
-        assert_eq!(UdpHeader::parse(&buf, SRC, DST).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            UdpHeader::parse(&buf, SRC, DST).unwrap_err(),
+            WireError::BadLength
+        );
     }
 }

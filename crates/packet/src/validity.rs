@@ -55,27 +55,21 @@ pub fn validate_packet(buf: &[u8]) -> Result<(), ValidityError> {
             let seg = &buf[seg_start..seg_end];
             match ip.proto {
                 ipproto::TCP => {
-                    TcpHeader::parse(seg, ip.src, ip.dst)
-                        .map_err(ValidityError::BadTransport)?;
+                    TcpHeader::parse(seg, ip.src, ip.dst).map_err(ValidityError::BadTransport)?;
                 }
                 ipproto::UDP => {
-                    UdpHeader::parse(seg, ip.src, ip.dst)
-                        .map_err(ValidityError::BadTransport)?;
+                    UdpHeader::parse(seg, ip.src, ip.dst).map_err(ValidityError::BadTransport)?;
                 }
-                ipproto::ICMP => {
-                    if seg.len() < 8 || !checksum::verify(seg) {
-                        return Err(ValidityError::BadTransport(WireError::BadFormat));
-                    }
+                ipproto::ICMP if (seg.len() < 8 || !checksum::verify(seg)) => {
+                    return Err(ValidityError::BadTransport(WireError::BadFormat));
                 }
                 _ => {}
             }
             Ok(())
         }
-        ethertype::ARP => {
-            crate::arp::ArpPacket::parse(&buf[off..])
-                .map(|_| ())
-                .map_err(ValidityError::BadArp)
-        }
+        ethertype::ARP => crate::arp::ArpPacket::parse(&buf[off..])
+            .map(|_| ())
+            .map_err(ValidityError::BadArp),
         _ => Ok(()),
     }
 }

@@ -11,11 +11,7 @@ fn arb_fields() -> impl Strategy<Value = PacketFields> {
     (
         any::<u64>(),
         any::<u64>(),
-        prop_oneof![
-            Just(ethertype::IPV4),
-            Just(ethertype::ARP),
-            Just(0x88ccu16),
-        ],
+        prop_oneof![Just(ethertype::IPV4), Just(ethertype::ARP), Just(0x88ccu16),],
         prop::option::of((0u16..4096, 0u8..8)),
         any::<[u8; 4]>(),
         any::<[u8; 4]>(),

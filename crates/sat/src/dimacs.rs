@@ -35,7 +35,10 @@ impl std::fmt::Display for DimacsError {
             DimacsError::BadLiteral(s) => write!(f, "bad literal token: {s}"),
             DimacsError::LiteralOutOfRange(l) => write!(f, "literal out of range: {l}"),
             DimacsError::ClauseCountMismatch { declared, found } => {
-                write!(f, "clause count mismatch: declared {declared}, found {found}")
+                write!(
+                    f,
+                    "clause count mismatch: declared {declared}, found {found}"
+                )
             }
             DimacsError::MissingTerminator => write!(f, "final clause missing 0 terminator"),
         }

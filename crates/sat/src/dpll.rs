@@ -114,7 +114,11 @@ impl DpllSolver {
         }
     }
 
-    fn dpll(clauses: &[Vec<i32>], assign: &mut Vec<Assign>, budget: &mut Option<u64>) -> Option<bool> {
+    fn dpll(
+        clauses: &[Vec<i32>],
+        assign: &mut Vec<Assign>,
+        budget: &mut Option<u64>,
+    ) -> Option<bool> {
         let mut trail = Vec::new();
         if !Self::propagate(clauses, assign, &mut trail) {
             for v in trail {

@@ -101,7 +101,8 @@ impl Model {
 
     /// Checks the model against a CNF; true iff every clause has a true literal.
     pub fn satisfies(&self, cnf: &Cnf) -> bool {
-        cnf.clauses().all(|cl| cl.iter().any(|&l| self.lit_value(l)))
+        cnf.clauses()
+            .all(|cl| cl.iter().any(|&l| self.lit_value(l)))
     }
 }
 

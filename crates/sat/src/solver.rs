@@ -275,11 +275,7 @@ impl CdclSolver {
         } else {
             self.search()
         };
-        self.stats.learnt_clauses = self
-            .clauses
-            .iter()
-            .filter(|c| c.learnt)
-            .count() as u64;
+        self.stats.learnt_clauses = self.clauses.iter().filter(|c| c.learnt).count() as u64;
         SolveOutcome {
             result,
             stats: self.stats,
@@ -639,11 +635,9 @@ impl CdclSolver {
             }
         }
         self.clauses = kept;
-        for r in self.reason.iter_mut() {
-            if let Some(idx) = r {
-                *idx = remap[*idx];
-                debug_assert!(*idx != usize::MAX);
-            }
+        for idx in self.reason.iter_mut().flatten() {
+            *idx = remap[*idx];
+            debug_assert!(*idx != usize::MAX);
         }
         // Rebuild watches.
         for w in &mut self.watches {

@@ -104,7 +104,7 @@ fn larger_random_instances_agree() {
             let len = rng.random_range(1..=3);
             let lits: Vec<i32> = (0..len)
                 .map(|_| {
-                    let v = rng.random_range(1..=nvars) as i32;
+                    let v: i32 = rng.random_range(1..=nvars);
                     if rng.random_bool(0.5) {
                         v
                     } else {

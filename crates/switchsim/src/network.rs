@@ -313,11 +313,14 @@ impl Network {
             interval,
             until,
         });
-        self.push_at(start, Ev::HostEmit {
-            host,
-            flow: flow_idx,
-            seq: 0,
-        });
+        self.push_at(
+            start,
+            Ev::HostEmit {
+                host,
+                flow: flow_idx,
+                seq: 0,
+            },
+        );
     }
 
     fn push(&mut self, dt: SimTime, ev: Ev) {
@@ -386,15 +389,13 @@ impl Network {
 
     fn dispatch(&mut self, app: &mut dyn ControlApp, ev: Ev) {
         match ev {
-            Ev::CtrlToSwitch { sw, bytes } => {
-                match wire::decode(&bytes) {
-                    Ok((msg, xid, _)) => {
-                        let fx = self.switches[sw].enqueue_ctrl(self.now, msg, xid);
-                        self.apply_effects(sw, fx);
-                    }
-                    Err(e) => panic!("undecodable control message to switch {sw}: {e}"),
+            Ev::CtrlToSwitch { sw, bytes } => match wire::decode(&bytes) {
+                Ok((msg, xid, _)) => {
+                    let fx = self.switches[sw].enqueue_ctrl(self.now, msg, xid);
+                    self.apply_effects(sw, fx);
                 }
-            }
+                Err(e) => panic!("undecodable control message to switch {sw}: {e}"),
+            },
             Ev::AgentWake { sw } => {
                 let fx = self.switches[sw].agent_step(self.now);
                 self.apply_effects(sw, fx);
@@ -456,11 +457,14 @@ impl Network {
                 }
                 let next = self.now + f.interval;
                 if next <= f.until {
-                    self.push_at(next, Ev::HostEmit {
-                        host,
-                        flow,
-                        seq: seq + 1,
-                    });
+                    self.push_at(
+                        next,
+                        Ev::HostEmit {
+                            host,
+                            flow,
+                            seq: seq + 1,
+                        },
+                    );
                 }
             }
         }
@@ -502,11 +506,14 @@ impl Network {
         }
         let (to, to_port) = if l.a.0 == from { l.b } else { l.a };
         let latency = l.latency;
-        self.push(hold + latency, Ev::FrameAt {
-            node: to,
-            port: to_port,
-            frame,
-        });
+        self.push(
+            hold + latency,
+            Ev::FrameAt {
+                node: to,
+                port: to_port,
+                frame,
+            },
+        );
     }
 
     /// Convenience for tests: attaches the host's single access link.

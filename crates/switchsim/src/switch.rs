@@ -306,10 +306,7 @@ impl SimSwitch {
             // Pica8: highest priority first (\[16\]); ties by arrival.
             let mut best = 0;
             for i in 1..self.pending.len() {
-                let (bp, bo) = (
-                    self.pending[best].flow_mod.priority,
-                    self.pending[best].op,
-                );
+                let (bp, bo) = (self.pending[best].flow_mod.priority, self.pending[best].op);
                 let (ip, io) = (self.pending[i].flow_mod.priority, self.pending[i].op);
                 if (ip, std::cmp::Reverse(io)) > (bp, std::cmp::Reverse(bo)) {
                     best = i;
@@ -339,7 +336,7 @@ impl SimSwitch {
             let done = pending_ops
                 .iter()
                 .next()
-                .map_or(true, |&lowest| lowest >= b.boundary);
+                .is_none_or(|&lowest| lowest >= b.boundary);
             if done {
                 replies.push(b.xid);
             }
@@ -365,7 +362,13 @@ impl SimSwitch {
     ///
     /// `ecmp_salt` seeds the flow-hash used to pick ECMP legs so different
     /// networks can diversify deterministically.
-    pub fn handle_frame(&mut self, now: SimTime, in_port: PortNo, frame: &[u8], ecmp_salt: u64) -> Vec<Effect> {
+    pub fn handle_frame(
+        &mut self,
+        now: SimTime,
+        in_port: PortNo,
+        frame: &[u8],
+        ecmp_salt: u64,
+    ) -> Vec<Effect> {
         let mut effects = Vec::new();
         self.stats.frames_processed += 1;
         // Pre-lookup validity checks (§5.1).
@@ -396,8 +399,8 @@ impl SimSwitch {
                 let done = ready + self.profile.packetin_cost;
                 self.pi_busy_until = done;
                 // Interference with the FlowMod/PacketOut CPU (Fig. 7).
-                let stall = (self.profile.packetin_cost as f64
-                    * self.profile.packetin_interference) as SimTime;
+                let stall = (self.profile.packetin_cost as f64 * self.profile.packetin_interference)
+                    as SimTime;
                 self.agent_busy_until = self.agent_busy_until.max(now) + stall;
                 if let Some(frame) = reframe(frame, &hdr, &out_hdr, &payload) {
                     self.stats.packetins_sent += 1;

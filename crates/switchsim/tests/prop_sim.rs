@@ -31,7 +31,7 @@ fn install_chain(net: &mut Network, hops: usize) {
     for sw in 0..hops {
         // First switch: host on port 1, trunk on port 2; middle switches:
         // in on 1, out on 2; last: host on port 2.
-        let out = if sw == 0 || sw < hops - 1 { 2 } else { 2 };
+        let out = 2; // every hop forwards on port 2 along the chain
         net.app_send(
             sw,
             sw as u32,

@@ -1,0 +1,167 @@
+//! Vendored, registry-free subset of the `criterion` benchmarking API.
+//!
+//! No statistics engine — each benchmark is timed with a warmup pass and a
+//! fixed measurement window, reporting mean ns/iter. Enough to run the
+//! workspace's `cargo bench` targets offline and produce comparable numbers
+//! run-to-run on the same machine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    iters_hint: u64,
+    /// Mean ns/iter of the measurement pass (read by the runner).
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`: warmup to estimate cost, then a measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: run until ~50ms elapse.
+        let warmup = Duration::from_millis(50);
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Measurement: aim for ~200ms or the configured sample hint.
+        let target_iters = ((200e6 / per_iter.max(1.0)) as u64)
+            .clamp(1, 10_000_000)
+            .max(self.iters_hint);
+        let t1 = Instant::now();
+        for _ in 0..target_iters {
+            black_box(f());
+        }
+        self.result_ns = t1.elapsed().as_nanos() as f64 / target_iters as f64;
+    }
+}
+
+fn report(id: &str, ns: f64) {
+    if ns >= 1e9 {
+        println!("{id:<48} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{id:<48} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{id:<48} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("{id:<48} {:>12.1} ns/iter", ns);
+    }
+}
+
+fn run_one(id: &str, iters_hint: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_hint,
+        result_ns: f64::NAN,
+    };
+    f(&mut b);
+    report(id, b.result_ns);
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint (kept for API compatibility; used as a minimum
+    /// iteration count here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), 1, f);
+        self
+    }
+
+    /// Ends the group (no-op; symmetry with the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a harness.
+    pub fn new() -> Criterion {
+        Criterion {}
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            name,
+            _c: self,
+            sample_size: 1,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), 1, f);
+        self
+    }
+}
+
+/// Declares a group-runner function, as the real crate does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes --bench/filter args; accept and ignore.
+            $($group();)+
+        }
+    };
+}

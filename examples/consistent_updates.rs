@@ -23,8 +23,16 @@ impl Experiment for Reroute {
     fn on_start(&mut self, io: &mut ExpIo) {
         // Initial forwarding: S0 -> S1 (port 1) and S1 -> H2 (port 3).
         for (i, f) in self.flows.iter().enumerate() {
-            io.send_flowmod(0, 10_000 + i as u64, FlowMod::add(100, flow_match(f), forward_to(1)));
-            io.send_flowmod(1, 20_000 + i as u64, FlowMod::add(100, flow_match(f), forward_to(3)));
+            io.send_flowmod(
+                0,
+                10_000 + i as u64,
+                FlowMod::add(100, flow_match(f), forward_to(1)),
+            );
+            io.send_flowmod(
+                1,
+                20_000 + i as u64,
+                FlowMod::add(100, flow_match(f), forward_to(3)),
+            );
         }
         io.timer_at(time::ms(500), 1);
     }
@@ -41,15 +49,19 @@ impl Experiment for Reroute {
             // Phase 2: only now is it safe to shift traffic at S0 (port 2
             // faces S2).
             let f = &self.flows[token as usize];
-            io.send_flowmod(0, 30_000 + token, FlowMod::modify_strict(100, flow_match(f), forward_to(2)));
+            io.send_flowmod(
+                0,
+                30_000 + token,
+                FlowMod::modify_strict(100, flow_match(f), forward_to(2)),
+            );
         }
     }
 }
 
 fn build() -> (Network, usize, usize) {
     let mut net = Network::new(NetworkConfig::default());
-    let s0 = net.add_switch(SwitchProfile::ideal());
-    let s1 = net.add_switch(SwitchProfile::ideal());
+    let _s0 = net.add_switch(SwitchProfile::ideal());
+    let _s1 = net.add_switch(SwitchProfile::ideal());
     let _s2 = net.add_switch(SwitchProfile::hp5406zl()); // the liar
     net.connect(NodeRef::Switch(0), NodeRef::Switch(1)); // S0p1-S1p1
     net.connect(NodeRef::Switch(0), NodeRef::Switch(2)); // S0p2-S2p1
@@ -58,9 +70,16 @@ fn build() -> (Network, usize, usize) {
     let h2 = net.add_host();
     net.connect_host(h1, 0); // S0p3
     net.connect_host(h2, 1); // S1p3
-    // Traffic: each flow 200 pkt/s from t=0.2s to t=3s.
+                             // Traffic: each flow 200 pkt/s from t=0.2s to t=3s.
     for f in reroute_flows(FLOWS) {
-        net.add_host_flow(h1, f.fields, u64::from(f.id), time::ms(200), time::per_sec(200.0), time::s(3));
+        net.add_host_flow(
+            h1,
+            f.fields,
+            u64::from(f.id),
+            time::ms(200),
+            time::per_sec(200.0),
+            time::s(3),
+        );
     }
     (net, h1, h2)
 }
@@ -70,14 +89,18 @@ fn main() {
     println!("rerouting {FLOWS} flows through a premature-ack switch; ~{sent} packets in flight");
 
     let (mut net, _h1, h2) = build();
-    let mut app = BarrierApp::new(Reroute { flows: reroute_flows(FLOWS) });
+    let mut app = BarrierApp::new(Reroute {
+        flows: reroute_flows(FLOWS),
+    });
     net.start(&mut app);
     net.run_until(&mut app, time::s(4));
     let recv_barrier = net.host_received(h2);
 
     let (mut net, _h1, h2) = build();
     let mut app = MonocleApp::build(
-        Reroute { flows: reroute_flows(FLOWS) },
+        Reroute {
+            flows: reroute_flows(FLOWS),
+        },
         &net,
         &[2],
         HarnessConfig::default(),

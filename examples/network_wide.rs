@@ -36,6 +36,12 @@ fn show(name: &str, g: &monocle_netgraph::Graph) {
 fn main() {
     show("FatTree(4)", &generators::fattree(4));
     show("FatTree(8)", &generators::fattree(8));
-    show("WAN (Waxman, 120 nodes)", &generators::waxman(120, 0.15, 0.4, 7));
-    show("ISP (pref. attach, 500 nodes)", &generators::barabasi_albert(500, 2, 7));
+    show(
+        "WAN (Waxman, 120 nodes)",
+        &generators::waxman(120, 0.15, 0.4, 7),
+    );
+    show(
+        "ISP (pref. attach, 500 nodes)",
+        &generators::barabasi_albert(500, 2, 7),
+    );
 }

@@ -40,8 +40,22 @@ fn main() {
     .expect("rule 1 is monitorable");
 
     println!("probe header (abstract): {:?}", plan.fields);
-    println!("present  => output ports {:?}", plan.present.observations.iter().map(|o| o.0).collect::<Vec<_>>());
-    println!("absent   => output ports {:?}", plan.absent.observations.iter().map(|o| o.0).collect::<Vec<_>>());
+    println!(
+        "present  => output ports {:?}",
+        plan.present
+            .observations
+            .iter()
+            .map(|o| o.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "absent   => output ports {:?}",
+        plan.absent
+            .observations
+            .iter()
+            .map(|o| o.0)
+            .collect::<Vec<_>>()
+    );
     assert_eq!(plan.fields.nw_src, [10, 0, 0, 1], "probe must hit rule 1");
 
     // Craft the real packet, with probe metadata in the payload (§4.2).
@@ -55,7 +69,18 @@ fn main() {
     let frame = craft_packet(&plan.fields, &meta.encode()).unwrap();
     validate_packet(&frame).unwrap();
     println!("crafted {} wire bytes; checksums valid", frame.len());
+    println!("outcome check: probe on port A ⇒ rule OK; on port B ⇒ raise alarm (Figure 1)");
+
+    // Steady-state monitoring re-probes the same rules continuously; the
+    // session-based ProbeEngine makes that cheap. The first pass generates
+    // (here without SAT, via its guess-and-verify fast path); the re-probe
+    // of the unchanged table is a pure cache hit — zero solver calls.
+    let mut engine = monocle::ProbeEngine::default();
+    let ids: Vec<_> = table.rules().iter().map(|r| r.id).collect();
+    let (_, cold) = engine.generate_batch_with_stats(&table, &ids, &CatchSpec::default());
+    let (_, warm) = engine.generate_batch_with_stats(&table, &ids, &CatchSpec::default());
     println!(
-        "outcome check: probe on port A ⇒ rule OK; on port B ⇒ raise alarm (Figure 1)"
+        "engine: cold batch used {} SAT solves ({} fast-path); warm re-probe: {} solves, {} cache hits",
+        cold.solver_calls, cold.fast_path_hits, warm.solver_calls, warm.cache_hits
     );
 }

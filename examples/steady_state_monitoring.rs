@@ -48,6 +48,11 @@ fn main() {
         proxy.expected().len(),
         proxy.unmonitorable.len()
     );
+    let gs = proxy.engine_stats();
+    println!(
+        "probe engine: {} SAT solves, {} fast-path, {} cache hits across sweeps",
+        gs.solver_calls, gs.fast_path_hits, gs.cache_hits
+    );
 
     // Soft error: one rule silently vanishes from the data plane.
     let victim = net
@@ -59,7 +64,10 @@ fn main() {
         .map(|r| r.id)
         .expect("fib rule installed");
     let t_fail = net.now();
-    println!("t={:.3}s: failing rule {victim} in the data plane", time::to_secs(t_fail));
+    println!(
+        "t={:.3}s: failing rule {victim} in the data plane",
+        time::to_secs(t_fail)
+    );
     net.switch_mut(s0).fail_rule(victim);
 
     // The steady monitor detects it within (cycle + timeout).

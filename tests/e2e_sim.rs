@@ -84,8 +84,12 @@ fn steady_state_detects_and_recovers() {
     let mut app = MonocleApp::build(TwoRules, &net, &[0], cfg);
     net.start(&mut app);
     net.run_for(&mut app, time::s(2));
-    assert!(app.events.iter().all(|e| !matches!(e, HarnessEvent::RuleFailed { .. })),
-        "healthy network must not alarm");
+    assert!(
+        app.events
+            .iter()
+            .all(|e| !matches!(e, HarnessEvent::RuleFailed { .. })),
+        "healthy network must not alarm"
+    );
 
     // Fail the specific rule silently.
     let victim = net
@@ -141,7 +145,10 @@ fn drop_postponing_end_to_end() {
     let tag = DropTag(63);
     for sw in 0..3 {
         let (prio, m, a) = monocle::droppost::drop_tag_rule(tag);
-        net.switch_mut(sw).dataplane_mut().add_rule(prio, m, a).unwrap();
+        net.switch_mut(sw)
+            .dataplane_mut()
+            .add_rule(prio, m, a)
+            .unwrap();
     }
     let mut app = MonocleApp::build(DropInstall, &net, &[0], HarnessConfig::default());
     // Enable drop postponing on the monitored proxy via its config: the
@@ -156,10 +163,15 @@ fn drop_postponing_end_to_end() {
     // the rule confirms once probes *stop* matching the absent path. Our
     // dynamic monitor confirms on Absent for deletes only, so the drop add
     // confirms via its distinguishable absent outcome.
-    let confirmed2 = app.events.iter().any(|e| {
-        matches!(e, HarnessEvent::Confirmed { token: 2, .. })
-    });
-    assert!(confirmed2, "drop rule install must confirm: {:?}", app.events);
+    let confirmed2 = app
+        .events
+        .iter()
+        .any(|e| matches!(e, HarnessEvent::Confirmed { token: 2, .. }));
+    assert!(
+        confirmed2,
+        "drop rule install must confirm: {:?}",
+        app.events
+    );
 }
 
 /// Monitoring several switches of a FatTree at once (the Multiplexer role).

@@ -1,0 +1,234 @@
+//! Cache-invalidation soundness of the [`monocle::engine::ProbeEngine`].
+//!
+//! For random flow tables driven through random FlowMod edit sequences, the
+//! stateful engine must stay *plan-equivalent* to fresh stateless
+//! generation after every edit:
+//!
+//! * same success/failure status and error classification per rule;
+//! * every engine-produced plan passes the semantic oracle
+//!   ([`monocle::plan::verify_probe`]) against the *current* table — i.e.
+//!   no stale cached plan survives an edit that affected its rule.
+//!
+//! Probe packets may legitimately differ between the two paths (both are
+//! verified candidates), so equivalence is semantic, not structural. Half
+//! of the edits are applied *without* a `note_flowmod` delta notification
+//! to exercise the fingerprint-based invalidation safety net.
+
+use monocle::encode::CatchSpec;
+use monocle::engine::{EngineConfig, ProbeEngine};
+use monocle::generator::{generate_probe, GeneratorConfig};
+use monocle::plan::verify_probe;
+use monocle_openflow::{Action, FlowMod, FlowTable, Match};
+use proptest::prelude::*;
+
+/// Random matches over a small value space so rules overlap (mirrors
+/// `tests/prop_probe.rs`).
+fn arb_match() -> impl Strategy<Value = Match> {
+    (
+        prop::option::of((0u8..4, 0u8..4, prop_oneof![Just(16u8), Just(24), Just(32)])),
+        prop::option::of((0u8..4, 0u8..4, prop_oneof![Just(16u8), Just(24), Just(32)])),
+        prop::option::of(prop_oneof![Just(6u8), Just(17u8)]),
+        prop::option::of(prop_oneof![Just(22u16), Just(80), Just(443)]),
+    )
+        .prop_map(|(src, dst, proto, port)| {
+            let mut m = Match::any();
+            if let Some((a, b, plen)) = src {
+                m = m.with_nw_src([10, a, b, 1], plen);
+            }
+            if let Some((a, b, plen)) = dst {
+                m = m.with_nw_dst([10, a, b, 2], plen);
+            }
+            if let Some(p) = proto {
+                m = m.with_nw_proto(p);
+            }
+            if let Some(p) = port {
+                m = m.with_tp_dst(p);
+                if m.nw_proto.is_none() {
+                    m = m.with_nw_proto(6);
+                }
+            }
+            m
+        })
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    prop_oneof![
+        Just(vec![]),                                                        // drop
+        (1u16..5).prop_map(|p| vec![Action::Output(p)]),                     // unicast
+        (0u8..8).prop_map(|t| vec![Action::SetNwTos(t), Action::Output(1)]), // rewrite
+        Just(vec![Action::Output(1), Action::Output(2)]),                    // multicast
+        Just(vec![Action::SelectOutput(vec![3, 4])]),                        // ECMP
+    ]
+}
+
+/// One edit of the FlowMod sequence. Delete/Modify address an existing rule
+/// by index (modulo the live table size at application time); `notify` says
+/// whether the engine gets the delta hint or must rely on its fingerprint.
+#[derive(Debug, Clone)]
+enum Edit {
+    Add(u16, Match, Vec<Action>, bool),
+    Delete(usize, bool),
+    Modify(usize, Vec<Action>, bool),
+}
+
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (1u16..8, arb_match(), arb_actions(), any::<bool>())
+            .prop_map(|(p, m, a, n)| Edit::Add(p, m, a, n)),
+        (any::<usize>(), any::<bool>()).prop_map(|(i, n)| Edit::Delete(i, n)),
+        (any::<usize>(), arb_actions(), any::<bool>()).prop_map(|(i, a, n)| Edit::Modify(i, a, n)),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = FlowTable> {
+    prop::collection::vec((arb_match(), arb_actions(), 1u16..8), 1..10).prop_map(|rules| {
+        let mut t = FlowTable::new();
+        for (m, a, p) in rules {
+            let _ = t.add_rule(p, m, a);
+        }
+        t
+    })
+}
+
+/// Turns an [`Edit`] into a concrete FlowMod against the current table, or
+/// `None` when it has no target (empty table).
+fn to_flowmod(edit: &Edit, table: &FlowTable) -> Option<(FlowMod, bool)> {
+    match edit {
+        Edit::Add(p, m, a, n) => Some((FlowMod::add(*p, *m, a.clone()), *n)),
+        Edit::Delete(i, n) => {
+            if table.is_empty() {
+                return None;
+            }
+            let r = &table.rules()[i % table.len()];
+            Some((FlowMod::delete_strict(r.priority, r.match_), *n))
+        }
+        Edit::Modify(i, a, n) => {
+            if table.is_empty() {
+                return None;
+            }
+            let r = &table.rules()[i % table.len()];
+            Some((FlowMod::modify_strict(r.priority, r.match_, a.clone()), *n))
+        }
+    }
+}
+
+/// Engine answers for every rule must match fresh stateless generation.
+fn assert_equivalent(
+    engine: &mut ProbeEngine,
+    table: &FlowTable,
+    catch: &CatchSpec,
+    gen: &GeneratorConfig,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let pins = catch.all_pins();
+    for rule in table.rules() {
+        let stateless = generate_probe(table, rule.id, catch, gen);
+        let engined = engine.generate(table, rule.id, catch);
+        prop_assert_eq!(
+            engined.is_ok(),
+            stateless.is_ok(),
+            "status diverged for {:?} ({context}): engine={:?} stateless={:?}",
+            rule.match_,
+            engined.as_ref().err(),
+            stateless.as_ref().err()
+        );
+        match engined {
+            Ok(plan) => {
+                let oracle = verify_probe(table, rule.id, &plan.header, &pins);
+                prop_assert!(
+                    oracle.is_some(),
+                    "engine plan fails the oracle for {:?} ({context})",
+                    rule.match_
+                );
+                let (present, absent) = oracle.unwrap();
+                prop_assert_eq!(&plan.present, &present, "stale present outcome ({context})");
+                prop_assert_eq!(&plan.absent, &absent, "stale absent outcome ({context})");
+            }
+            Err(e) => {
+                prop_assert_eq!(
+                    e,
+                    stateless.unwrap_err(),
+                    "error classification diverged ({context})"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The headline invariant: engine output is plan-equivalent to fresh
+    /// stateless generation after every edit of a random FlowMod sequence.
+    #[test]
+    fn engine_equivalent_across_edit_sequences(
+        table in arb_table(),
+        edits in prop::collection::vec(arb_edit(), 1..8),
+    ) {
+        let catch = CatchSpec::default();
+        let gen = GeneratorConfig::default();
+        let mut table = table;
+        let mut engine = ProbeEngine::default();
+        assert_equivalent(&mut engine, &table, &catch, &gen, "initial")?;
+        for (step, edit) in edits.iter().enumerate() {
+            let Some((fm, notify)) = to_flowmod(edit, &table) else {
+                continue;
+            };
+            if notify {
+                engine.note_flowmod(&fm);
+            }
+            let _ = table.apply(&fm);
+            let ctx = format!("after edit {step}: {edit:?}");
+            assert_equivalent(&mut engine, &table, &catch, &gen, &ctx)?;
+        }
+    }
+
+    /// Same invariant with the guess-and-verify fast path disabled: every
+    /// engine generation goes through the session-built SAT instance, so
+    /// this pins the session encoder against the stateless one.
+    #[test]
+    fn session_encoder_equivalent_across_edits(
+        table in arb_table(),
+        edits in prop::collection::vec(arb_edit(), 1..6),
+    ) {
+        let catch = CatchSpec::default();
+        let gen = GeneratorConfig::default();
+        let mut table = table;
+        let mut engine = ProbeEngine::new(EngineConfig {
+            fast_path: false,
+            ..EngineConfig::default()
+        });
+        assert_equivalent(&mut engine, &table, &catch, &gen, "initial")?;
+        for (step, edit) in edits.iter().enumerate() {
+            let Some((fm, notify)) = to_flowmod(edit, &table) else {
+                continue;
+            };
+            if notify {
+                engine.note_flowmod(&fm);
+            }
+            let _ = table.apply(&fm);
+            let ctx = format!("after edit {step} (no fast path): {edit:?}");
+            assert_equivalent(&mut engine, &table, &catch, &gen, &ctx)?;
+        }
+    }
+
+    /// Batch output is identical (entry by entry) to one-at-a-time engine
+    /// calls, and re-batching an unchanged table touches no solver.
+    #[test]
+    fn batch_matches_sequential_and_caches(table in arb_table()) {
+        let catch = CatchSpec::default();
+        let ids: Vec<_> = table.rules().iter().map(|r| r.id).collect();
+        let mut batch_engine = ProbeEngine::default();
+        let mut seq_engine = ProbeEngine::default();
+        let (batch, _) = batch_engine.generate_batch_with_stats(&table, &ids, &catch);
+        for (&id, b) in ids.iter().zip(&batch) {
+            let s = seq_engine.generate(&table, id, &catch);
+            prop_assert_eq!(b, &s);
+        }
+        let (rebatch, stats) = batch_engine.generate_batch_with_stats(&table, &ids, &catch);
+        prop_assert_eq!(stats.solver_calls, 0);
+        prop_assert_eq!(stats.cache_hits, ids.len() as u64);
+        prop_assert_eq!(&batch, &rebatch);
+    }
+}

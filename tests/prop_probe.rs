@@ -45,11 +45,11 @@ fn arb_match() -> impl Strategy<Value = Match> {
 
 fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
     prop_oneof![
-        Just(vec![]),                                           // drop
-        (1u16..5).prop_map(|p| vec![Action::Output(p)]),        // unicast
+        Just(vec![]),                                                        // drop
+        (1u16..5).prop_map(|p| vec![Action::Output(p)]),                     // unicast
         (0u8..8).prop_map(|t| vec![Action::SetNwTos(t), Action::Output(1)]), // rewrite
-        Just(vec![Action::Output(1), Action::Output(2)]),       // multicast
-        Just(vec![Action::SelectOutput(vec![3, 4])]),           // ECMP
+        Just(vec![Action::Output(1), Action::Output(2)]),                    // multicast
+        Just(vec![Action::SelectOutput(vec![3, 4])]),                        // ECMP
     ]
 }
 
