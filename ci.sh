@@ -22,4 +22,15 @@ echo "== perf baseline: Table 2 probe generation =="
 # engine-vs-stateless acceptance criterion is measured at.
 ./target/release/table2_probe_generation --rules 600 --json BENCH_probe_generation.json
 
+echo "== perf baseline: flow-table lookup (trie vs linear) =="
+# 600 rules is the floor the trie-vs-linear acceptance criterion (>=2x on
+# the Fig. 8 workload) is measured at; the binary also cross-checks trie
+# answers against the linear reference before timing.
+./target/release/table_lookup --rules 600 --json BENCH_table_lookup.json
+
+echo "== smoke: Fig. 8 large-network simulation =="
+# Small-size end-to-end run of the packet-level simulator over the trie-
+# backed data plane (the full 2000-path figure takes minutes).
+./target/release/fig8_large_network --paths 100 --batch 25 --interval-ms 10 --horizon-s 20
+
 echo "CI OK"

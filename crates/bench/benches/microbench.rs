@@ -90,7 +90,7 @@ fn bench_encoding_ablation(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("build+cdcl", format!("{style:?}")), |b| {
             b.iter(|| {
                 for r in &probed {
-                    if let Ok(inst) = build_instance(table.rules(), r, &catch, style) {
+                    if let Ok(inst) = build_instance(&table, r, &catch, style) {
                         black_box(CdclSolver::new().solve(&inst.cnf));
                     }
                 }
@@ -101,9 +101,7 @@ fn bench_encoding_ablation(c: &mut Criterion) {
     g.bench_function("build+dpll/Implication", |b| {
         b.iter(|| {
             for r in &probed {
-                if let Ok(inst) =
-                    build_instance(table.rules(), r, &catch, EncodingStyle::Implication)
-                {
+                if let Ok(inst) = build_instance(&table, r, &catch, EncodingStyle::Implication) {
                     black_box(
                         DpllSolver::new()
                             .with_decision_budget(100_000)
@@ -143,9 +141,15 @@ fn bench_flow_table(c: &mut Criterion) {
     c.bench_function("flowtable/lookup_10k", |b| {
         b.iter(|| black_box(table.lookup(&probe)))
     });
+    c.bench_function("flowtable/lookup_10k_linear", |b| {
+        b.iter(|| black_box(table.lookup_linear(&probe)))
+    });
     let tern = table.rules()[500].tern;
     c.bench_function("flowtable/overlap_scan_10k", |b| {
         b.iter(|| black_box(table.overlapping(&tern).len()))
+    });
+    c.bench_function("flowtable/overlap_scan_10k_linear", |b| {
+        b.iter(|| black_box(table.overlapping_linear(&tern).len()))
     });
     let fib = l3_host_routes(1000, 4, 1);
     c.bench_function("flowtable/install_1000", |b| {

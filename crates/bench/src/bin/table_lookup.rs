@@ -1,0 +1,263 @@
+//! Flow-table lookup throughput: ternary-trie classifier vs the linear
+//! reference scan, on the Fig. 8 path-rule workload and an ACL dataset.
+//!
+//! The packet-level simulator dominates Fig. 8 large-network runs now that
+//! probe generation is cache-served; its hot loop is `FlowTable::lookup`.
+//! This bench pins the trie-vs-linear trajectory the ROADMAP asks future
+//! perf PRs to regress against (acceptance floor for this PR: ≥2× lookup
+//! throughput at ≥600 rules on the Fig. 8 workload).
+//!
+//! Three measurements per workload:
+//!
+//! * **lookup** — probe stream of rule hits + misses through
+//!   [`FlowTable::lookup`] (trie) and [`FlowTable::lookup_linear`];
+//! * **overlap** — the §5.4 pre-filter ([`FlowTable::overlapping`] vs
+//!   [`FlowTable::overlapping_linear`]) over every rule's ternary;
+//! * **churn** — interleaved FlowMod delete/re-add cycles, timing the
+//!   incremental trie maintenance against rebuild-free linear baseline
+//!   cost (the apply path itself).
+//!
+//! Usage: `table_lookup [--rules N] [--json PATH]`
+
+use monocle_datasets::acl::{generate, AclConfig};
+use monocle_openflow::{Action, FlowMod, FlowTable, HeaderVec, Match};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct WorkloadResult {
+    name: &'static str,
+    rules: usize,
+    probes: usize,
+    linear_lookups_per_s: f64,
+    trie_lookups_per_s: f64,
+    lookup_speedup: f64,
+    linear_overlaps_per_s: f64,
+    trie_overlaps_per_s: f64,
+    overlap_speedup: f64,
+    churn_applies_per_s: f64,
+}
+
+/// The Fig. 8 path-install rule shape: one exact (src, dst) /32 pair per
+/// path at one priority (`fig8_large_network::rule_for`).
+fn fig8_match(i: u32) -> Match {
+    Match::any()
+        .with_nw_src([10, 2, (i >> 8) as u8, i as u8], 32)
+        .with_nw_dst([10, 3, (i >> 8) as u8, i as u8], 32)
+}
+
+fn fig8_table(rules: usize) -> FlowTable {
+    let mut t = FlowTable::new();
+    for i in 0..rules as u32 {
+        t.add_rule(100, fig8_match(i), vec![Action::Output((i % 48) as u16)])
+            .unwrap();
+    }
+    t
+}
+
+fn acl_table(rules: usize) -> FlowTable {
+    let mut t = FlowTable::new();
+    for r in generate(&AclConfig::campus_like()).into_iter().take(rules) {
+        let _ = t.add_rule(r.priority, r.match_, r.actions);
+    }
+    t
+}
+
+/// Probe stream: every rule's sample packet (hits) plus one perturbed miss
+/// per rule, deterministically interleaved.
+fn probe_stream(t: &FlowTable) -> Vec<HeaderVec> {
+    let mut probes = Vec::with_capacity(t.len() * 2);
+    for r in t.rules() {
+        let hit = r.tern.sample_packet();
+        probes.push(hit);
+        let mut miss = hit;
+        // Flip a dst-address bit most rules care about; wildcard-heavy ACL
+        // rules may still match — that is fine, the stream just needs a mix.
+        miss.set(200, !miss.get(200));
+        miss.set(190, !miss.get(190));
+        probes.push(miss);
+    }
+    probes
+}
+
+/// Times `reps` passes of `f` over the probe stream; returns ops/second.
+fn time_per_sec<F: FnMut() -> usize>(mut f: F, min_duration_s: f64) -> f64 {
+    // Warmup.
+    black_box(f());
+    let mut ops = 0usize;
+    let t0 = Instant::now();
+    while t0.elapsed().as_secs_f64() < min_duration_s {
+        ops += f();
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn run_workload(name: &'static str, table: FlowTable, dur: f64) -> WorkloadResult {
+    let probes = probe_stream(&table);
+    // Correctness cross-check before timing anything.
+    for p in &probes {
+        assert_eq!(
+            table.lookup(p).map(|r| r.id),
+            table.lookup_linear(p).map(|r| r.id),
+            "trie/linear divergence in {name}"
+        );
+    }
+    // All four closures count one op per query (lookup or overlap *scan*),
+    // so the per-second figures share one unit; hit/set-size tallies are
+    // black_box-ed only to keep the queries from being optimized out.
+    let trie_lookups_per_s = time_per_sec(
+        || {
+            let mut n = 0;
+            for p in &probes {
+                n += usize::from(table.lookup(p).is_some());
+            }
+            black_box(n);
+            probes.len()
+        },
+        dur,
+    );
+    let linear_lookups_per_s = time_per_sec(
+        || {
+            let mut n = 0;
+            for p in &probes {
+                n += usize::from(table.lookup_linear(p).is_some());
+            }
+            black_box(n);
+            probes.len()
+        },
+        dur,
+    );
+    let terns: Vec<_> = table.rules().iter().map(|r| r.tern).collect();
+    let trie_overlaps_per_s = time_per_sec(
+        || {
+            let mut n = 0;
+            for t in &terns {
+                n += table.overlapping(t).len();
+            }
+            black_box(n);
+            terns.len()
+        },
+        dur,
+    );
+    let linear_overlaps_per_s = time_per_sec(
+        || {
+            let mut n = 0;
+            for t in &terns {
+                n += table.overlapping_linear(t).len();
+            }
+            black_box(n);
+            terns.len()
+        },
+        dur,
+    );
+    // Churn: delete + re-add one rule per step (strict delete by match),
+    // cycling through the table — incremental trie maintenance under
+    // FlowMod pressure, no rebuilds.
+    let snapshot: Vec<(u16, Match, Vec<Action>)> = table
+        .rules()
+        .iter()
+        .map(|r| (r.priority, r.match_, r.actions.clone()))
+        .collect();
+    let mut churn_table = table.clone();
+    let mut step = 0usize;
+    let churn_applies_per_s = time_per_sec(
+        || {
+            let mut applies = 0;
+            for _ in 0..64 {
+                let (prio, m, acts) = &snapshot[step % snapshot.len()];
+                step += 1;
+                let del = FlowMod::delete_strict(*prio, *m);
+                let _ = churn_table.apply(&del);
+                let _ = churn_table.add_rule(*prio, *m, acts.clone());
+                applies += 2;
+            }
+            applies
+        },
+        dur,
+    );
+    assert_eq!(churn_table.len(), table.len(), "churn must be lossless");
+    WorkloadResult {
+        name,
+        rules: table.len(),
+        probes: probes.len(),
+        linear_lookups_per_s,
+        trie_lookups_per_s,
+        lookup_speedup: trie_lookups_per_s / linear_lookups_per_s.max(1e-9),
+        linear_overlaps_per_s,
+        trie_overlaps_per_s,
+        overlap_speedup: trie_overlaps_per_s / linear_overlaps_per_s.max(1e-9),
+        churn_applies_per_s,
+    }
+}
+
+fn write_json(path: &str, results: &[WorkloadResult]) {
+    let mut out = String::from("{\n  \"bench\": \"table_lookup\",\n  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rules\": {}, \"probes\": {}, \
+             \"linear_lookups_per_s\": {:.0}, \"trie_lookups_per_s\": {:.0}, \
+             \"lookup_speedup\": {:.2}, \"linear_overlaps_per_s\": {:.0}, \
+             \"trie_overlaps_per_s\": {:.0}, \"overlap_speedup\": {:.2}, \
+             \"churn_applies_per_s\": {:.0}}}{}\n",
+            r.name,
+            r.rules,
+            r.probes,
+            r.linear_lookups_per_s,
+            r.trie_lookups_per_s,
+            r.lookup_speedup,
+            r.linear_overlaps_per_s,
+            r.trie_overlaps_per_s,
+            r.overlap_speedup,
+            r.churn_applies_per_s,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write json baseline");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut rules = 600usize;
+    let mut json_path: Option<String> = None;
+    let mut dur = 0.4f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rules" => {
+                rules = args[i + 1].parse().expect("--rules N");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--secs" => {
+                dur = args[i + 1].parse().expect("--secs S");
+                i += 2;
+            }
+            other => panic!("unknown arg {other}"),
+        }
+    }
+    println!("== table lookup: ternary trie vs linear scan ({rules} rules) ==");
+    println!("workload\trules\ttrie lookups/s\tlinear lookups/s\tspeedup\toverlap speedup\tchurn applies/s");
+    let results = vec![
+        run_workload("fig8_pairs", fig8_table(rules), dur),
+        run_workload("acl_campus", acl_table(rules), dur),
+    ];
+    for r in &results {
+        println!(
+            "{}\t{}\t{:.0}\t{:.0}\t{:.2}x\t{:.2}x\t{:.0}",
+            r.name,
+            r.rules,
+            r.trie_lookups_per_s,
+            r.linear_lookups_per_s,
+            r.lookup_speedup,
+            r.overlap_speedup,
+            r.churn_applies_per_s
+        );
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &results);
+    }
+}

@@ -204,12 +204,26 @@ impl DynamicMonitor {
         // cache hit.
         let pre_planned: Option<(ProbePlan, Verdict)> = match fm.command {
             FlowModCommand::DeleteStrict | FlowModCommand::Delete => {
+                // The victim must be a rule this delete will actually
+                // remove, mirroring FlowTable::do_delete's hit condition:
+                // strict = exact (priority, match), non-strict =
+                // subsumption. Selecting by subsumption for a strict
+                // delete could probe a surviving rule for absence — an
+                // update that would never confirm.
+                let strict = fm.command == FlowModCommand::DeleteStrict;
+                let tern = fm.match_.ternary();
                 let victim = self
                     .expected
                     .table()
                     .rules()
                     .iter()
-                    .find(|r| fm.match_.ternary().subsumes(&r.tern))
+                    .find(|r| {
+                        if strict {
+                            r.priority == fm.priority && r.match_ == fm.match_
+                        } else {
+                            tern.subsumes(&r.tern)
+                        }
+                    })
                     .map(|r| r.id);
                 victim.and_then(|id| {
                     self.engine
@@ -237,7 +251,16 @@ impl DynamicMonitor {
         let apply_result = self.expected.apply(&fm);
         actions.push(DynAction::Forward(fm.clone()));
         let planned: Option<(ProbePlan, Verdict)> = match fm.command {
-            FlowModCommand::Add => {
+            // OF1.0: a MODIFY with no matching entry behaves as ADD; the
+            // table reports it in ApplyResult::added (and nothing in
+            // `modified`), so the guard routes it through the same
+            // present-probe path as an Add — the engine delta above already
+            // evicted the new rule's overlap neighborhood.
+            FlowModCommand::Add | FlowModCommand::ModifyStrict | FlowModCommand::Modify
+                if apply_result
+                    .as_ref()
+                    .is_ok_and(|r| !r.added.is_empty() && r.modified.is_empty()) =>
+            {
                 let rule_id = apply_result
                     .as_ref()
                     .ok()
@@ -249,6 +272,9 @@ impl DynamicMonitor {
                         .map(|p| (p, Verdict::Present))
                 })
             }
+            // An Add whose apply failed (bad actions / overlap flag): no
+            // rule to probe.
+            FlowModCommand::Add => None,
             FlowModCommand::DeleteStrict | FlowModCommand::Delete => pre_planned,
             FlowModCommand::ModifyStrict | FlowModCommand::Modify => {
                 // §4.1 synthetic table: expected post-state, all rules of
@@ -555,6 +581,84 @@ mod tests {
                 verified: true
             }
         );
+    }
+
+    #[test]
+    fn modify_as_add_monitored_as_install() {
+        // OF1.0: MODIFY with no matching entry behaves like ADD. The
+        // monitor must agree with the table's ApplyResult that this was an
+        // install — probing the *new* rule for presence — instead of
+        // falling into the §4.1 old-vs-new path (which has no old version)
+        // and acking optimistically.
+        let mut m = monitor();
+        let fm = FlowMod {
+            command: FlowModCommand::Modify,
+            ..add_fm(10, [10, 0, 0, 1], 2)
+        };
+        let acts = m.on_flowmod(0, 7, fm);
+        assert!(matches!(acts[0], DynAction::Forward(_)));
+        assert!(
+            matches!(acts[1], DynAction::Inject { token: 7, .. }),
+            "MODIFY-as-ADD must be probed like an install: {acts:?}"
+        );
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.expected().table().len(), 2, "rule was added");
+        let DynAction::Inject { seq, .. } = acts[1] else {
+            panic!()
+        };
+        // Present confirms, exactly like an Add.
+        let out = m.on_verdict(100, seq, Verdict::Present);
+        assert_eq!(
+            out[0],
+            DynAction::Confirmed {
+                token: 7,
+                verified: true
+            }
+        );
+        // A MODIFY that *does* hit still takes the old-vs-new path (not
+        // the add path): same flow_mod again, new actions.
+        let fm2 = FlowMod {
+            command: FlowModCommand::Modify,
+            ..add_fm(10, [10, 0, 0, 1], 5)
+        };
+        let acts = m.on_flowmod(200, 8, fm2);
+        assert!(matches!(acts[1], DynAction::Inject { token: 8, .. }));
+        assert_eq!(m.expected().table().len(), 2, "no second rule added");
+    }
+
+    #[test]
+    fn strict_delete_probes_only_its_exact_victim() {
+        let mut m = monitor();
+        // A specific high-priority rule strictly inside the 10.0.0.0/24
+        // match a later strict delete will name.
+        let specific = FlowMod::add(
+            9,
+            Match::any().with_nw_dst([10, 0, 0, 1], 32),
+            vec![Action::Output(2)],
+        );
+        let acts = m.on_flowmod(0, 1, specific);
+        let DynAction::Inject { seq, .. } = acts[1] else {
+            panic!()
+        };
+        m.on_verdict(1, seq, Verdict::Present);
+        // DeleteStrict(5, 10.0.0.0/24): removes nothing (no rule has that
+        // exact match+priority). The specific rule's tern IS subsumed by
+        // the delete match, but it must NOT be picked as the victim — that
+        // probe would await an Absent outcome that never comes, wedging
+        // the update (and queueing everything overlapping behind it).
+        let del = FlowMod::delete_strict(5, Match::any().with_nw_dst([10, 0, 0, 0], 24));
+        let acts = m.on_flowmod(10, 2, del);
+        assert!(matches!(acts[0], DynAction::Forward(_)));
+        assert_eq!(
+            acts[1],
+            DynAction::Confirmed {
+                token: 2,
+                verified: false
+            },
+            "no-op strict delete acks optimistically instead of probing a survivor: {acts:?}"
+        );
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.expected().table().len(), 2, "nothing was deleted");
     }
 
     #[test]

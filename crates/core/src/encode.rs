@@ -20,7 +20,7 @@
 
 use crate::outcome::{BitCondition, OutcomeDiff};
 use monocle_openflow::headerspace::HEADER_BITS;
-use monocle_openflow::{Field, Forwarding, Rule, RuleId, Ternary};
+use monocle_openflow::{Field, FlowTable, Forwarding, Rule, RuleId, Ternary};
 use monocle_sat::{encode_ite_chain, Cnf, Lit, Var};
 use std::collections::HashMap;
 
@@ -100,12 +100,10 @@ pub struct Instance {
 }
 
 /// §5.4 pre-filter: rules overlapping the probed rule (excluding itself),
-/// in table (priority-descending) order.
-pub fn relevant_rules<'a>(table: &'a [Rule], probed: &Rule) -> Vec<&'a Rule> {
-    table
-        .iter()
-        .filter(|r| r.id != probed.id && r.tern.overlaps(&probed.tern))
-        .collect()
+/// in table (priority-descending) order. Served by the table's ternary-trie
+/// classifier, so the neighborhood is found without an O(rules) scan.
+pub fn relevant_rules<'a>(table: &'a FlowTable, probed: &Rule) -> Vec<&'a Rule> {
+    table.overlapping_excluding(&probed.tern, probed.id)
 }
 
 /// Pushes unit clauses for every cared bit of `tern`.
@@ -314,9 +312,9 @@ pub fn check_catch_pins(probed: &Rule, catch: &CatchSpec) -> Result<(), BuildErr
 }
 
 /// Builds the full probe-generation SAT instance for `probed` against
-/// `table` (all rules of the switch, priority-descending) under `catch`.
+/// `table` (the probed switch's full flow table) under `catch`.
 pub fn build_instance(
-    table: &[Rule],
+    table: &FlowTable,
     probed: &Rule,
     catch: &CatchSpec,
     style: EncodingStyle,
@@ -391,7 +389,11 @@ pub fn build_instance(
 /// Builds only Hit + Collect (used to classify UNSAT results: if this
 /// sub-instance is already unsatisfiable the rule is hidden/conflicting;
 /// otherwise it is indistinguishable, §3.5).
-pub fn build_hit_only(table: &[Rule], probed: &Rule, catch: &CatchSpec) -> Result<Cnf, BuildError> {
+pub fn build_hit_only(
+    table: &FlowTable,
+    probed: &Rule,
+    catch: &CatchSpec,
+) -> Result<Cnf, BuildError> {
     let mut cnf = Cnf::new();
     cnf.grow_vars(HEADER_BITS as u32);
     push_units(&mut cnf, &probed.tern);
@@ -533,7 +535,7 @@ impl EncodeSession {
     /// numbering differs.
     pub fn build_instance(
         &mut self,
-        table: &[Rule],
+        table: &FlowTable,
         probed: &Rule,
         catch: &CatchSpec,
     ) -> Result<Instance, BuildError> {
@@ -651,13 +653,8 @@ mod tests {
             ),
         ]);
         let probed2 = t2.rules().iter().find(|r| r.priority == 10).unwrap();
-        let inst = build_instance(
-            t2.rules(),
-            probed2,
-            &downstream_catch,
-            EncodingStyle::Implication,
-        )
-        .unwrap();
+        let inst =
+            build_instance(&t2, probed2, &downstream_catch, EncodingStyle::Implication).unwrap();
         let model = solve(&inst.cnf).model();
         let h = probe_bits(&model);
         // Probe must: carry VLAN 3, have src 10.0.0.1, NOT have dst 10.0.0.2.
@@ -696,7 +693,7 @@ mod tests {
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 30).unwrap();
         for style in [EncodingStyle::Implication, EncodingStyle::IteChain] {
-            let inst = build_instance(t.rules(), probed, &CatchSpec::default(), style).unwrap();
+            let inst = build_instance(&t, probed, &CatchSpec::default(), style).unwrap();
             let res = solve(&inst.cnf);
             let model = match res {
                 SatResult::Sat(m) => m,
@@ -730,7 +727,7 @@ mod tests {
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 20).unwrap();
         for style in [EncodingStyle::Implication, EncodingStyle::IteChain] {
-            let inst = build_instance(t.rules(), probed, &CatchSpec::default(), style).unwrap();
+            let inst = build_instance(&t, probed, &CatchSpec::default(), style).unwrap();
             assert_eq!(solve(&inst.cnf), SatResult::Unsat, "{style:?}");
         }
     }
@@ -749,7 +746,7 @@ mod tests {
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 20).unwrap();
         for style in [EncodingStyle::Implication, EncodingStyle::IteChain] {
-            let inst = build_instance(t.rules(), probed, &CatchSpec::default(), style).unwrap();
+            let inst = build_instance(&t, probed, &CatchSpec::default(), style).unwrap();
             let model = solve(&inst.cnf).model();
             let h = probe_bits(&model);
             assert_ne!(h.field(Field::NwTos), 0x2e, "{style:?}: ToS must differ");
@@ -773,7 +770,7 @@ mod tests {
         let probed = t.rules().iter().find(|r| r.priority == 10).unwrap();
         assert_eq!(
             build_instance(
-                t.rules(),
+                &t,
                 probed,
                 &CatchSpec::default(),
                 EncodingStyle::Implication
@@ -793,7 +790,7 @@ mod tests {
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 20).unwrap();
         let inst = build_instance(
-            t.rules(),
+            &t,
             probed,
             &CatchSpec::default(),
             EncodingStyle::Implication,
@@ -808,7 +805,7 @@ mod tests {
         let t = table_from(vec![(20, Match::any().with_tp_dst(23), vec![])]);
         let probed = &t.rules()[0];
         let inst = build_instance(
-            t.rules(),
+            &t,
             probed,
             &CatchSpec::default(),
             EncodingStyle::Implication,
@@ -827,7 +824,7 @@ mod tests {
         let probed = &t.rules()[0];
         let catch = CatchSpec::tag(Field::DlVlan, 3);
         assert_eq!(
-            build_instance(t.rules(), probed, &catch, EncodingStyle::Implication).unwrap_err(),
+            build_instance(&t, probed, &catch, EncodingStyle::Implication).unwrap_err(),
             BuildError::CatchConflict(Field::DlVlan)
         );
     }
@@ -842,7 +839,7 @@ mod tests {
         let probed = &t.rules()[0];
         let catch = CatchSpec::tag(Field::DlVlan, 3);
         assert_eq!(
-            build_instance(t.rules(), probed, &catch, EncodingStyle::Implication).unwrap_err(),
+            build_instance(&t, probed, &catch, EncodingStyle::Implication).unwrap_err(),
             BuildError::RewritesReserved(Field::DlVlan)
         );
     }
@@ -864,7 +861,7 @@ mod tests {
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 30).unwrap();
         let inst = build_instance(
-            t.rules(),
+            &t,
             probed,
             &CatchSpec::default(),
             EncodingStyle::Implication,
@@ -886,7 +883,7 @@ mod tests {
         ]);
         let probed = t.rules().iter().find(|r| r.priority == 20).unwrap();
         let inst = build_instance(
-            t.rules(),
+            &t,
             probed,
             &CatchSpec::default(),
             EncodingStyle::Implication,
@@ -909,14 +906,14 @@ mod tests {
         let probed = t.rules().iter().find(|r| r.priority == 20).unwrap();
         // Full instance: UNSAT (indistinguishable); hit-only: SAT.
         let full = build_instance(
-            t.rules(),
+            &t,
             probed,
             &CatchSpec::default(),
             EncodingStyle::Implication,
         )
         .unwrap();
         assert_eq!(solve(&full.cnf), SatResult::Unsat);
-        let hit = build_hit_only(t.rules(), probed, &CatchSpec::default()).unwrap();
+        let hit = build_hit_only(&t, probed, &CatchSpec::default()).unwrap();
         assert!(solve(&hit).is_sat());
     }
 }

@@ -322,7 +322,7 @@ impl ProbeEngine {
             }
         }
         if self.cfg.gen.style == EncodingStyle::Implication {
-            match self.session.build_instance(table.rules(), probed, catch) {
+            match self.session.build_instance(table, probed, catch) {
                 Ok(inst) => {
                     st.reencodes_incremental += 1;
                     generator::solve_and_finish(table, probed, catch, &self.cfg.gen, inst, st)
@@ -331,7 +331,7 @@ impl ProbeEngine {
             }
         } else {
             // ITE chain (ablation style) has no session acceleration.
-            match encode::build_instance(table.rules(), probed, catch, self.cfg.gen.style) {
+            match encode::build_instance(table, probed, catch, self.cfg.gen.style) {
                 Ok(inst) => {
                     st.reencodes_full += 1;
                     generator::solve_and_finish(table, probed, catch, &self.cfg.gen, inst, st)
@@ -374,16 +374,18 @@ impl ProbeEngine {
         } else {
             &[repaired, sample]
         };
-        let relevant = encode::relevant_rules(table.rules(), probed).len();
+        let relevant = table.overlapping_count_excluding(&probed.tern, probed.id);
         for &cand in candidates {
             let Some(plan) = generator::finish(table, probed, &pins, cand, relevant) else {
                 continue;
             };
             // Conservative Hit on the *normalized* header: no rule of equal
-            // or higher priority (other than the probed one) may match.
-            let conservative_hit = !table.rules().iter().any(|r| {
-                r.id != probed.id && r.priority >= probed.priority && r.tern.matches(&plan.header)
-            });
+            // or higher priority (other than the probed one) may match. The
+            // classifier's best other match answers this in one query.
+            let conservative_hit = match table.lookup_excluding(&plan.header, probed.id) {
+                Some(r) => r.priority < probed.priority,
+                None => true,
+            };
             if !conservative_hit {
                 continue;
             }
@@ -648,6 +650,47 @@ mod tests {
         let (_, st) = eng.generate_batch_with_stats(&t, &ids, &catch);
         assert_eq!(st.cache_hits, 1, "disjoint rule re-probe is a cache hit");
         assert_eq!(eng.engine_stats().syncs_incremental, 1);
+    }
+
+    #[test]
+    fn modify_as_add_invalidates_and_creates_plan_cache_entry() {
+        // OF1.0 MODIFY with no matching entry behaves as ADD; the engine's
+        // FlowMod-delta invalidation must agree: cached plans overlapping
+        // the new rule are evicted, and the new rule gets a fresh plan
+        // identical to stateless generation.
+        use monocle_openflow::FlowModCommand;
+        let mut t = fig1_table();
+        let ids: Vec<RuleId> = t.rules().iter().map(|r| r.id).collect();
+        let catch = CatchSpec::default();
+        let mut eng = ProbeEngine::default();
+        eng.generate_batch(&t, &ids, &catch);
+        assert_eq!(eng.cached_plans(), 2);
+        // MODIFY that matches nothing: acts as ADD of a new specific rule.
+        let fm = FlowMod {
+            command: FlowModCommand::Modify,
+            ..FlowMod::add(
+                20,
+                Match::any().with_nw_src([10, 0, 0, 2], 32),
+                vec![Action::Output(7)],
+            )
+        };
+        eng.note_flowmod(&fm);
+        let res = t.apply(&fm).unwrap();
+        assert_eq!(res.added.len(), 1, "table reports an Add");
+        assert!(res.modified.is_empty());
+        let new_id = res.added[0];
+        // The new rule overlaps the default route (whose cached plan must
+        // go) but not the 10.0.0.1/32 rule (whose plan must survive).
+        assert_eq!(eng.cached_plans(), 1);
+        let (engine_plan, st) = eng.generate_with_stats(&t, new_id, &catch);
+        assert_eq!(st.cache_misses, 1, "new rule's plan is freshly created");
+        let fresh = generate_probe(&t, new_id, &catch, &GeneratorConfig::default());
+        assert_eq!(engine_plan.is_ok(), fresh.is_ok());
+        let plan = engine_plan.unwrap();
+        assert!(crate::plan::verify_probe(&t, new_id, &plan.header, &[]).is_some());
+        // And it is now cached: the re-probe is a pure hit.
+        let (_, st) = eng.generate_with_stats(&t, new_id, &catch);
+        assert_eq!(st.cache_hits, 1);
     }
 
     #[test]

@@ -148,7 +148,7 @@ pub fn generate_probe_with_stats(
     let probed = table
         .get(probed_id)
         .ok_or(ProbeError::NoSuchRule(probed_id))?;
-    let inst = match encode::build_instance(table.rules(), probed, catch, cfg.style) {
+    let inst = match encode::build_instance(table, probed, catch, cfg.style) {
         Ok(i) => i,
         Err(e) => return Err(map_build_error(e)),
     };
@@ -193,8 +193,8 @@ pub(crate) fn solve_and_finish(
         SatResult::Unknown => return Err(ProbeError::SolverBudget),
         SatResult::Unsat => {
             // Classify: can the rule be hit at all?
-            let hit = encode::build_hit_only(table.rules(), probed, catch)
-                .map_err(|_| ProbeError::Hidden)?;
+            let hit =
+                encode::build_hit_only(table, probed, catch).map_err(|_| ProbeError::Hidden)?;
             stats.solver_calls += 1;
             return match CdclSolver::new().solve(&hit) {
                 SatResult::Sat(_) => Err(ProbeError::Indistinguishable),
@@ -219,7 +219,7 @@ pub(crate) fn solve_and_finish(
     // Attempt 3: re-solve with explicit domain constraints (§5.2's
     // small-domain alternative), then verify again.
     stats.strengthened = true;
-    let mut cnf = match encode::build_instance(table.rules(), probed, catch, cfg.style) {
+    let mut cnf = match encode::build_instance(table, probed, catch, cfg.style) {
         Ok(i) => i.cnf,
         Err(_) => return Err(ProbeError::RepairFailed),
     };

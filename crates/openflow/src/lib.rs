@@ -16,6 +16,8 @@
 //!   simulator share.
 //! * [`table`] — flow-table semantics: priority lookup, OF1.0
 //!   add/modify/delete with strict and non-strict variants, overlap scans.
+//! * [`classifier`] — the incremental ternary-trie index serving the
+//!   table's lookup and overlap queries in sublinear time.
 //! * [`messages`] + [`wire`] — the controller⇄switch protocol surface
 //!   (Hello/Echo, FeaturesRequest/Reply, FlowMod, PacketIn/Out, Barrier,
 //!   FlowRemoved, Error) with a binary codec in the OF1.0 wire format.
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod classifier;
 pub mod flowmatch;
 pub mod headerspace;
 pub mod messages;
@@ -31,6 +34,7 @@ pub mod table;
 pub mod wire;
 
 pub use action::{Action, ActionProgram, Forwarding, ForwardingKind, Leg, Rewrite};
+pub use classifier::TernaryClassifier;
 pub use flowmatch::{Match, Ternary};
 pub use headerspace::{Field, HeaderVec, FIELDS, HEADER_BITS};
 pub use messages::{FlowMod, FlowModCommand, OfMessage, PortNo};

@@ -7,11 +7,35 @@
 //! non-strict modify/delete and the `CHECK_OVERLAP` flag, because Monocle's
 //! expected-state tracker (§2) must mirror exactly what a compliant switch
 //! would do with the controller's commands.
+//!
+//! Lookups ([`FlowTable::lookup`], [`FlowTable::lookup_excluding`]) and
+//! overlap scans ([`FlowTable::overlapping`]) are served by an incremental
+//! [`TernaryClassifier`] maintained alongside the sorted rule vector under
+//! every `flow_mod`; the O(rules) linear scans survive as
+//! [`FlowTable::lookup_linear`] / [`FlowTable::lookup_excluding_linear`] /
+//! [`FlowTable::overlapping_linear`] — the reference semantics the
+//! classifier is property-tested against (`tests/prop_classifier.rs`).
+//!
+//! ## Ternary-rule invariant
+//!
+//! Rules inserted through [`FlowTable::add_rule_ternary`] carry an
+//! arbitrary bit-level `tern` but the all-wildcard field-level `match_`
+//! (OF1.0 matches cannot express per-bit wildcards). All *matching*
+//! semantics — lookup, overlap, non-strict modify/delete subsumption —
+//! read `tern` and treat such rules exactly; only **strict** modify/delete
+//! compare the field-level `match_`, so a strict op identifies a ternary
+//! rule iff it passes `Match::any()` at the rule's priority (and then hits
+//! *every* ternary rule at that priority). The classifier relies on `tern`
+//! being immutable for an installed rule: modify rewrites actions only, so
+//! an entry's trie position never goes stale. This behavior is pinned by
+//! `strict_ops_on_ternary_rules_use_wildcard_match`.
 
 use crate::action::{ActionError, ActionProgram, Forwarding, PortNo};
+use crate::classifier::TernaryClassifier;
 use crate::flowmatch::{Match, Ternary};
 use crate::headerspace::HeaderVec;
 use crate::messages::{FlowMod, FlowModCommand};
+use std::cmp::Reverse;
 
 /// Identifier of a rule within one table (unique per table instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -100,8 +124,12 @@ pub struct ApplyResult {
 /// A priority-ordered OpenFlow 1.0 flow table.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
-    /// Sorted by (priority desc, insertion seq asc).
+    /// Sorted by (priority desc, insertion seq asc). Ids are allocated
+    /// monotonically, so this order equals (priority desc, id asc) — the
+    /// key [`Self::rule_by_key`] binary-searches on.
     rules: Vec<Rule>,
+    /// Trie index over `rules`, kept in lockstep by every mutation.
+    classifier: TernaryClassifier,
     next_id: u64,
 }
 
@@ -182,8 +210,8 @@ impl FlowTable {
             .iter()
             .position(|r| r.priority == new.priority && r.match_ == new.match_)
         {
-            result.removed.push(self.rules[pos].id);
-            self.rules.remove(pos);
+            let old = self.remove_at(pos);
+            result.removed.push(old.id);
         }
         let id = self.insert_sorted(new);
         result.added.push(id);
@@ -218,17 +246,32 @@ impl FlowTable {
     fn do_delete(&mut self, fm: &FlowMod, strict: bool) -> ApplyResult {
         let tern = fm.match_.ternary();
         let mut result = ApplyResult::default();
-        self.rules.retain(|r| {
+        // Pre-pass: unindex the victims, then retain() in place so a no-op
+        // delete allocates and moves nothing.
+        for r in &self.rules {
             let hit = if strict {
                 r.priority == fm.priority && r.match_ == fm.match_
             } else {
                 tern.subsumes(&r.tern)
             };
             if hit {
+                self.classifier.remove(r.id, &r.tern);
                 result.removed.push(r.id);
             }
-            !hit
-        });
+        }
+        if !result.removed.is_empty() {
+            // `removed` was collected in table order, so one cursor suffices.
+            let removed = &result.removed;
+            let mut next = 0;
+            self.rules.retain(|r| {
+                if next < removed.len() && removed[next] == r.id {
+                    next += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         result
     }
 
@@ -236,6 +279,7 @@ impl FlowTable {
         self.next_id += 1;
         rule.id = RuleId(self.next_id);
         let id = rule.id;
+        self.classifier.insert(rule.priority, rule.id, rule.tern);
         // First index with strictly lower priority: keeps insertion order
         // stable among equal priorities.
         let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
@@ -243,12 +287,32 @@ impl FlowTable {
         id
     }
 
+    /// Removes the rule at vector position `pos`, unindexing it.
+    fn remove_at(&mut self, pos: usize) -> Rule {
+        let rule = self.rules.remove(pos);
+        self.classifier.remove(rule.id, &rule.tern);
+        rule
+    }
+
+    /// Resolves a classifier answer back to its rule: binary search on the
+    /// (priority desc, id asc) sort key of the rule vector.
+    fn rule_by_key(&self, priority: u16, id: RuleId) -> &Rule {
+        let i = self
+            .rules
+            .binary_search_by_key(&(Reverse(priority), id), |r| (Reverse(r.priority), r.id))
+            .expect("classifier entry must exist in the rule vector");
+        &self.rules[i]
+    }
+
     /// Inserts a rule from a raw bit-level ternary. OpenFlow 1.0 matches
     /// cannot express arbitrary per-bit wildcards, but Monocle's probe
     /// theory operates at the ternary level; this entry point exists for
     /// the Appendix A SAT reduction and theory-level tests. The rule's
-    /// field-level `match_` is left as the wildcard match, so strict
-    /// modify/delete by match will not find such rules.
+    /// field-level `match_` is left as the wildcard match, so a strict
+    /// modify/delete only identifies such a rule via `Match::any()` at its
+    /// priority (and then hits every ternary rule installed there) — see
+    /// the module-level "Ternary-rule invariant". All other semantics,
+    /// including the classifier index, operate on `tern` and are exact.
     pub fn add_rule_ternary(
         &mut self,
         priority: u16,
@@ -271,17 +335,32 @@ impl FlowTable {
     /// rule silently vanishing from the data plane).
     pub fn remove_by_id(&mut self, id: RuleId) -> Option<Rule> {
         let pos = self.rules.iter().position(|r| r.id == id)?;
-        Some(self.rules.remove(pos))
+        Some(self.remove_at(pos))
     }
 
     /// Highest-priority rule matching `pkt` (ties: earliest installed).
+    /// Served by the trie classifier; [`Self::lookup_linear`] is the
+    /// equivalent reference scan.
     pub fn lookup(&self, pkt: &HeaderVec) -> Option<&Rule> {
-        self.rules.iter().find(|r| r.tern.matches(pkt))
+        let (priority, id) = self.classifier.best_match(pkt)?;
+        Some(self.rule_by_key(priority, id))
     }
 
     /// As [`Self::lookup`] but ignoring rule `skip`: the "table without R"
     /// view probe verification needs, without cloning the table.
     pub fn lookup_excluding(&self, pkt: &HeaderVec, skip: RuleId) -> Option<&Rule> {
+        let (priority, id) = self.classifier.best_match_excluding(pkt, skip)?;
+        Some(self.rule_by_key(priority, id))
+    }
+
+    /// Linear-scan reference for [`Self::lookup`] (kept for property tests
+    /// and the trie-vs-linear bench arms).
+    pub fn lookup_linear(&self, pkt: &HeaderVec) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.tern.matches(pkt))
+    }
+
+    /// Linear-scan reference for [`Self::lookup_excluding`].
+    pub fn lookup_excluding_linear(&self, pkt: &HeaderVec, skip: RuleId) -> Option<&Rule> {
         self.rules
             .iter()
             .find(|r| r.id != skip && r.tern.matches(pkt))
@@ -290,7 +369,10 @@ impl FlowTable {
     /// Processes a packet: looks up the matching rule and returns the output
     /// legs `(port, rewritten header)`. For ECMP rules, `ecmp_choice` picks
     /// the leg (e.g. a flow hash modulo leg count). Returns an empty vector
-    /// on table miss or drop (OF1.0 table miss = drop).
+    /// on table miss or drop (OF1.0 table miss = drop). A zero-leg ECMP
+    /// forwarding (not constructible via [`Forwarding::compile`], which
+    /// rejects empty `SelectOutput`, but expressible by hand-built
+    /// [`Forwarding`] values) is treated as drop rather than panicking.
     pub fn process(&self, pkt: &HeaderVec, ecmp_choice: usize) -> Vec<(PortNo, HeaderVec)> {
         match self.lookup(pkt) {
             None => Vec::new(),
@@ -301,17 +383,71 @@ impl FlowTable {
                     .iter()
                     .map(|l| (l.port, l.rewrite.apply(pkt)))
                     .collect(),
-                crate::action::ForwardingKind::Ecmp => {
-                    let leg = &rule.fwd.legs[ecmp_choice % rule.fwd.legs.len()];
-                    vec![(leg.port, leg.rewrite.apply(pkt))]
-                }
+                crate::action::ForwardingKind::Ecmp => match rule.fwd.legs.len() {
+                    0 => Vec::new(),
+                    n => {
+                        let leg = &rule.fwd.legs[ecmp_choice % n];
+                        vec![(leg.port, leg.rewrite.apply(pkt))]
+                    }
+                },
             },
         }
     }
 
     /// Rules overlapping `tern` (the §5.4 pre-filter input), in priority
-    /// order.
+    /// order. Served by the trie classifier; [`Self::overlapping_linear`]
+    /// is the equivalent reference scan. On sparse neighborhoods (the
+    /// Fig. 8 shape) this is ~10× the linear scan; when nearly the whole
+    /// table overlaps the query (dense ACL neighborhoods) it degrades
+    /// gracefully to parity, never below (see `BENCH_table_lookup.json`).
     pub fn overlapping(&self, tern: &Ternary) -> Vec<&Rule> {
+        self.resolve_keys(self.classifier.overlapping(tern))
+    }
+
+    /// As [`Self::overlapping`] but ignoring rule `skip` — the engine's
+    /// §5.4 overlap-neighborhood query (probed rule excluded) without a
+    /// post-filter pass.
+    pub fn overlapping_excluding(&self, tern: &Ternary, skip: RuleId) -> Vec<&Rule> {
+        self.resolve_keys(self.classifier.overlapping_excluding(tern, skip))
+    }
+
+    /// Resolves classifier keys (already in table order) back to rules.
+    /// Both sides are sorted by (priority desc, id asc), so a sparse result
+    /// set resolves by per-key binary search (O(k log n)) and a dense one —
+    /// the ACL-style neighborhoods where most of the table overlaps — by a
+    /// single merge pass (O(n + k)); pick whichever is cheaper.
+    fn resolve_keys(&self, keys: Vec<(u16, RuleId)>) -> Vec<&Rule> {
+        let n = self.rules.len();
+        let log_n = usize::BITS - n.leading_zeros();
+        if keys.len() * log_n as usize + 1 < n {
+            return keys
+                .into_iter()
+                .map(|(p, id)| self.rule_by_key(p, id))
+                .collect();
+        }
+        let want = keys.len();
+        let mut out = Vec::with_capacity(want);
+        let mut it = self.rules.iter();
+        for (priority, id) in keys {
+            for r in it.by_ref() {
+                if r.priority == priority && r.id == id {
+                    out.push(r);
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), want, "classifier key missing from table");
+        out
+    }
+
+    /// Number of rules overlapping `tern` excluding rule `skip`, without
+    /// materializing or ordering the set (stats-only callers).
+    pub fn overlapping_count_excluding(&self, tern: &Ternary, skip: RuleId) -> usize {
+        self.classifier.count_overlapping_excluding(tern, skip)
+    }
+
+    /// Linear-scan reference for [`Self::overlapping`].
+    pub fn overlapping_linear(&self, tern: &Ternary) -> Vec<&Rule> {
         self.rules
             .iter()
             .filter(|r| r.tern.overlaps(tern))
@@ -619,6 +755,108 @@ mod tests {
         assert!(t.remove_by_id(id).is_some());
         assert!(t.remove_by_id(id).is_none());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_leg_ecmp_processes_as_drop() {
+        // `Forwarding::compile` rejects empty SelectOutput, so a zero-leg
+        // ECMP forwarding can only be built by hand — but `process` must
+        // still not divide by zero (regression: it used to panic on
+        // `ecmp_choice % legs.len()`).
+        let mut t = FlowTable::new();
+        t.insert_sorted(Rule {
+            id: RuleId(0),
+            priority: 5,
+            match_: Match::any(),
+            tern: Match::any().ternary(),
+            actions: vec![],
+            fwd: Forwarding {
+                kind: crate::action::ForwardingKind::Ecmp,
+                legs: vec![],
+            },
+            cookie: 0,
+        });
+        let p = pkt([1, 2, 3, 4], [5, 6, 7, 8]);
+        assert!(t.process(&p, 7).is_empty(), "zero-leg ECMP is a drop");
+        // And the constructible invariant: compile rejects the program that
+        // would produce it.
+        assert_eq!(
+            Forwarding::compile(&[Action::SelectOutput(vec![])]),
+            Err(crate::action::ActionError::EmptySelect)
+        );
+    }
+
+    #[test]
+    fn strict_ops_on_ternary_rules_use_wildcard_match() {
+        // Pins the module-level "Ternary-rule invariant": rules installed
+        // via add_rule_ternary carry match_ = Match::any(), so strict
+        // modify/delete identify them only through the wildcard match.
+        let mut t = FlowTable::new();
+        let tern = Match::any().with_nw_src([10, 0, 0, 1], 32).ternary();
+        let id = t.add_rule_ternary(5, tern, vec![Action::Output(1)]);
+        // Strict delete by the *semantic* match does not find the rule.
+        let res = t
+            .apply(&fm(
+                FlowModCommand::DeleteStrict,
+                5,
+                Match::any().with_nw_src([10, 0, 0, 1], 32),
+                vec![],
+            ))
+            .unwrap();
+        assert!(res.removed.is_empty(), "field-level strict miss");
+        assert!(t.get(id).is_some());
+        // Strict modify via Match::any() at the right priority hits it.
+        let res = t
+            .apply(&fm(
+                FlowModCommand::ModifyStrict,
+                5,
+                Match::any(),
+                vec![Action::Output(9)],
+            ))
+            .unwrap();
+        assert_eq!(res.modified, vec![id]);
+        // The ternary itself is untouched: lookups still use the bit-level
+        // match (classifier position unchanged).
+        assert!(t.lookup(&pkt([10, 0, 0, 1], [9, 9, 9, 9])).is_some());
+        assert!(t.lookup(&pkt([10, 0, 0, 2], [9, 9, 9, 9])).is_none());
+        // Strict delete via Match::any() removes it.
+        let res = t
+            .apply(&fm(FlowModCommand::DeleteStrict, 5, Match::any(), vec![]))
+            .unwrap();
+        assert_eq!(res.removed, vec![id]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn classifier_agrees_with_linear_reference() {
+        let mut t = FlowTable::new();
+        for i in 0..60u8 {
+            t.add_rule(
+                u16::from(i % 4),
+                Match::any().with_nw_dst([10, 0, i / 8, i], 32 - (i % 2) * 8),
+                vec![Action::Output(u16::from(i))],
+            )
+            .unwrap();
+        }
+        t.add_rule(0, Match::any(), vec![Action::Output(99)])
+            .unwrap();
+        let probes: Vec<HeaderVec> = (0..80u8)
+            .map(|i| pkt([10, 0, i / 8, i], [1, 1, 1, 1]))
+            .collect();
+        for p in &probes {
+            assert_eq!(t.lookup(p).map(|r| r.id), t.lookup_linear(p).map(|r| r.id));
+        }
+        for r in t.rules().to_vec() {
+            for p in &probes {
+                assert_eq!(
+                    t.lookup_excluding(p, r.id).map(|x| x.id),
+                    t.lookup_excluding_linear(p, r.id).map(|x| x.id)
+                );
+            }
+            let trie: Vec<RuleId> = t.overlapping(&r.tern).iter().map(|x| x.id).collect();
+            let lin: Vec<RuleId> = t.overlapping_linear(&r.tern).iter().map(|x| x.id).collect();
+            assert_eq!(trie, lin, "overlap sets and order agree");
+        }
     }
 
     #[test]

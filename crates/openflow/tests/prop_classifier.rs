@@ -1,0 +1,179 @@
+//! Property tests: the trie classifier behind `FlowTable::lookup`,
+//! `lookup_excluding` and `overlapping` must be observationally identical
+//! to the retained linear-scan reference (`*_linear`) on randomized rule
+//! sets and under interleaved Add/Modify/Delete FlowMod sequences —
+//! including equal-priority arrival-order ties.
+
+use monocle_openflow::{
+    Action, FlowMod, FlowModCommand, FlowTable, HeaderVec, Match, RuleId, Ternary,
+};
+use proptest::prelude::*;
+
+/// Narrow value pools so random rules overlap, shadow, and tie often.
+fn arb_match() -> impl Strategy<Value = Match> {
+    (
+        prop::option::of(0u16..3),
+        prop::option::of((0u32..8, 1u8..=32)),
+        prop::option::of((0u32..8, 1u8..=32)),
+        prop::option::of(prop_oneof![Just(6u8), Just(17u8)]),
+        prop::option::of(0u16..4),
+    )
+        .prop_map(|(in_port, nw_src, nw_dst, nw_proto, tp_dst)| Match {
+            in_port,
+            // Spread the few src/dst values across the address MSBs so
+            // different prefix lengths disagree on cared bits.
+            nw_src: nw_src.map(|(v, p)| (v << 28 | v, p)),
+            nw_dst: nw_dst.map(|(v, p)| (v << 28 | v, p)),
+            nw_proto,
+            tp_dst,
+            ..Match::default()
+        })
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u16..8).prop_map(Action::Output),
+            (0u8..64).prop_map(Action::SetNwTos),
+        ],
+        0..3,
+    )
+}
+
+/// One random flow_mod: command index, priority from a tiny pool (ties are
+/// the point), match, actions.
+fn arb_flowmod() -> impl Strategy<Value = FlowMod> {
+    (0u8..5, 0u16..4, arb_match(), arb_actions()).prop_map(|(cmd, priority, match_, actions)| {
+        FlowMod {
+            command: match cmd {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::ModifyStrict,
+                3 => FlowModCommand::Delete,
+                _ => FlowModCommand::DeleteStrict,
+            },
+            priority,
+            match_,
+            actions,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            check_overlap: false,
+        }
+    })
+}
+
+/// Probes that exercise the table: each rule's sample packet, pairwise
+/// overlap witnesses, and a handful of fixed corners.
+fn probe_set(table: &FlowTable) -> Vec<HeaderVec> {
+    let mut probes = vec![HeaderVec::ZERO, HeaderVec::all_ones()];
+    let terns: Vec<Ternary> = table.rules().iter().map(|r| r.tern).collect();
+    for t in &terns {
+        probes.push(t.sample_packet());
+    }
+    for (i, a) in terns.iter().enumerate() {
+        for b in terns.iter().skip(i + 1) {
+            if a.overlaps(b) {
+                probes.push(a.value.or(&b.value));
+            }
+        }
+    }
+    probes
+}
+
+/// Asserts full observational equivalence of the trie and linear paths on
+/// the current table state.
+fn assert_equivalent(table: &FlowTable) -> Result<(), TestCaseError> {
+    let probes = probe_set(table);
+    let ids: Vec<RuleId> = table.rules().iter().map(|r| r.id).collect();
+    for p in &probes {
+        let trie = table.lookup(p).map(|r| r.id);
+        let lin = table.lookup_linear(p).map(|r| r.id);
+        prop_assert_eq!(trie, lin, "lookup diverges on {:?}", p);
+        for &skip in &ids {
+            let trie = table.lookup_excluding(p, skip).map(|r| r.id);
+            let lin = table.lookup_excluding_linear(p, skip).map(|r| r.id);
+            prop_assert_eq!(trie, lin, "lookup_excluding({}) diverges", skip);
+        }
+    }
+    for r in table.rules() {
+        let trie: Vec<RuleId> = table.overlapping(&r.tern).iter().map(|x| x.id).collect();
+        let lin: Vec<RuleId> = table
+            .overlapping_linear(&r.tern)
+            .iter()
+            .map(|x| x.id)
+            .collect();
+        prop_assert_eq!(trie, lin, "overlapping order/content diverges");
+        let excl: Vec<RuleId> = table
+            .overlapping_excluding(&r.tern, r.id)
+            .iter()
+            .map(|x| x.id)
+            .collect();
+        let lin_excl: Vec<RuleId> = table
+            .overlapping_linear(&r.tern)
+            .iter()
+            .filter(|x| x.id != r.id)
+            .map(|x| x.id)
+            .collect();
+        prop_assert_eq!(
+            table.overlapping_count_excluding(&r.tern, r.id),
+            lin_excl.len(),
+            "count-only overlap query diverges"
+        );
+        prop_assert_eq!(excl, lin_excl, "overlapping_excluding diverges");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Static equivalence: a batch of random adds (with heavy priority
+    /// ties), then every query answered both ways.
+    #[test]
+    fn trie_equals_linear_on_random_tables(
+        rules in prop::collection::vec((0u16..4, arb_match(), arb_actions()), 1..40)
+    ) {
+        let mut t = FlowTable::new();
+        for (prio, m, a) in rules {
+            let _ = t.add_rule(prio, m, a);
+        }
+        assert_equivalent(&t)?;
+    }
+
+    /// Dynamic equivalence: interleaved Add/Modify/Delete (strict and
+    /// non-strict) FlowMods, checking equivalence after every step so the
+    /// incremental split/collapse maintenance is exercised mid-sequence.
+    #[test]
+    fn trie_equals_linear_under_flowmod_churn(
+        mods in prop::collection::vec(arb_flowmod(), 1..30)
+    ) {
+        let mut t = FlowTable::new();
+        for fm in &mods {
+            let _ = t.apply(fm);
+            assert_equivalent(&t)?;
+        }
+    }
+
+    /// Bit-level rules (add_rule_ternary) mixed with field-level churn:
+    /// the classifier must stay exact for arbitrary ternaries too.
+    #[test]
+    fn trie_equals_linear_with_ternary_rules(
+        seed_rules in prop::collection::vec((0u16..4, arb_match()), 1..10),
+        mods in prop::collection::vec(arb_flowmod(), 0..10)
+    ) {
+        let mut t = FlowTable::new();
+        for (i, (prio, m)) in seed_rules.iter().enumerate() {
+            if i % 2 == 0 {
+                t.add_rule_ternary(*prio, m.ternary(), vec![Action::Output(1)]);
+            } else {
+                let _ = t.add_rule(*prio, *m, vec![Action::Output(2)]);
+            }
+        }
+        assert_equivalent(&t)?;
+        for fm in &mods {
+            let _ = t.apply(fm);
+            assert_equivalent(&t)?;
+        }
+    }
+}
