@@ -103,15 +103,15 @@ fn run_engine(
     catch: &CatchSpec,
 ) -> ArmResult {
     let t_all = Instant::now();
-    let (results, stats) = engine.generate_batch_with_stats(table, ids, catch);
+    let (results, times, stats) = engine.generate_batch_timed(table, ids, catch);
     let total_s = t_all.elapsed().as_secs_f64();
     let found = results.iter().filter(|r| r.is_ok()).count();
-    let per_ms = total_s * 1e3 / ids.len().max(1) as f64;
+    let times_ms: Vec<f64> = times.iter().map(|d| d.as_secs_f64() * 1e3).collect();
     ArmResult {
         label,
         total_s,
-        avg_ms: per_ms,
-        max_ms: per_ms, // batch arms are timed in aggregate
+        avg_ms: times_ms.iter().sum::<f64>() / times_ms.len().max(1) as f64,
+        max_ms: times_ms.iter().cloned().fold(0.0, f64::max),
         found,
         total: ids.len(),
         stats,

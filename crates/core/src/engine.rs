@@ -268,6 +268,39 @@ impl ProbeEngine {
         (out, st)
     }
 
+    /// As [`Self::generate_batch_with_stats`], additionally returning each
+    /// probe's true wall-clock generation latency (measured around the
+    /// per-rule work only — the one-off table synchronization is excluded,
+    /// matching what a per-probe latency distribution means). This is the
+    /// bench instrumentation path: per-item timing without re-hashing the
+    /// table fingerprint per call.
+    pub fn generate_batch_timed(
+        &mut self,
+        table: &FlowTable,
+        ids: &[RuleId],
+        catch: &CatchSpec,
+    ) -> (
+        Vec<Result<ProbePlan, ProbeError>>,
+        Vec<std::time::Duration>,
+        GenStats,
+    ) {
+        self.sync(table);
+        let catch_k = catch_key(catch);
+        let mut st = GenStats::default();
+        let mut times = Vec::with_capacity(ids.len());
+        let out = ids
+            .iter()
+            .map(|&id| {
+                let t0 = std::time::Instant::now();
+                let r = self.generate_inner(table, id, catch, catch_k, &mut st);
+                times.push(t0.elapsed());
+                r
+            })
+            .collect();
+        self.total.merge(&st);
+        (out, times, st)
+    }
+
     // ---- internals -----------------------------------------------------
 
     fn generate_inner(

@@ -128,6 +128,26 @@ impl GenStats {
     }
 }
 
+impl std::ops::AddAssign for GenStats {
+    fn add_assign(&mut self, other: GenStats) {
+        self.merge(&other);
+    }
+}
+
+impl std::ops::AddAssign<&GenStats> for GenStats {
+    fn add_assign(&mut self, other: &GenStats) {
+        self.merge(other);
+    }
+}
+
+impl std::ops::Add for GenStats {
+    type Output = GenStats;
+    fn add(mut self, other: GenStats) -> GenStats {
+        self += other;
+        self
+    }
+}
+
 /// Generates a verified probe plan for `probed_id` in `table`.
 pub fn generate_probe(
     table: &FlowTable,
@@ -463,6 +483,71 @@ fn add_domain(cnf: &mut Cnf, f: Field, values: &[u64]) {
 mod tests {
     use super::*;
     use monocle_openflow::{Action, Match};
+
+    #[test]
+    fn genstats_default_is_identity_for_merge() {
+        let mut a = GenStats {
+            relevant_rules: 3,
+            clauses: 40,
+            conflicts: 2,
+            strengthened: true,
+            solver_calls: 1,
+            cache_hits: 5,
+            cache_misses: 6,
+            fast_path_hits: 7,
+            reencodes_incremental: 8,
+            reencodes_full: 9,
+        };
+        let before = a;
+        a += GenStats::default();
+        assert_eq!(a, before, "default must be the additive identity");
+        let mut zero = GenStats::default();
+        zero += &before;
+        assert_eq!(zero, before);
+    }
+
+    #[test]
+    fn genstats_accumulation_sums_counters_and_ors_flags() {
+        let a = GenStats {
+            relevant_rules: 1,
+            clauses: 10,
+            conflicts: 2,
+            strengthened: false,
+            solver_calls: 3,
+            cache_hits: 4,
+            cache_misses: 5,
+            fast_path_hits: 6,
+            reencodes_incremental: 7,
+            reencodes_full: 8,
+        };
+        let b = GenStats {
+            relevant_rules: 10,
+            clauses: 100,
+            conflicts: 20,
+            strengthened: true,
+            solver_calls: 30,
+            cache_hits: 40,
+            cache_misses: 50,
+            fast_path_hits: 60,
+            reencodes_incremental: 70,
+            reencodes_full: 80,
+        };
+        let sum = a + b;
+        assert_eq!(sum.relevant_rules, 11);
+        assert_eq!(sum.clauses, 110);
+        assert_eq!(sum.conflicts, 22);
+        assert!(sum.strengthened, "flags are ORed");
+        assert_eq!(sum.solver_calls, 33);
+        assert_eq!(sum.cache_hits, 44);
+        assert_eq!(sum.cache_misses, 55);
+        assert_eq!(sum.fast_path_hits, 66);
+        assert_eq!(sum.reencodes_incremental, 77);
+        assert_eq!(sum.reencodes_full, 88);
+        // += agrees with merge and is order-insensitive on sums.
+        let mut via_merge = b;
+        via_merge.merge(&a);
+        assert_eq!(sum, via_merge);
+    }
 
     fn table_from(rules: Vec<(u16, Match, Vec<Action>)>) -> FlowTable {
         let mut t = FlowTable::new();

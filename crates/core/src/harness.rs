@@ -16,12 +16,14 @@
 use crate::catching::{self, CatchPlan, Strategy};
 use crate::droppost::{drop_tag_rule, DropTag};
 use crate::encode::CatchSpec;
+use crate::pool::{EnginePool, JobSpec, ProbeJob};
 use crate::proxy::{MonitorProxy, ProxyConfig, ProxyOutput};
 use crate::steady::SteadyConfig;
-use monocle_openflow::{Field, FlowMod, OfMessage, PortNo, RuleId};
+use monocle_openflow::{Field, FlowMod, OfMessage, PortNo, RuleId, SharedTable};
 use monocle_packet::ProbeMeta;
 use monocle_switchsim::{AppCtx, ControlApp, Network, NodeRef, SimTime};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Timer token reserved for the harness's probe tick.
 const TICK_TOKEN: u64 = u64::MAX;
@@ -223,6 +225,47 @@ impl<E: Experiment> MonocleApp<E> {
             total.merge(&p.engine_stats());
         }
         total
+    }
+
+    /// Refreshes every monitored switch's steady-state probe plans on an
+    /// [`EnginePool`] instead of the serial per-proxy path: each proxy's
+    /// expected table is published as a one-shot
+    /// [`SharedTable`] snapshot, the pool plans all switches concurrently
+    /// (engine affinity keeps re-sweeps warm), and the results are
+    /// installed via [`MonitorProxy::ingest_steady_results`]. Returns
+    /// `(switch, (found, total))` per proxy — the same bookkeeping as
+    /// [`MonitorProxy::refresh_steady_plans`].
+    ///
+    /// The snapshots have no concurrent writer (the Multiplexer owns the
+    /// proxies), so no job can come back stale; the epoch-validation
+    /// machinery matters when jobs share a live churned table, which the
+    /// pool's own tests and the `engine_pool` bench exercise.
+    pub fn refresh_steady_parallel(&mut self, pool: &EnginePool) -> Vec<(usize, (usize, usize))> {
+        let mut sws: Vec<usize> = self.proxies.keys().copied().collect();
+        sws.sort_unstable();
+        let mut epochs: HashMap<usize, u32> = HashMap::new();
+        let jobs: Vec<ProbeJob> = sws
+            .iter()
+            .map(|&sw| {
+                let p = &self.proxies[&sw];
+                epochs.insert(sw, p.expected_epoch());
+                ProbeJob {
+                    switch_id: sw as u32,
+                    table: Arc::new(SharedTable::new(p.expected().clone())),
+                    catch: p.catch_spec().clone(),
+                    spec: JobSpec::Rules(p.steady_probe_ids()),
+                }
+            })
+            .collect();
+        let results = pool.run_batch(jobs);
+        let mut out = Vec::new();
+        for r in results {
+            let sw = r.switch_id as usize;
+            let proxy = self.proxies.get_mut(&sw).expect("job came from a proxy");
+            let ft = proxy.ingest_steady_results(&r.ids, r.results, epochs[&sw]);
+            out.push((sw, ft));
+        }
+        out
     }
 
     fn adjacency_switch_count(&self) -> usize {
@@ -621,6 +664,37 @@ mod tests {
             "steady monitor must detect the failure: {:?}",
             app.events.len()
         );
+    }
+
+    #[test]
+    fn parallel_steady_refresh_matches_serial() {
+        use crate::pool::{EnginePool, PoolConfig};
+        let mut net = triangle_net(SwitchProfile::ideal());
+        let cfg = HarnessConfig {
+            steady: Some(SteadyConfig::default()),
+            ..Default::default()
+        };
+        let mut app = MonocleApp::build(OneUpdate { sent: false }, &net, &[0], cfg);
+        net.start(&mut app);
+        net.run_for(&mut app, time::s(1));
+        // Serial reference on the proxy's own engine.
+        let serial = app.proxies.get_mut(&0).unwrap().refresh_steady_plans();
+        let serial_plans: Vec<_> = app.proxy(0).unwrap().steady_probe_ids().clone();
+        // Pooled refresh across 4 workers must report identical coverage.
+        let pool = EnginePool::new(PoolConfig::with_workers(4));
+        let out = app.refresh_steady_parallel(&pool);
+        assert_eq!(out.len(), 1);
+        let (sw, (found, total)) = out[0];
+        assert_eq!(sw, 0);
+        assert_eq!((found, total), serial, "pool coverage = serial coverage");
+        assert_eq!(total, serial_plans.len());
+        assert!(found > 0, "production rules are monitorable");
+        // The pooled plans drive the steady cycle: probes still flow.
+        net.run_for(&mut app, time::ms(100));
+        assert!(app
+            .events
+            .iter()
+            .all(|e| !matches!(e, HarnessEvent::RuleFailed { .. })));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | §3.2/§3.4 DiffPorts/DiffRewrite, App. B Tables 3–4 | [`outcome`] |
 //! | §5.2 abstract→raw translation, spare values | [`generator`], `monocle-packet` |
 //! | session/cache-aware generation (hot path) | [`engine`] |
+//! | sharded multi-switch generation (worker pool) | [`pool`] |
 //! | probe plans & semantic verification | [`plan`] |
 //! | §2 expected-state tracking | [`expect`] |
 //! | §3 steady-state monitoring | [`steady`] |
@@ -64,6 +65,7 @@ pub mod generator;
 pub mod harness;
 pub mod outcome;
 pub mod plan;
+pub mod pool;
 pub mod proxy;
 pub mod reduction;
 pub mod steady;
@@ -72,3 +74,4 @@ pub use encode::{CatchSpec, EncodingStyle};
 pub use engine::{EngineConfig, EngineStats, ProbeEngine};
 pub use generator::{generate_probe, GenStats, GeneratorConfig, ProbeError};
 pub use plan::{ConcreteOutcome, ProbePlan, Verdict};
+pub use pool::{EnginePool, JobResult, JobSpec, PoolConfig, ProbeJob};

@@ -1,0 +1,524 @@
+//! Sharded [`ProbeEngine`] worker pool: one monitor process driving many
+//! switches concurrently.
+//!
+//! The paper's Multiplexer (§7) drives its per-switch Monitors serially;
+//! probe *generation* is the CPU-heavy part (§5.3, Table 2), so a single
+//! thread caps how many switches one Monocle instance can keep verified.
+//! [`EnginePool`] shards the engines across OS threads:
+//!
+//! * **Engine affinity** — each worker owns a private
+//!   `switch → ProbeEngine` map. Jobs hash to a *home* worker
+//!   (`switch % workers`), so repeated sweeps for one switch land on the
+//!   same warm plan cache and encode session. Engines are never shared, so
+//!   there is no engine lock at all.
+//! * **Work stealing** — an idle worker steals queued jobs from the most
+//!   loaded peer (from the back, preserving the victim's front-of-queue
+//!   affinity). A stolen switch builds a cold engine on the thief; that is
+//!   a performance trade, never a correctness one.
+//! * **Lock-free table snapshots** — jobs carry an
+//!   [`Arc<SharedTable>`](monocle_openflow::SharedTable), the single-slot
+//!   atomic publication cell. Workers plan against an immutable
+//!   [`TableSnapshot`](monocle_openflow::TableSnapshot); the churn path
+//!   (FlowMod stream) publishes new tables without ever blocking a worker.
+//!   **No lock is held across probe generation or SAT solves** — the only
+//!   locks in the pool are the queue mutex (released before a job runs) and
+//!   the per-worker stats cell (touched after generation finishes).
+//! * **Epoch-validated plans** — a batch is planned against snapshot epoch
+//!   `E` and re-validated against the cell's current epoch before dispatch.
+//!   If the table moved while planning, the job re-plans on a fresh
+//!   snapshot (bounded by [`PoolConfig::max_replans`]); a result that
+//!   cannot catch up is returned with [`JobResult::stale`] set and is
+//!   **never dispatched** — stale plans must not reach the data plane
+//!   (§4.2's invalidation argument, applied at the pool boundary).
+//!
+//! Results are aggregated per worker into [`GenStats`] via `+=`
+//! accumulation, so the Multiplexer-level cache-behavior view
+//! ([`crate::harness::MonocleApp::probe_engine_stats`]) extends naturally
+//! to the pooled path ([`EnginePool::stats`]).
+
+use crate::catching::{CATCH_PRIORITY, FILTER_PRIORITY};
+use crate::droppost::DROP_TAG_PRIORITY;
+use crate::encode::CatchSpec;
+use crate::engine::{EngineConfig, ProbeEngine};
+use crate::generator::{GenStats, ProbeError};
+use crate::plan::ProbePlan;
+use monocle_openflow::{FlowTable, RuleId, SharedTable};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Callback invoked for every **valid** (non-stale) job result, on the
+/// worker thread, before the result is returned to the caller. This is the
+/// dispatch point: the moment plans are cleared for injection. Benches use
+/// it to model per-switch probe-injection service time (the paper's §8
+/// hardware probe-rate ceiling); the harness leaves it unset.
+pub type DispatchFn = Arc<dyn Fn(&JobResult) + Send + Sync>;
+
+/// Pool configuration.
+#[derive(Clone)]
+pub struct PoolConfig {
+    /// Number of worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Template for per-switch engines (each worker instantiates its own).
+    pub engine: EngineConfig,
+    /// How many times a job may re-plan on a fresh snapshot after epoch
+    /// validation fails before it is returned as stale.
+    pub max_replans: u32,
+    /// Optional dispatch hook for valid results (see [`DispatchFn`]).
+    pub dispatch: Option<DispatchFn>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 1,
+            engine: EngineConfig::default(),
+            max_replans: 3,
+            dispatch: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolConfig")
+            .field("workers", &self.workers)
+            .field("engine", &self.engine)
+            .field("max_replans", &self.max_replans)
+            .field("dispatch", &self.dispatch.as_ref().map(|_| "Fn"))
+            .finish()
+    }
+}
+
+impl PoolConfig {
+    /// Config with `workers` threads and defaults otherwise.
+    pub fn with_workers(workers: usize) -> PoolConfig {
+        PoolConfig {
+            workers,
+            ..PoolConfig::default()
+        }
+    }
+}
+
+/// Which rules of the snapshot a job plans probes for.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// Every monitorable production rule: priority below the drop-tag band
+    /// and not a catching/filter rule — the same set a
+    /// [`crate::proxy::MonitorProxy`] steady-state sweep covers.
+    All,
+    /// Exactly these rules, in this order.
+    Rules(Vec<RuleId>),
+}
+
+/// One unit of work: plan probes for (a subset of) one switch's table.
+#[derive(Debug, Clone)]
+pub struct ProbeJob {
+    /// The switch the plans target (selects the home worker/engine).
+    pub switch_id: u32,
+    /// The switch's shared expected table (snapshot source).
+    pub table: Arc<SharedTable>,
+    /// Collection pins for this switch's probes.
+    pub catch: CatchSpec,
+    /// Rule selection.
+    pub spec: JobSpec,
+}
+
+/// The outcome of one [`ProbeJob`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The switch.
+    pub switch_id: u32,
+    /// Epoch of the snapshot the plans are valid against.
+    pub epoch: u64,
+    /// The rules planned for, in result order.
+    pub ids: Vec<RuleId>,
+    /// Per-rule plans (aligned with `ids`).
+    pub results: Vec<Result<ProbePlan, ProbeError>>,
+    /// Aggregate generation statistics over every planning attempt this job
+    /// made (including abandoned stale attempts).
+    pub stats: GenStats,
+    /// Index of the worker that ran the job.
+    pub worker: usize,
+    /// How many times the job re-planned after losing an epoch race.
+    pub replans: u32,
+    /// True when the table outran [`PoolConfig::max_replans`]: the plans
+    /// are from epoch `epoch`, which is already obsolete. Stale results are
+    /// never dispatched; the caller decides whether to resubmit.
+    pub stale: bool,
+}
+
+struct QueueState {
+    queues: Vec<VecDeque<(u64, ProbeJob)>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    /// Per-worker aggregate stats, `+=`-accumulated after each job.
+    stats: Vec<Mutex<GenStats>>,
+    results: Sender<(u64, JobResult)>,
+}
+
+/// The sharded worker pool. See the module docs for the design.
+///
+/// [`EnginePool::run_batch`] is the entry point: submit a batch of jobs,
+/// block until all complete, get results back in submission order. Workers
+/// and their warm engines persist across batches; the pool shuts its
+/// threads down on drop.
+pub struct EnginePool {
+    cfg: PoolConfig,
+    shared: Arc<PoolShared>,
+    receiver: Mutex<Receiver<(u64, JobResult)>>,
+    next_seq: AtomicU64,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("workers", &self.handles.len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl EnginePool {
+    /// Spawns the worker threads.
+    pub fn new(cfg: PoolConfig) -> EnginePool {
+        let workers = cfg.workers.max(1);
+        let (tx, rx) = channel();
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(QueueState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            stats: (0..workers)
+                .map(|_| Mutex::new(GenStats::default()))
+                .collect(),
+            results: tx,
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || worker_loop(me, &cfg, &shared))
+            })
+            .collect();
+        EnginePool {
+            cfg: PoolConfig { workers, ..cfg },
+            shared,
+            receiver: Mutex::new(rx),
+            next_seq: AtomicU64::new(0),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `jobs` to completion and returns their results in input order.
+    ///
+    /// Jobs are enqueued on their home worker (`switch_id % workers`); idle
+    /// workers steal. The calling thread blocks until every job finishes —
+    /// concurrent `run_batch` calls from different threads are serialized.
+    pub fn run_batch(&self, jobs: Vec<ProbeJob>) -> Vec<JobResult> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Hold the receiver for the whole batch so results cannot be
+        // stolen by a concurrent caller.
+        let rx = self.receiver.lock().unwrap();
+        let first_seq = self.next_seq.fetch_add(n as u64, Ordering::Relaxed);
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            let workers = st.queues.len();
+            for (i, job) in jobs.into_iter().enumerate() {
+                let home = job.switch_id as usize % workers;
+                st.queues[home].push_back((first_seq + i as u64, job));
+            }
+        }
+        self.shared.cv.notify_all();
+        let mut out: Vec<Option<JobResult>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (seq, res) = rx.recv().expect("pool workers alive");
+            out[(seq - first_seq) as usize] = Some(res);
+        }
+        out.into_iter()
+            .map(|r| r.expect("all results in"))
+            .collect()
+    }
+
+    /// Per-worker aggregate generation statistics since pool creation.
+    pub fn worker_stats(&self) -> Vec<GenStats> {
+        self.shared
+            .stats
+            .iter()
+            .map(|m| *m.lock().unwrap())
+            .collect()
+    }
+
+    /// Pool-wide aggregate statistics (the per-worker stats merged).
+    pub fn stats(&self) -> GenStats {
+        let mut total = GenStats::default();
+        for s in self.worker_stats() {
+            total += s;
+        }
+        total
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.cv_notify();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl EnginePool {
+    fn cv_notify(&self) {
+        self.shared.cv.notify_all();
+    }
+}
+
+/// The monitorable production rules of `table` (the [`JobSpec::All`] set).
+pub fn monitorable_ids(table: &FlowTable) -> Vec<RuleId> {
+    table
+        .rules()
+        .iter()
+        .filter(|r| {
+            r.priority < DROP_TAG_PRIORITY
+                && r.priority != CATCH_PRIORITY
+                && r.priority != FILTER_PRIORITY
+        })
+        .map(|r| r.id)
+        .collect()
+}
+
+fn worker_loop(me: usize, cfg: &PoolConfig, shared: &PoolShared) {
+    let mut engines: HashMap<u32, ProbeEngine> = HashMap::new();
+    loop {
+        let task = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(t) = st.queues[me].pop_front() {
+                    break Some(t);
+                }
+                // Steal from the most loaded peer, taking its newest job so
+                // the victim keeps its warm front-of-queue work.
+                let victim = (0..st.queues.len())
+                    .filter(|&i| i != me && !st.queues[i].is_empty())
+                    .max_by_key(|&i| st.queues[i].len());
+                if let Some(v) = victim {
+                    break st.queues[v].pop_back();
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.cv.wait(st).unwrap();
+            }
+        };
+        let Some((seq, job)) = task else {
+            return;
+        };
+        // The queue lock is released: everything below — snapshotting,
+        // probe generation, SAT solving — runs lock-free with respect to
+        // the pool and the table's churn path.
+        let engine = engines
+            .entry(job.switch_id)
+            .or_insert_with(|| ProbeEngine::new(cfg.engine.clone()));
+        let mut total = GenStats::default();
+        let mut replans = 0u32;
+        let result = loop {
+            let snap = job.table.snapshot();
+            let ids = match &job.spec {
+                JobSpec::All => monitorable_ids(&snap.table),
+                JobSpec::Rules(ids) => ids.clone(),
+            };
+            let (results, st) = engine.generate_batch_with_stats(&snap.table, &ids, &job.catch);
+            total += st;
+            // Epoch validation: dispatch only plans still current. The
+            // mirror may run ahead of the cell (spurious re-plan), never
+            // behind (stale accept) — see `monocle_openflow::table`.
+            let valid = job.table.epoch() == snap.epoch;
+            if valid || replans >= cfg.max_replans {
+                break JobResult {
+                    switch_id: job.switch_id,
+                    epoch: snap.epoch,
+                    ids,
+                    results,
+                    stats: total,
+                    worker: me,
+                    replans,
+                    stale: !valid,
+                };
+            }
+            replans += 1;
+        };
+        *shared.stats[me].lock().unwrap() += result.stats;
+        if !result.stale {
+            if let Some(dispatch) = &cfg.dispatch {
+                dispatch(&result);
+            }
+        }
+        if shared.results.send((seq, result)).is_err() {
+            return; // pool dropped mid-flight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monocle_openflow::{Action, FlowMod, Match};
+
+    fn table(n_specific: u16) -> FlowTable {
+        let mut t = FlowTable::new();
+        for i in 0..n_specific {
+            t.add_rule(
+                10,
+                Match::any().with_nw_dst([10, 0, (i / 251) as u8, (i % 251) as u8], 32),
+                vec![Action::Output(1 + i % 3)],
+            )
+            .unwrap();
+        }
+        t.add_rule(1, Match::any(), vec![Action::Output(9)])
+            .unwrap();
+        t
+    }
+
+    fn job(sw: u32, t: &Arc<SharedTable>) -> ProbeJob {
+        ProbeJob {
+            switch_id: sw,
+            table: Arc::clone(t),
+            catch: CatchSpec::default(),
+            spec: JobSpec::All,
+        }
+    }
+
+    #[test]
+    fn pool_results_match_serial_engine() {
+        let shared = Arc::new(SharedTable::new(table(8)));
+        let pool = EnginePool::new(PoolConfig::with_workers(3));
+        let res = pool.run_batch(vec![job(7, &shared)]);
+        assert_eq!(res.len(), 1);
+        assert!(!res[0].stale);
+        assert_eq!(res[0].replans, 0);
+        // Serial reference: a cold engine over the same snapshot.
+        let snap = shared.snapshot();
+        let ids = monitorable_ids(&snap.table);
+        let mut eng = ProbeEngine::default();
+        let serial = eng.generate_batch(&snap.table, &ids, &CatchSpec::default());
+        assert_eq!(res[0].ids, ids);
+        assert_eq!(res[0].results, serial);
+    }
+
+    #[test]
+    fn batch_returns_in_submission_order_across_workers() {
+        let tables: Vec<Arc<SharedTable>> = (0..16)
+            .map(|i| Arc::new(SharedTable::new(table(3 + i as u16))))
+            .collect();
+        let pool = EnginePool::new(PoolConfig::with_workers(4));
+        let jobs: Vec<ProbeJob> = tables
+            .iter()
+            .enumerate()
+            .map(|(sw, t)| job(sw as u32, t))
+            .collect();
+        let res = pool.run_batch(jobs);
+        assert_eq!(res.len(), 16);
+        for (sw, r) in res.iter().enumerate() {
+            assert_eq!(r.switch_id, sw as u32, "result order = submission order");
+            assert_eq!(r.ids.len(), 4 + sw);
+        }
+        // Every rule planned exactly once, pool-wide stats agree.
+        let planned: u64 = res.iter().map(|r| r.stats.cache_misses).sum();
+        assert_eq!(pool.stats().cache_misses, planned);
+    }
+
+    #[test]
+    fn warm_engine_affinity_makes_resweeps_cache_hits() {
+        // One worker: no stealing, so home-affinity is a hard guarantee
+        // (with several workers an idle thief may take a job and answer it
+        // with a cold engine — correct, just slower; covered by the
+        // equivalence tests).
+        let shared = Arc::new(SharedTable::new(table(6)));
+        let pool = EnginePool::new(PoolConfig::with_workers(1));
+        let cold = pool.run_batch(vec![job(4, &shared)]);
+        assert_eq!(cold[0].stats.cache_hits, 0);
+        let warm = pool.run_batch(vec![job(4, &shared)]);
+        assert_eq!(
+            warm[0].stats.cache_hits,
+            warm[0].ids.len() as u64,
+            "home-worker engine must stay warm across batches"
+        );
+        assert_eq!(warm[0].worker, cold[0].worker, "same home worker");
+        assert_eq!(cold[0].results, warm[0].results);
+    }
+
+    #[test]
+    fn epoch_race_replans_on_fresh_snapshot() {
+        let shared = Arc::new(SharedTable::new(table(4)));
+        // Dispatch hook fires only for valid results; use it to verify the
+        // contract. The race itself: bump the table between snapshot and
+        // validation by publishing from the dispatch of a *previous* job.
+        let pool = EnginePool::new(PoolConfig::with_workers(1));
+        let before = shared.epoch();
+        // Publish concurrently with planning: a competing writer thread.
+        let writer_shared = Arc::clone(&shared);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let writer = std::thread::spawn(move || {
+            let mut i = 0u16;
+            while !stop2.load(Ordering::Acquire) {
+                let m = Match::any().with_nw_dst([172, 16, (i % 4) as u8, (i % 251) as u8], 32);
+                let _ = writer_shared.apply(&FlowMod::add(7, m, vec![Action::Output(2)]));
+                i = i.wrapping_add(1);
+                std::thread::yield_now();
+            }
+        });
+        let res = pool.run_batch(vec![job(0, &shared); 8]);
+        stop.store(true, Ordering::Release);
+        writer.join().unwrap();
+        for r in &res {
+            // Valid results must carry an epoch no older than the pre-churn
+            // epoch and are internally consistent; stale ones are flagged.
+            if !r.stale {
+                assert!(r.epoch >= before);
+                assert_eq!(r.ids.len(), r.results.len());
+            } else {
+                assert_eq!(r.replans, 3, "stale only after exhausting replans");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_results_skip_dispatch() {
+        let dispatched = Arc::new(Mutex::new(Vec::new()));
+        let d2 = Arc::clone(&dispatched);
+        let cfg = PoolConfig {
+            workers: 2,
+            dispatch: Some(Arc::new(move |r: &JobResult| {
+                assert!(!r.stale, "stale results must never dispatch");
+                d2.lock().unwrap().push(r.switch_id);
+            })),
+            ..PoolConfig::default()
+        };
+        let pool = EnginePool::new(cfg);
+        let shared = Arc::new(SharedTable::new(table(3)));
+        let res = pool.run_batch(vec![job(0, &shared), job(1, &shared)]);
+        assert!(res.iter().all(|r| !r.stale), "no churn -> no staleness");
+        let mut seen = dispatched.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1], "every valid result dispatched once");
+    }
+}

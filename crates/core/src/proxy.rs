@@ -266,18 +266,11 @@ impl MonitorProxy {
         out
     }
 
-    /// Regenerates steady-state probe plans from the expected table,
-    /// skipping Monocle's own infrastructure rules. Returns (found, total).
-    ///
-    /// Generation runs as one [`crate::engine::ProbeEngine::generate_batch`]
-    /// through the proxy's shared engine, so a refresh after unrelated churn
-    /// re-solves only the rules whose overlap neighborhood actually changed
-    /// — steady-state re-probing of an unchanged table is pure cache hits.
-    pub fn refresh_steady_plans(&mut self) -> (usize, usize) {
-        self.steady_dirty = false;
-        let epoch = self.dynamic.expected().epoch();
-        let ids: Vec<RuleId> = self
-            .dynamic
+    /// The rules a steady-state sweep covers: every production rule of the
+    /// expected table, skipping Monocle's own infrastructure rules
+    /// (catching, filter and drop-tag bands).
+    pub fn steady_probe_ids(&self) -> Vec<RuleId> {
+        self.dynamic
             .expected()
             .table()
             .rules()
@@ -288,8 +281,32 @@ impl MonitorProxy {
                     && r.priority != FILTER_PRIORITY
             })
             .map(|r| r.id)
-            .collect();
-        let results = self.dynamic.generate_batch_expected(&ids);
+            .collect()
+    }
+
+    /// The collection pins this proxy's probes carry (pool job plumbing).
+    pub fn catch_spec(&self) -> &CatchSpec {
+        &self.cfg.catch
+    }
+
+    /// The expected table's update epoch (stamped into probe metadata).
+    pub fn expected_epoch(&self) -> u32 {
+        self.dynamic.expected().epoch()
+    }
+
+    /// Installs externally generated steady-sweep results (e.g. from an
+    /// [`crate::pool::EnginePool`] batch planned against a snapshot of this
+    /// proxy's expected table): records unmonitorable rules and hands the
+    /// plan cycle to the steady monitor. `results` aligns with `ids`;
+    /// `epoch` is the expected-table epoch the plans were generated under.
+    /// Returns (found, total).
+    pub fn ingest_steady_results(
+        &mut self,
+        ids: &[RuleId],
+        results: Vec<Result<crate::plan::ProbePlan, crate::generator::ProbeError>>,
+        epoch: u32,
+    ) -> (usize, usize) {
+        self.steady_dirty = false;
         self.unmonitorable = ids
             .iter()
             .zip(&results)
@@ -301,6 +318,24 @@ impl MonitorProxy {
             s.ingest_batch(results, epoch);
         }
         (found, total)
+    }
+
+    /// Regenerates steady-state probe plans from the expected table,
+    /// skipping Monocle's own infrastructure rules. Returns (found, total).
+    ///
+    /// Generation runs as one [`crate::engine::ProbeEngine::generate_batch`]
+    /// through the proxy's shared engine, so a refresh after unrelated churn
+    /// re-solves only the rules whose overlap neighborhood actually changed
+    /// — steady-state re-probing of an unchanged table is pure cache hits.
+    /// (The sharded path — [`crate::harness::MonocleApp::refresh_steady_parallel`]
+    /// — plans the same [`Self::steady_probe_ids`] set on an
+    /// [`crate::pool::EnginePool`] and installs it via
+    /// [`Self::ingest_steady_results`].)
+    pub fn refresh_steady_plans(&mut self) -> (usize, usize) {
+        let epoch = self.dynamic.expected().epoch();
+        let ids = self.steady_probe_ids();
+        let results = self.dynamic.generate_batch_expected(&ids);
+        self.ingest_steady_results(&ids, results, epoch)
     }
 
     fn map_dynamic(&mut self, now: u64, actions: Vec<DynAction>) -> Vec<ProxyOutput> {

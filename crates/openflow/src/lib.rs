@@ -39,3 +39,4 @@ pub use flowmatch::{Match, Ternary};
 pub use headerspace::{Field, HeaderVec, FIELDS, HEADER_BITS};
 pub use messages::{FlowMod, FlowModCommand, OfMessage, PortNo};
 pub use table::{FlowTable, Rule, RuleId, TableError};
+pub use table::{SharedTable, TableSnapshot};

@@ -1,0 +1,257 @@
+//! Vendored, registry-free stand-in for the `arc-swap` crate: a single-slot
+//! atomic publication cell for `Arc<T>`.
+//!
+//! [`ArcSwap`] holds one `Arc<T>` and supports two operations:
+//!
+//! * [`ArcSwap::load_full`] — **lock-free reader**: returns a clone of the
+//!   currently published `Arc<T>`. Readers never block on the writer or on
+//!   each other; the only retry is a bounded re-read when a publication
+//!   races the snapshot (no locks, no syscalls on the hot path).
+//! * [`ArcSwap::store`] / [`ArcSwap::swap`] — **serialized writer**:
+//!   publishes a new `Arc<T>` and reclaims the old one after a grace
+//!   period (RCU-style), so readers mid-snapshot are never invalidated.
+//!
+//! ## How reclamation works
+//!
+//! The real `arc-swap` uses hazard-pointer debt lists; this shim uses a
+//! simpler two-slot epoch scheme that is correct for its workload (rare
+//! writes from a churn path, frequent reads from probe workers):
+//!
+//! * A monotone `epoch` counter selects one of two reader counters by
+//!   parity. A reader *pins* the counter for the current parity, re-checks
+//!   that the epoch did not move, and only then touches the pointer. If the
+//!   epoch moved, it unpins and retries.
+//! * The writer swaps the pointer, bumps the epoch (flipping the parity new
+//!   readers pin), and then waits for the **old** parity's counter to drain
+//!   to zero before dropping the old `Arc`. Any reader that could have
+//!   observed the old pointer holds a pin on the old parity for the whole
+//!   dangerous window (pointer load → refcount bump), so the wait is a
+//!   sufficient grace period; readers that pinned after the flip can only
+//!   observe the new pointer (the epoch bump is `Release`-ordered after the
+//!   pointer swap and readers `Acquire` the epoch before loading it).
+//!
+//! Writers may therefore briefly spin-wait on active readers (reader
+//! critical sections are a few atomic ops) — acceptable for a churn path.
+//! Readers are wait-free except for the epoch-moved retry.
+//!
+//! This is the one vendored crate that uses `unsafe` (raw `Arc` pointer
+//! round-trips); the rest of the workspace remains `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A single-slot atomic `Arc<T>` cell with lock-free readers.
+pub struct ArcSwap<T> {
+    /// Raw pointer from `Arc::into_raw` of the published value. The cell
+    /// owns one strong count for it.
+    ptr: AtomicPtr<T>,
+    /// Publication counter; its parity selects the reader-pin slot.
+    epoch: AtomicU64,
+    /// Per-parity reader pin counts.
+    readers: [AtomicUsize; 2],
+    /// Serializes writers (readers never touch it).
+    writer: Mutex<()>,
+    /// `AtomicPtr<T>` is unconditionally `Send + Sync`; this ties the cell's
+    /// auto-traits to `Arc<T>`'s (the value it semantically holds).
+    _owns: std::marker::PhantomData<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell publishing `value`.
+    pub fn new(value: Arc<T>) -> ArcSwap<T> {
+        ArcSwap {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            epoch: AtomicU64::new(0),
+            readers: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            writer: Mutex::new(()),
+            _owns: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of publications so far (monotone; not a synchronization
+    /// primitive by itself — pair it with [`Self::load_full`]).
+    pub fn publish_count(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Returns a clone of the currently published `Arc<T>`. Lock-free: the
+    /// reader pins an epoch-parity counter, validates the epoch, bumps the
+    /// refcount, and unpins.
+    pub fn load_full(&self) -> Arc<T> {
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            let slot = (e & 1) as usize;
+            self.readers[slot].fetch_add(1, Ordering::AcqRel);
+            if self.epoch.load(Ordering::Acquire) == e {
+                let p = self.ptr.load(Ordering::Acquire);
+                // SAFETY: `p` came from `Arc::into_raw` and the cell holds a
+                // strong count for it. Validation proved the epoch had not
+                // moved after we pinned `readers[slot]`, so any writer that
+                // retires `p` must still complete a grace period on `slot`
+                // — it cannot observe the counter at zero (and thus cannot
+                // drop the cell's strong count) until after our unpin below,
+                // which is `Release`-ordered after the refcount bump here.
+                let out = unsafe {
+                    Arc::increment_strong_count(p);
+                    Arc::from_raw(p)
+                };
+                self.readers[slot].fetch_sub(1, Ordering::Release);
+                return out;
+            }
+            // A publication raced us between the epoch read and the pin;
+            // unpin and re-snapshot.
+            self.readers[slot].fetch_sub(1, Ordering::Release);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Publishes `value`, dropping the previously published `Arc` after the
+    /// reader grace period.
+    pub fn store(&self, value: Arc<T>) {
+        drop(self.swap(value));
+    }
+
+    /// Publishes `value` and returns the previously published `Arc` once no
+    /// reader can still be mid-snapshot on it.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        let _guard = self.writer.lock().unwrap();
+        let old = self
+            .ptr
+            .swap(Arc::into_raw(value).cast_mut(), Ordering::AcqRel);
+        // Flip the parity new readers pin. `Release` orders the pointer swap
+        // before the bump; readers `Acquire` the epoch before the pointer,
+        // so a reader pinning the new parity cannot load `old`.
+        let e = self.epoch.load(Ordering::Relaxed);
+        let old_slot = (e & 1) as usize;
+        self.epoch.store(e + 1, Ordering::Release);
+        // Grace period: wait out readers pinned on the old parity.
+        let mut spins = 0u32;
+        while self.readers[old_slot].load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: `old` came from `Arc::into_raw` (cell ownership); readers
+        // that could have observed it have unpinned, and their refcount
+        // bumps happened-before the counter read above (Release/Acquire on
+        // the pin counter), so reclaiming the cell's strong count is sound.
+        unsafe { Arc::from_raw(old) }
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no readers or writers are active; the
+        // cell owns one strong count for the published pointer.
+        unsafe {
+            drop(Arc::from_raw(self.ptr.load(Ordering::Acquire)));
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("value", &self.load_full())
+            .field("publish_count", &self.publish_count())
+            .finish()
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        ArcSwap::new(Arc::new(T::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_published_value() {
+        let cell = ArcSwap::new(Arc::new(41));
+        assert_eq!(*cell.load_full(), 41);
+        cell.store(Arc::new(42));
+        assert_eq!(*cell.load_full(), 42);
+        assert_eq!(cell.publish_count(), 1);
+    }
+
+    #[test]
+    fn swap_returns_previous_arc() {
+        let cell = ArcSwap::new(Arc::new(String::from("a")));
+        let prev = cell.swap(Arc::new(String::from("b")));
+        assert_eq!(*prev, "a");
+        assert_eq!(*cell.load_full(), "b");
+    }
+
+    #[test]
+    fn old_arcs_survive_while_held() {
+        let cell = ArcSwap::new(Arc::new(vec![1u8; 64]));
+        let held = cell.load_full();
+        cell.store(Arc::new(vec![2u8; 64]));
+        // The pre-publication snapshot is still fully alive.
+        assert!(held.iter().all(|&b| b == 1));
+        assert!(cell.load_full().iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn drop_releases_the_published_value() {
+        let probe = Arc::new(7u64);
+        let weak = Arc::downgrade(&probe);
+        drop(ArcSwap::new(probe));
+        assert!(weak.upgrade().is_none(), "cell must drop its strong count");
+    }
+
+    /// Readers hammer `load_full` while a writer publishes self-consistent
+    /// payloads; every snapshot must be internally consistent (no torn or
+    /// freed reads) and versions must be monotone per reader. The writer
+    /// keeps publishing until every reader has observed enough snapshots,
+    /// so the test exercises real interleavings even on one CPU.
+    #[test]
+    fn concurrent_readers_see_consistent_snapshots() {
+        use std::sync::atomic::AtomicU64;
+        let cell = Arc::new(ArcSwap::new(Arc::new((0u64, 0u64))));
+        let done = Arc::new(AtomicBool::new(false));
+        let progress: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let readers: Vec<_> = progress
+            .iter()
+            .map(|seen| {
+                let cell = Arc::clone(&cell);
+                let done = Arc::clone(&done);
+                let seen = Arc::clone(seen);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !done.load(Ordering::Acquire) {
+                        let snap = cell.load_full();
+                        assert_eq!(snap.1, snap.0.wrapping_mul(0x9e37_79b9), "torn read");
+                        assert!(snap.0 >= last, "version went backwards");
+                        last = snap.0;
+                        seen.fetch_add(1, Ordering::Release);
+                    }
+                })
+            })
+            .collect();
+        let mut v = 0u64;
+        while progress.iter().any(|s| s.load(Ordering::Acquire) < 25) {
+            v += 1;
+            cell.store(Arc::new((v, v.wrapping_mul(0x9e37_79b9))));
+            if v.is_multiple_of(16) {
+                std::thread::yield_now();
+            }
+            assert!(v < 10_000_000, "readers starved");
+        }
+        done.store(true, Ordering::Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*cell.load_full(), (v, v.wrapping_mul(0x9e37_79b9)));
+        assert_eq!(cell.publish_count(), v);
+    }
+}

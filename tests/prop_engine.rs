@@ -14,12 +14,22 @@
 //! of the edits are applied *without* a `note_flowmod` delta notification
 //! to exercise the fingerprint-based invalidation safety net.
 
+//! The same equivalence bar applies to the sharded
+//! [`monocle::pool::EnginePool`]: pool(N) answers must match the serial
+//! Multiplexer path for randomized tables and for interleaved
+//! Add/Modify/Delete churn published through
+//! [`monocle_openflow::SharedTable`] snapshots, and concurrent
+//! snapshot/publish traffic must never yield torn plans or non-monotone
+//! epochs.
+
 use monocle::encode::CatchSpec;
 use monocle::engine::{EngineConfig, ProbeEngine};
 use monocle::generator::{generate_probe, GeneratorConfig};
 use monocle::plan::verify_probe;
-use monocle_openflow::{Action, FlowMod, FlowTable, Match};
+use monocle::pool::{monitorable_ids, EnginePool, JobSpec, PoolConfig, ProbeJob};
+use monocle_openflow::{Action, FlowMod, FlowTable, Match, SharedTable};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Random matches over a small value space so rules overlap (mirrors
 /// `tests/prop_probe.rs`).
@@ -156,6 +166,72 @@ fn assert_equivalent(
     Ok(())
 }
 
+/// One [`JobSpec::All`] job for `sw` against `shared`.
+fn pool_job(sw: u32, shared: &Arc<SharedTable>) -> ProbeJob {
+    ProbeJob {
+        switch_id: sw,
+        table: Arc::clone(shared),
+        catch: CatchSpec::default(),
+        spec: JobSpec::All,
+    }
+}
+
+/// A pool result for the table currently in `shared` must be semantically
+/// equivalent to fresh stateless generation on `reference` (the same table
+/// tracked serially): identical monitorable set and per-rule status/error,
+/// and every pooled plan passes the oracle with the oracle's outcomes.
+fn assert_pool_equivalent(
+    pool: &EnginePool,
+    shared: &Arc<SharedTable>,
+    reference: &FlowTable,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let catch = CatchSpec::default();
+    let gen = GeneratorConfig::default();
+    let res = pool.run_batch(vec![pool_job(0, shared)]);
+    let r = &res[0];
+    prop_assert!(!r.stale, "no concurrent writer -> never stale ({context})");
+    prop_assert_eq!(
+        r.epoch,
+        shared.epoch(),
+        "valid result is current ({context})"
+    );
+    prop_assert_eq!(
+        &r.ids,
+        &monitorable_ids(reference),
+        "same sweep set ({context})"
+    );
+    prop_assert_eq!(r.ids.len(), r.results.len(), "aligned results ({context})");
+    for (&id, pooled) in r.ids.iter().zip(&r.results) {
+        let stateless = generate_probe(reference, id, &catch, &gen);
+        prop_assert_eq!(
+            pooled.is_ok(),
+            stateless.is_ok(),
+            "status diverged for rule {:?} ({context}): pool={:?} stateless={:?}",
+            id,
+            pooled.as_ref().err(),
+            stateless.as_ref().err()
+        );
+        match pooled {
+            Ok(plan) => {
+                let oracle = verify_probe(reference, id, &plan.header, &[]);
+                prop_assert!(oracle.is_some(), "pooled plan fails oracle ({context})");
+                let (present, absent) = oracle.unwrap();
+                prop_assert_eq!(&plan.present, &present, "stale present outcome ({context})");
+                prop_assert_eq!(&plan.absent, &absent, "stale absent outcome ({context})");
+            }
+            Err(e) => {
+                prop_assert_eq!(
+                    *e,
+                    stateless.unwrap_err(),
+                    "error classification diverged ({context})"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -213,6 +289,71 @@ proptest! {
         }
     }
 
+    /// pool(N) over randomized multi-switch tables is *structurally*
+    /// identical to cold serial engines on the same snapshots: with one
+    /// batch per switch every engine is cold wherever the job lands, so
+    /// worker count and stealing cannot change a single byte of output.
+    #[test]
+    fn pool_structurally_matches_serial_on_random_tables(
+        tables in prop::collection::vec(arb_table(), 2..6),
+        workers in 1usize..5,
+    ) {
+        let catch = CatchSpec::default();
+        let shareds: Vec<Arc<SharedTable>> = tables
+            .iter()
+            .map(|t| Arc::new(SharedTable::new(t.clone())))
+            .collect();
+        let pool = EnginePool::new(PoolConfig::with_workers(workers));
+        let jobs: Vec<ProbeJob> = shareds
+            .iter()
+            .enumerate()
+            .map(|(sw, s)| pool_job(sw as u32, s))
+            .collect();
+        let res = pool.run_batch(jobs);
+        prop_assert_eq!(res.len(), tables.len());
+        for (sw, (r, table)) in res.iter().zip(&tables).enumerate() {
+            prop_assert!(!r.stale);
+            prop_assert_eq!(r.switch_id, sw as u32, "submission order preserved");
+            let ids = monitorable_ids(table);
+            let mut serial = ProbeEngine::default();
+            let reference = serial.generate_batch(table, &ids, &catch);
+            prop_assert_eq!(&r.ids, &ids);
+            prop_assert_eq!(&r.results, &reference, "switch {} diverged", sw);
+        }
+    }
+
+    /// pool(N) stays plan-equivalent to the serial path across interleaved
+    /// Add/Modify/Delete churn published through SharedTable: after every
+    /// edit the pooled sweep must agree with fresh stateless generation on
+    /// the post-edit table (worker engines may be warm or cold depending on
+    /// stealing, so equivalence is semantic — same bar as the serial
+    /// engine's own invariant).
+    #[test]
+    fn pool_equivalent_across_shared_table_churn(
+        table in arb_table(),
+        edits in prop::collection::vec(arb_edit(), 1..6),
+        workers in 1usize..4,
+    ) {
+        let shared = Arc::new(SharedTable::new(table.clone()));
+        let pool = EnginePool::new(PoolConfig::with_workers(workers));
+        let mut reference = table;
+        assert_pool_equivalent(&pool, &shared, &reference, "initial")?;
+        for (step, edit) in edits.iter().enumerate() {
+            let Some((fm, _)) = to_flowmod(edit, &reference) else {
+                continue;
+            };
+            let published = shared.apply(&fm);
+            let applied = reference.apply(&fm);
+            prop_assert_eq!(
+                published.is_ok(),
+                applied.is_ok(),
+                "SharedTable::apply semantics must track FlowTable::apply"
+            );
+            let ctx = format!("after edit {step}: {edit:?}");
+            assert_pool_equivalent(&pool, &shared, &reference, &ctx)?;
+        }
+    }
+
     /// Batch output is identical (entry by entry) to one-at-a-time engine
     /// calls, and re-batching an unchanged table touches no solver.
     #[test]
@@ -230,5 +371,94 @@ proptest! {
         prop_assert_eq!(stats.solver_calls, 0);
         prop_assert_eq!(stats.cache_hits, ids.len() as u64);
         prop_assert_eq!(&batch, &rebatch);
+    }
+}
+
+/// Snapshot-epoch stress: a writer churns one [`SharedTable`] while pool
+/// workers sweep it concurrently. Every result must be internally
+/// consistent (ids/results aligned — no torn snapshot), epochs must be
+/// monotone per switch across batches, staleness must only appear after
+/// exhausting the replan budget, and once the writer stops a final sweep
+/// must be valid and semantically correct for the settled table.
+#[test]
+fn pool_snapshot_epoch_stress() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let mut base = FlowTable::new();
+    for i in 0..6u16 {
+        base.add_rule(
+            10,
+            Match::any().with_nw_dst([10, 0, 0, 1 + i as u8], 32),
+            vec![Action::Output(1 + i % 3)],
+        )
+        .unwrap();
+    }
+    base.add_rule(1, Match::any(), vec![Action::Output(9)])
+        .unwrap();
+    let shared = Arc::new(SharedTable::new(base));
+    let pool = EnginePool::new(PoolConfig::with_workers(4));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0u16;
+            while !stop.load(Ordering::Acquire) {
+                let m = Match::any().with_nw_dst([10, 1, (i % 5) as u8, (i % 251) as u8], 32);
+                if i % 3 == 2 {
+                    let _ = shared.apply(&FlowMod::delete_strict(4, m));
+                } else {
+                    let _ = shared.apply(&FlowMod::add(4, m, vec![Action::Output(2)]));
+                }
+                i = i.wrapping_add(1);
+                std::thread::yield_now();
+            }
+        })
+    };
+    const SWITCHES: u32 = 4;
+    let mut last_epoch = vec![0u64; SWITCHES as usize];
+    for round in 0..5 {
+        let jobs: Vec<ProbeJob> = (0..SWITCHES).map(|sw| pool_job(sw, &shared)).collect();
+        for r in pool.run_batch(jobs) {
+            assert_eq!(r.ids.len(), r.results.len(), "torn result in round {round}");
+            let sw = r.switch_id as usize;
+            assert!(
+                r.epoch >= last_epoch[sw],
+                "epoch went backwards for switch {sw} in round {round}: {} < {}",
+                r.epoch,
+                last_epoch[sw]
+            );
+            last_epoch[sw] = r.epoch;
+            if r.stale {
+                assert_eq!(r.replans, 3, "stale only after the full replan budget");
+            } else {
+                assert!(r.epoch <= shared.epoch());
+            }
+        }
+    }
+    stop.store(true, Ordering::Release);
+    writer.join().unwrap();
+    // Quiescent: the sweep must be valid and agree with fresh stateless
+    // generation for every monitorable rule of the settled table.
+    let settled = shared.snapshot();
+    let res = pool.run_batch(vec![pool_job(0, &shared)]);
+    let r = &res[0];
+    assert!(!r.stale, "no writer -> valid");
+    assert_eq!(r.epoch, settled.epoch);
+    assert_eq!(r.ids, monitorable_ids(&settled.table));
+    let catch = CatchSpec::default();
+    let gen = GeneratorConfig::default();
+    for (&id, pooled) in r.ids.iter().zip(&r.results) {
+        let stateless = generate_probe(&settled.table, id, &catch, &gen);
+        assert_eq!(
+            pooled.is_ok(),
+            stateless.is_ok(),
+            "status diverged for {id:?}"
+        );
+        if let Ok(plan) = pooled {
+            assert!(
+                verify_probe(&settled.table, id, &plan.header, &[]).is_some(),
+                "pooled plan fails the oracle for {id:?}"
+            );
+        }
     }
 }
