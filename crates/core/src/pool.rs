@@ -24,12 +24,18 @@
 //!   locks in the pool are the queue mutex (released before a job runs) and
 //!   the per-worker stats cell (touched after generation finishes).
 //! * **Epoch-validated plans** — a batch is planned against snapshot epoch
-//!   `E` and re-validated against the cell's current epoch before dispatch.
+//!   `E` and re-validated against the cell's current epoch after planning.
 //!   If the table moved while planning, the job re-plans on a fresh
 //!   snapshot (bounded by [`PoolConfig::max_replans`]); a result that
-//!   cannot catch up is returned with [`JobResult::stale`] set and is
-//!   **never dispatched** — stale plans must not reach the data plane
-//!   (§4.2's invalidation argument, applied at the pool boundary).
+//!   cannot catch up is returned with [`JobResult::stale`] set, and the
+//!   pool never invokes the dispatch hook for a result that failed
+//!   validation. This is a *bounded-staleness* guarantee, not atomic
+//!   freshness: no lock spans validation → dispatch (that would put a lock
+//!   across the hot path), so the table can be republished in that window
+//!   and a plan validated against epoch `E` may be dispatched after `E` is
+//!   already obsolete. Consumers enforcing §4.2's invalidation argument at
+//!   the data plane must revalidate [`JobResult::epoch`] against the cell
+//!   at injection time.
 //!
 //! Results are aggregated per worker into [`GenStats`] via `+=`
 //! accumulation, so the Multiplexer-level cache-behavior view
@@ -49,10 +55,13 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// Callback invoked for every **valid** (non-stale) job result, on the
-/// worker thread, before the result is returned to the caller. This is the
-/// dispatch point: the moment plans are cleared for injection. Benches use
-/// it to model per-switch probe-injection service time (the paper's §8
+/// Callback invoked for every job result that passed epoch validation, on
+/// the worker thread, before the result is returned to the caller. This is
+/// the dispatch point: the moment plans are cleared for injection. Freshness
+/// here is bounded-staleness (see the module docs): the table can move
+/// between validation and this call, so callbacks gating real injection
+/// must revalidate [`JobResult::epoch`] themselves. Benches use the hook
+/// to model per-switch probe-injection service time (the paper's §8
 /// hardware probe-rate ceiling); the harness leaves it unset.
 pub type DispatchFn = Arc<dyn Fn(&JobResult) + Send + Sync>;
 
@@ -144,10 +153,18 @@ pub struct JobResult {
     pub worker: usize,
     /// How many times the job re-planned after losing an epoch race.
     pub replans: u32,
-    /// True when the table outran [`PoolConfig::max_replans`]: the plans
-    /// are from epoch `epoch`, which is already obsolete. Stale results are
-    /// never dispatched; the caller decides whether to resubmit.
+    /// True when the table outran [`PoolConfig::max_replans`] (the plans
+    /// are from epoch `epoch`, which is already obsolete) or the job
+    /// panicked. The pool skips the dispatch hook for stale results; the
+    /// caller decides whether to resubmit. A `false` here means the result
+    /// passed validation — see the module docs for why that is bounded
+    /// staleness rather than freshness at dispatch.
     pub stale: bool,
+    /// True when planning (or the dispatch hook) panicked. The worker
+    /// caught the panic, discarded its engine for this switch (its state
+    /// may be mid-mutation), and returned this placeholder so the batch
+    /// still completes: `ids`/`results` are empty and `stale` is set.
+    pub panicked: bool,
 }
 
 struct QueueState {
@@ -160,7 +177,6 @@ struct PoolShared {
     cv: Condvar,
     /// Per-worker aggregate stats, `+=`-accumulated after each job.
     stats: Vec<Mutex<GenStats>>,
-    results: Sender<(u64, JobResult)>,
 }
 
 /// The sharded worker pool. See the module docs for the design.
@@ -200,13 +216,17 @@ impl EnginePool {
             stats: (0..workers)
                 .map(|_| Mutex::new(GenStats::default()))
                 .collect(),
-            results: tx,
         });
+        // Each worker owns a clone of the result Sender (the pool itself
+        // keeps none), so if every worker dies — e.g. a panic poisons the
+        // queue mutex — the channel disconnects and `run_batch` fails fast
+        // instead of blocking forever on results that will never arrive.
         let handles = (0..workers)
             .map(|me| {
                 let shared = Arc::clone(&shared);
                 let cfg = cfg.clone();
-                std::thread::spawn(move || worker_loop(me, &cfg, &shared))
+                let tx = tx.clone();
+                std::thread::spawn(move || worker_loop(me, &cfg, &shared, &tx))
             })
             .collect();
         EnginePool {
@@ -248,7 +268,13 @@ impl EnginePool {
         self.shared.cv.notify_all();
         let mut out: Vec<Option<JobResult>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
-            let (seq, res) = rx.recv().expect("pool workers alive");
+            // Disconnects only if every worker thread has exited (each owns
+            // a Sender clone); per-job panics are caught in the worker and
+            // come back as `panicked` results, so this recv cannot hang on
+            // a single crashed job.
+            let (seq, res) = rx
+                .recv()
+                .expect("all engine pool workers exited before the batch completed");
             out[(seq - first_seq) as usize] = Some(res);
         }
         out.into_iter()
@@ -277,7 +303,14 @@ impl EnginePool {
 
 impl Drop for EnginePool {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
+        // Tolerate a poisoned queue mutex (a worker died while holding it):
+        // the shutdown flag must still reach any survivors, and panicking
+        // here would abort if we are already unwinding.
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .shutdown = true;
         self.cv_notify();
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -291,7 +324,12 @@ impl EnginePool {
     }
 }
 
-/// The monitorable production rules of `table` (the [`JobSpec::All`] set).
+/// The monitorable production rules of `table`: priority below the
+/// drop-tag band and not a catching/filter rule. This is the single source
+/// of truth for the sweep set — both [`JobSpec::All`] and
+/// [`crate::proxy::MonitorProxy::steady_probe_ids`] resolve through it, so
+/// the pooled and serial paths cannot drift if the infrastructure-rule
+/// bands change.
 pub fn monitorable_ids(table: &FlowTable) -> Vec<RuleId> {
     table
         .rules()
@@ -305,7 +343,12 @@ pub fn monitorable_ids(table: &FlowTable) -> Vec<RuleId> {
         .collect()
 }
 
-fn worker_loop(me: usize, cfg: &PoolConfig, shared: &PoolShared) {
+fn worker_loop(
+    me: usize,
+    cfg: &PoolConfig,
+    shared: &PoolShared,
+    results: &Sender<(u64, JobResult)>,
+) {
     let mut engines: HashMap<u32, ProbeEngine> = HashMap::new();
     loop {
         let task = {
@@ -331,49 +374,77 @@ fn worker_loop(me: usize, cfg: &PoolConfig, shared: &PoolShared) {
         let Some((seq, job)) = task else {
             return;
         };
-        // The queue lock is released: everything below — snapshotting,
-        // probe generation, SAT solving — runs lock-free with respect to
-        // the pool and the table's churn path.
-        let engine = engines
-            .entry(job.switch_id)
-            .or_insert_with(|| ProbeEngine::new(cfg.engine.clone()));
-        let mut total = GenStats::default();
-        let mut replans = 0u32;
-        let result = loop {
-            let snap = job.table.snapshot();
-            let ids = match &job.spec {
-                JobSpec::All => monitorable_ids(&snap.table),
-                JobSpec::Rules(ids) => ids.clone(),
-            };
-            let (results, st) = engine.generate_batch_with_stats(&snap.table, &ids, &job.catch);
-            total += st;
-            // Epoch validation: dispatch only plans still current. The
-            // mirror may run ahead of the cell (spurious re-plan), never
-            // behind (stale accept) — see `monocle_openflow::table`.
-            let valid = job.table.epoch() == snap.epoch;
-            if valid || replans >= cfg.max_replans {
-                break JobResult {
-                    switch_id: job.switch_id,
-                    epoch: snap.epoch,
-                    ids,
-                    results,
-                    stats: total,
-                    worker: me,
-                    replans,
-                    stale: !valid,
-                };
+        // A panic anywhere in the job (planning or the dispatch hook) must
+        // not kill the worker: its seq would never be answered and
+        // `run_batch` would block forever. Catch it, discard the possibly
+        // half-mutated engine, and answer with a `panicked` placeholder.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let engine = engines
+                .entry(job.switch_id)
+                .or_insert_with(|| ProbeEngine::new(cfg.engine.clone()));
+            let result = plan_job(me, cfg, engine, &job);
+            *shared.stats[me].lock().unwrap() += result.stats;
+            if !result.stale {
+                if let Some(dispatch) = &cfg.dispatch {
+                    dispatch(&result);
+                }
             }
-            replans += 1;
-        };
-        *shared.stats[me].lock().unwrap() += result.stats;
-        if !result.stale {
-            if let Some(dispatch) = &cfg.dispatch {
-                dispatch(&result);
+            result
+        }))
+        .unwrap_or_else(|_| {
+            engines.remove(&job.switch_id);
+            JobResult {
+                switch_id: job.switch_id,
+                epoch: 0,
+                ids: Vec::new(),
+                results: Vec::new(),
+                stats: GenStats::default(),
+                worker: me,
+                replans: 0,
+                stale: true,
+                panicked: true,
             }
-        }
-        if shared.results.send((seq, result)).is_err() {
+        });
+        if results.send((seq, result)).is_err() {
             return; // pool dropped mid-flight
         }
+    }
+}
+
+/// Plans one job on `engine`, re-planning on fresh snapshots until epoch
+/// validation passes or [`PoolConfig::max_replans`] is exhausted. Runs with
+/// no lock held: snapshotting, probe generation and SAT solving are all
+/// lock-free with respect to the pool and the table's churn path.
+fn plan_job(me: usize, cfg: &PoolConfig, engine: &mut ProbeEngine, job: &ProbeJob) -> JobResult {
+    let mut total = GenStats::default();
+    let mut replans = 0u32;
+    loop {
+        let snap = job.table.snapshot();
+        let ids = match &job.spec {
+            JobSpec::All => monitorable_ids(&snap.table),
+            JobSpec::Rules(ids) => ids.clone(),
+        };
+        let (results, st) = engine.generate_batch_with_stats(&snap.table, &ids, &job.catch);
+        total += st;
+        // Epoch validation: accept only plans still current here (bounded
+        // staleness — see the module docs). The mirror may run ahead of the
+        // cell (spurious re-plan), never behind (stale accept) — see
+        // `monocle_openflow::table`.
+        let valid = job.table.epoch() == snap.epoch;
+        if valid || replans >= cfg.max_replans {
+            return JobResult {
+                switch_id: job.switch_id,
+                epoch: snap.epoch,
+                ids,
+                results,
+                stats: total,
+                worker: me,
+                replans,
+                stale: !valid,
+                panicked: false,
+            };
+        }
+        replans += 1;
     }
 }
 
@@ -520,5 +591,37 @@ mod tests {
         let mut seen = dispatched.lock().unwrap().clone();
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1], "every valid result dispatched once");
+    }
+
+    #[test]
+    fn job_panic_completes_batch_and_pool_survives() {
+        // A panic inside a job (here: the dispatch hook) must not hang
+        // run_batch or kill the pool — the worker catches it and answers
+        // the seq with a `panicked` placeholder.
+        let cfg = PoolConfig {
+            workers: 2,
+            dispatch: Some(Arc::new(|r: &JobResult| {
+                if r.switch_id == 1 {
+                    panic!("injected job panic");
+                }
+            })),
+            ..PoolConfig::default()
+        };
+        let pool = EnginePool::new(cfg);
+        let shared = Arc::new(SharedTable::new(table(3)));
+        let res = pool.run_batch(vec![job(0, &shared), job(1, &shared), job(2, &shared)]);
+        assert_eq!(res.len(), 3, "batch completes despite the panic");
+        for r in &res {
+            if r.switch_id == 1 {
+                assert!(r.panicked && r.stale, "crashed job reported honestly");
+                assert!(r.ids.is_empty() && r.results.is_empty());
+            } else {
+                assert!(!r.panicked && !r.stale);
+            }
+        }
+        // Workers (and their engines for unaffected switches) are still
+        // alive for the next batch.
+        let again = pool.run_batch(vec![job(0, &shared), job(2, &shared)]);
+        assert!(again.iter().all(|r| !r.panicked && !r.stale));
     }
 }

@@ -8,7 +8,6 @@
 //! the transport (simulator, or a real OpenFlow connection) lives in
 //! [`crate::harness`], which plays the role of the paper's Multiplexer.
 
-use crate::catching::{CATCH_PRIORITY, FILTER_PRIORITY};
 use crate::droppost::{self, DropTag};
 use crate::dynamic::{DynAction, DynamicConfig, DynamicMonitor};
 use crate::encode::CatchSpec;
@@ -268,20 +267,11 @@ impl MonitorProxy {
 
     /// The rules a steady-state sweep covers: every production rule of the
     /// expected table, skipping Monocle's own infrastructure rules
-    /// (catching, filter and drop-tag bands).
+    /// (catching, filter and drop-tag bands). Delegates to
+    /// [`crate::pool::monitorable_ids`] so this sweep set and the pool's
+    /// [`crate::pool::JobSpec::All`] set stay identical by construction.
     pub fn steady_probe_ids(&self) -> Vec<RuleId> {
-        self.dynamic
-            .expected()
-            .table()
-            .rules()
-            .iter()
-            .filter(|r| {
-                r.priority < droppost::DROP_TAG_PRIORITY
-                    && r.priority != CATCH_PRIORITY
-                    && r.priority != FILTER_PRIORITY
-            })
-            .map(|r| r.id)
-            .collect()
+        crate::pool::monitorable_ids(self.dynamic.expected().table())
     }
 
     /// The collection pins this proxy's probes carry (pool job plumbing).

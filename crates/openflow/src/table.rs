@@ -54,8 +54,13 @@
 //!   acted upon*: if the epochs differ, the plan may be stale and must be
 //!   re-planned against a fresh snapshot — never dispatched. Epochs are
 //!   strictly monotone, so `epoch() == snapshot.epoch` proves no
-//!   publication intervened. (`epoch()` is a single atomic load, cheap
-//!   enough to call per probe batch.)
+//!   publication intervened *up to the validating load*. Validation and
+//!   acting on the result are not atomic — a publication can land between
+//!   them — so the check bounds staleness rather than guaranteeing
+//!   freshness at dispatch; consumers that cannot tolerate even that
+//!   window must revalidate at the final injection point. (`epoch()` is a
+//!   single atomic load, cheap enough to call per probe batch, or per
+//!   probe.)
 
 use crate::action::{ActionError, ActionProgram, Forwarding, PortNo};
 use crate::classifier::TernaryClassifier;

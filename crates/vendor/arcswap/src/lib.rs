@@ -27,8 +27,21 @@
 //!   observed the old pointer holds a pin on the old parity for the whole
 //!   dangerous window (pointer load → refcount bump), so the wait is a
 //!   sufficient grace period; readers that pinned after the flip can only
-//!   observe the new pointer (the epoch bump is `Release`-ordered after the
-//!   pointer swap and readers `Acquire` the epoch before loading it).
+//!   observe the new pointer.
+//!
+//! The pin/validate (reader) vs. publish/drain (writer) handshake is a
+//! store-buffer (Dekker) pattern: the reader **stores** to its pin counter
+//! and then **loads** the epoch, while the writer **stores** the epoch and
+//! then **loads** the pin counter. Release/Acquire alone would let both
+//! sides miss the other's store (each store sitting in a store buffer past
+//! the other's load — possible even on x86), so all four operations are
+//! `SeqCst`: in the single total order over them, either the reader's pin
+//! precedes the writer's drain load (the writer sees the pin and waits the
+//! reader out) or the writer's epoch bump precedes the reader's validation
+//! load (the reader sees the moved epoch and retries on the new parity).
+//! This mirrors the real `arc-swap`'s hazard-pointer handshake and also
+//! covers parity reuse two publications later, since every publication
+//! repeats the same handshake against the slot it drains.
 //!
 //! Writers may therefore briefly spin-wait on active readers (reader
 //! critical sections are a few atomic ops) — acceptable for a churn path.
@@ -83,16 +96,22 @@ impl<T> ArcSwap<T> {
         loop {
             let e = self.epoch.load(Ordering::Acquire);
             let slot = (e & 1) as usize;
-            self.readers[slot].fetch_add(1, Ordering::AcqRel);
-            if self.epoch.load(Ordering::Acquire) == e {
+            // Pin + validate are the reader half of the SeqCst handshake
+            // (see the module docs): the pin store must be ordered before
+            // the validation load in the global SeqCst order, or a writer
+            // could drain `slot` without seeing us.
+            self.readers[slot].fetch_add(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) == e {
                 let p = self.ptr.load(Ordering::Acquire);
                 // SAFETY: `p` came from `Arc::into_raw` and the cell holds a
                 // strong count for it. Validation proved the epoch had not
-                // moved after we pinned `readers[slot]`, so any writer that
-                // retires `p` must still complete a grace period on `slot`
-                // — it cannot observe the counter at zero (and thus cannot
-                // drop the cell's strong count) until after our unpin below,
-                // which is `Release`-ordered after the refcount bump here.
+                // moved after we pinned `readers[slot]` (SeqCst handshake:
+                // our pin preceded any in-flight publication's drain load),
+                // so any writer that retires `p` must still complete a grace
+                // period on `slot` — it cannot observe the counter at zero
+                // (and thus cannot drop the cell's strong count) until after
+                // our unpin below, which is `Release`-ordered after the
+                // refcount bump here.
                 let out = unsafe {
                     Arc::increment_strong_count(p);
                     Arc::from_raw(p)
@@ -120,15 +139,18 @@ impl<T> ArcSwap<T> {
         let old = self
             .ptr
             .swap(Arc::into_raw(value).cast_mut(), Ordering::AcqRel);
-        // Flip the parity new readers pin. `Release` orders the pointer swap
-        // before the bump; readers `Acquire` the epoch before the pointer,
-        // so a reader pinning the new parity cannot load `old`.
+        // Flip the parity new readers pin. Publish + drain are the writer
+        // half of the SeqCst handshake (module docs): the epoch store must
+        // precede the drain loads below in the global SeqCst order, so any
+        // reader our drain misses must instead see the moved epoch and
+        // retry. `SeqCst` also orders the pointer swap before the bump, so
+        // a reader validating against the new epoch cannot load `old`.
         let e = self.epoch.load(Ordering::Relaxed);
         let old_slot = (e & 1) as usize;
-        self.epoch.store(e + 1, Ordering::Release);
+        self.epoch.store(e + 1, Ordering::SeqCst);
         // Grace period: wait out readers pinned on the old parity.
         let mut spins = 0u32;
-        while self.readers[old_slot].load(Ordering::Acquire) != 0 {
+        while self.readers[old_slot].load(Ordering::SeqCst) != 0 {
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
@@ -138,8 +160,9 @@ impl<T> ArcSwap<T> {
         }
         // SAFETY: `old` came from `Arc::into_raw` (cell ownership); readers
         // that could have observed it have unpinned, and their refcount
-        // bumps happened-before the counter read above (Release/Acquire on
-        // the pin counter), so reclaiming the cell's strong count is sound.
+        // bumps happened-before the counter read above (`Release` unpin
+        // synchronizing with the drain load, which is `SeqCst` and thus
+        // also an acquire), so reclaiming the cell's strong count is sound.
         unsafe { Arc::from_raw(old) }
     }
 }
