@@ -38,6 +38,18 @@ echo "== perf baseline: sharded engine pool =="
 ./target/release/engine_pool --switches 16 --rules-per-switch 20 \
     --workers 1,2,4,8 --json BENCH_engine_pool.json
 
+echo "== smoke: TCP transport loopback (small) =="
+# End-to-end smoke of the event-driven runtime: controller -> proxy -> 8
+# simulated switches over real loopback TCP, probe-verified confirmations,
+# planner-pool planning. The binary asserts zero alarms and no deadline.
+./target/release/transport_loopback --small
+
+echo "== perf baseline: TCP transport loopback (full sweep) =="
+# The committed baseline: proxied flow_mods/sec and confirmation RTT as the
+# switch-connection count grows 1..64 on one proxy event loop. The whole
+# sweep is install-latency-bound, not CPU-bound, so it stays sub-second.
+./target/release/transport_loopback --json BENCH_transport.json
+
 echo "== smoke: Fig. 8 large-network simulation =="
 # Small-size end-to-end run of the packet-level simulator over the trie-
 # backed data plane (the full 2000-path figure takes minutes).

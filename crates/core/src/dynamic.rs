@@ -78,6 +78,46 @@ pub enum DynAction {
     },
 }
 
+/// A deferred probe-planning request (transport mode).
+///
+/// When deferred planning is on (see
+/// [`DynamicMonitor::set_deferred_planning`]), the monitor does not run
+/// probe generation inline on [`DynamicMonitor::on_flowmod`]. Instead it
+/// emits one of these per monitorable update; an external planner — in
+/// practice an [`crate::pool::EnginePool`] fed from the event loop, so
+/// generation for N switches overlaps the switches' install latencies —
+/// produces the [`ProbePlan`] and hands it back through
+/// [`DynamicMonitor::attach_plan`]. The request carries an *owned* snapshot
+/// of the table to plan against, captured at exactly the point the inline
+/// path would have planned: pre-delta for deletes, post-delta for adds,
+/// the §4.1 synthetic construction for modifies.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// Update token the resulting plan belongs to.
+    pub token: u64,
+    /// Table snapshot to plan against (ids are in this table's id space).
+    pub table: FlowTable,
+    /// The rule to probe.
+    pub rule_id: RuleId,
+    /// True for §4.1 synthetic modify tables: these are one-shot throwaway
+    /// constructions — plan them on a separate engine shard so they don't
+    /// thrash the real table's warm cache.
+    pub synthetic: bool,
+}
+
+/// An update forwarded to the switch whose probe plan is still being
+/// generated externally (deferred mode). Participates in §4.2 conflict
+/// queueing exactly like an actively probed update.
+#[derive(Debug)]
+struct AwaitingUpdate {
+    token: u64,
+    fm: FlowMod,
+    confirm_on: Verdict,
+    /// Rewrite `plan.rule_id` to this after attach (synthetic modify plans
+    /// carry the synthetic table's id).
+    remap_rule_id: Option<RuleId>,
+}
+
 #[derive(Debug)]
 struct ActiveUpdate {
     token: u64,
@@ -109,6 +149,10 @@ pub struct DynamicMonitor {
     active: Vec<ActiveUpdate>,
     queued: std::collections::VecDeque<(u64, FlowMod)>,
     next_seq: u32,
+    /// Deferred planning: emit [`PlanRequest`]s instead of planning inline.
+    deferred: bool,
+    awaiting: Vec<AwaitingUpdate>,
+    pending_requests: Vec<PlanRequest>,
 }
 
 impl DynamicMonitor {
@@ -124,7 +168,31 @@ impl DynamicMonitor {
             active: Vec::new(),
             queued: std::collections::VecDeque::new(),
             next_seq: 0,
+            deferred: false,
+            awaiting: Vec::new(),
+            pending_requests: Vec::new(),
         }
+    }
+
+    /// Switches between inline planning (every [`Self::on_flowmod`] runs
+    /// probe generation synchronously — the simulator/harness path) and
+    /// deferred planning (monitorable updates park in an awaiting set and
+    /// emit [`PlanRequest`]s for an external planner — the transport path).
+    pub fn set_deferred_planning(&mut self, on: bool) {
+        self.deferred = on;
+    }
+
+    /// Drains the plan requests produced since the last call. Transport
+    /// drivers call this after every `on_flowmod`/`attach_plan`/`on_verdict`
+    /// (a confirmation can release queued updates, which produce new
+    /// requests).
+    pub fn take_plan_requests(&mut self) -> Vec<PlanRequest> {
+        std::mem::take(&mut self.pending_requests)
+    }
+
+    /// Updates forwarded to the switch whose plan is still being generated.
+    pub fn awaiting_plans(&self) -> usize {
+        self.awaiting.len()
     }
 
     /// The expected table (shared view for steady-state plan refresh etc.).
@@ -182,38 +250,38 @@ impl DynamicMonitor {
 
     /// A FlowMod arrives from the controller.
     pub fn on_flowmod(&mut self, now: u64, token: u64, fm: FlowMod) -> Vec<DynAction> {
-        // §4.2: queue updates that overlap any unconfirmed one.
-        let tern = fm.match_.ternary();
-        let conflicts = self
-            .active
-            .iter()
-            .any(|a| a.fm.match_.ternary().overlaps(&tern));
-        if conflicts {
+        // §4.2: queue updates that overlap any unconfirmed one (actively
+        // probed, or still awaiting a deferred plan).
+        if self.conflicts_with_inflight(&fm) {
             self.queued.push_back((token, fm));
             return Vec::new();
         }
         self.start_update(now, token, fm)
     }
 
-    fn start_update(&mut self, now: u64, token: u64, fm: FlowMod) -> Vec<DynAction> {
-        let mut actions = Vec::new();
-        // §4.1: a deletion is the opposite of an installation — its probe is
-        // the *pre-state* plan, awaited on the absent outcome. Plan it
-        // before the delta invalidates the engine cache: a steady-state
-        // sweep has usually probed the victim already, making this a pure
-        // cache hit.
-        let pre_planned: Option<(ProbePlan, Verdict)> = match fm.command {
+    fn conflicts_with_inflight(&self, fm: &FlowMod) -> bool {
+        let tern = fm.match_.ternary();
+        self.active
+            .iter()
+            .any(|a| a.fm.match_.ternary().overlaps(&tern))
+            || self
+                .awaiting
+                .iter()
+                .any(|a| a.fm.match_.ternary().overlaps(&tern))
+    }
+
+    /// §4.1 delete victim selection: the rule this delete will actually
+    /// remove, mirroring `FlowTable::do_delete`'s hit condition: strict =
+    /// exact (priority, match), non-strict = subsumption. Selecting by
+    /// subsumption for a strict delete could probe a surviving rule for
+    /// absence — an update that would never confirm. `None` for non-deletes
+    /// and no-op deletes.
+    fn delete_victim(&self, fm: &FlowMod) -> Option<RuleId> {
+        match fm.command {
             FlowModCommand::DeleteStrict | FlowModCommand::Delete => {
-                // The victim must be a rule this delete will actually
-                // remove, mirroring FlowTable::do_delete's hit condition:
-                // strict = exact (priority, match), non-strict =
-                // subsumption. Selecting by subsumption for a strict
-                // delete could probe a surviving rule for absence — an
-                // update that would never confirm.
                 let strict = fm.command == FlowModCommand::DeleteStrict;
                 let tern = fm.match_.ternary();
-                let victim = self
-                    .expected
+                self.expected
                     .table()
                     .rules()
                     .iter()
@@ -224,19 +292,15 @@ impl DynamicMonitor {
                             tern.subsumes(&r.tern)
                         }
                     })
-                    .map(|r| r.id);
-                victim.and_then(|id| {
-                    self.engine
-                        .generate(self.expected.table(), id, &self.catch)
-                        .ok()
-                        .map(|p| (p, Verdict::Absent))
-                })
+                    .map(|r| r.id)
             }
             _ => None,
-        };
-        // Modify probes need the rule's pre-state version; snapshot just
-        // that rule (not the whole table) before the delta lands.
-        let old_version = match fm.command {
+        }
+    }
+
+    /// The rule a modify is about to replace (pre-delta lookup).
+    fn modify_old_version(&self, fm: &FlowMod) -> Option<monocle_openflow::Rule> {
+        match fm.command {
             FlowModCommand::ModifyStrict | FlowModCommand::Modify => self
                 .expected
                 .table()
@@ -245,7 +309,58 @@ impl DynamicMonitor {
                 .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
                 .cloned(),
             _ => None,
-        };
+        }
+    }
+
+    /// §4.1 synthetic table for a modify, built from the post-delta table:
+    /// all rules of lower priority removed, the OLD version re-inserted just
+    /// below the modified rule. The probe then always hits either version
+    /// and must tell them apart. Returns the table and the modified rule's
+    /// id *within it*.
+    fn build_synthetic(
+        table: &FlowTable,
+        fm: &FlowMod,
+        old_rule: monocle_openflow::Rule,
+    ) -> Option<(FlowTable, RuleId)> {
+        if fm.priority == 0 {
+            return None;
+        }
+        let mut synth = FlowTable::new();
+        for r in table.rules() {
+            if r.priority >= fm.priority {
+                // Preserve ids by re-adding in order; ids change but the
+                // probed one is re-identified below.
+                let _ = synth.add_rule(r.priority, r.match_, r.actions.clone());
+            }
+        }
+        let _ = synth.add_rule(fm.priority - 1, old_rule.match_, old_rule.actions);
+        let synth_id = synth
+            .rules()
+            .iter()
+            .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
+            .map(|r| r.id)?;
+        Some((synth, synth_id))
+    }
+
+    fn start_update(&mut self, now: u64, token: u64, fm: FlowMod) -> Vec<DynAction> {
+        if self.deferred {
+            return self.start_update_deferred(now, token, fm);
+        }
+        let mut actions = Vec::new();
+        // §4.1: a deletion is the opposite of an installation — its probe is
+        // the *pre-state* plan, awaited on the absent outcome. Plan it
+        // before the delta invalidates the engine cache: a steady-state
+        // sweep has usually probed the victim already, making this a pure
+        // cache hit.
+        let pre_planned: Option<(ProbePlan, Verdict)> = self.delete_victim(&fm).and_then(|id| {
+            self.engine
+                .generate(self.expected.table(), id, &self.catch)
+                .ok()
+                .map(|p| (p, Verdict::Absent))
+        });
+        // Modify probes need the rule's pre-state version; snapshot just
+        // that rule (not the whole table) before the delta lands.
+        let old_version = self.modify_old_version(&fm);
         // Feed the delta to the engine (incremental invalidation), apply it.
         self.engine.note_flowmod(&fm);
         let apply_result = self.expected.apply(&fm);
@@ -288,31 +403,19 @@ impl DynamicMonitor {
                     .iter()
                     .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
                     .map(|r| r.id);
-                match (old_version, new_id, fm.priority) {
-                    (Some(old_rule), Some(new_id), p) if p > 0 => {
-                        let mut synth = FlowTable::new();
-                        for r in self.expected.table().rules() {
-                            if r.priority >= fm.priority {
-                                // Preserve ids by re-adding in order; ids
-                                // change but we track the probed one below.
-                                let _ = synth.add_rule(r.priority, r.match_, r.actions.clone());
-                            }
-                        }
-                        let _ = synth.add_rule(p - 1, old_rule.match_, old_rule.actions);
-                        // Find the re-added new rule in synth by match.
-                        let synth_id = synth
-                            .rules()
-                            .iter()
-                            .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
-                            .map(|r| r.id);
-                        synth_id.and_then(|id| {
-                            self.generate(&synth, id).map(|mut plan| {
-                                // The plan's rule id refers to the synthetic
-                                // table; point it at the real rule.
-                                plan.rule_id = new_id;
-                                (plan, Verdict::Present)
-                            })
-                        })
+                match (old_version, new_id) {
+                    (Some(old_rule), Some(new_id)) => {
+                        Self::build_synthetic(self.expected.table(), &fm, old_rule).and_then(
+                            |(synth, synth_id)| {
+                                self.generate(&synth, synth_id).map(|mut plan| {
+                                    // The plan's rule id refers to the
+                                    // synthetic table; point it at the real
+                                    // rule.
+                                    plan.rule_id = new_id;
+                                    (plan, Verdict::Present)
+                                })
+                            },
+                        )
                     }
                     _ => None,
                 }
@@ -320,26 +423,7 @@ impl DynamicMonitor {
         };
         match planned {
             Some((plan, confirm_on)) => {
-                let seq = self.next_seq;
-                self.next_seq += 1;
-                let confirming_outcome_is_drop = match confirm_on {
-                    Verdict::Present => plan.present.is_drop(),
-                    Verdict::Absent => plan.absent.is_drop(),
-                    Verdict::Inconclusive => false,
-                };
-                self.active.push(ActiveUpdate {
-                    token,
-                    fm,
-                    plan,
-                    confirm_on,
-                    silent_confirm: confirming_outcome_is_drop,
-                    last_contrary: now,
-                    started: now,
-                    attempts: 1,
-                    next_probe_at: now + self.cfg.probe_interval,
-                    live_seqs: vec![seq],
-                });
-                actions.push(DynAction::Inject { token, seq });
+                actions.push(self.activate(now, token, fm, plan, confirm_on));
             }
             None => {
                 // Unmonitorable update: acknowledge optimistically (the
@@ -351,6 +435,168 @@ impl DynamicMonitor {
             }
         }
         actions
+    }
+
+    /// Registers a planned update as actively probed and emits its first
+    /// injection.
+    fn activate(
+        &mut self,
+        now: u64,
+        token: u64,
+        fm: FlowMod,
+        plan: ProbePlan,
+        confirm_on: Verdict,
+    ) -> DynAction {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let confirming_outcome_is_drop = match confirm_on {
+            Verdict::Present => plan.present.is_drop(),
+            Verdict::Absent => plan.absent.is_drop(),
+            Verdict::Inconclusive => false,
+        };
+        self.active.push(ActiveUpdate {
+            token,
+            fm,
+            plan,
+            confirm_on,
+            silent_confirm: confirming_outcome_is_drop,
+            last_contrary: now,
+            started: now,
+            attempts: 1,
+            next_probe_at: now + self.cfg.probe_interval,
+            live_seqs: vec![seq],
+        });
+        DynAction::Inject { token, seq }
+    }
+
+    /// Deferred-mode [`Self::start_update`]: same victim/synthetic-table
+    /// selection as the inline path, but instead of planning it captures
+    /// owned table snapshots in [`PlanRequest`]s and parks the update in the
+    /// awaiting set. The engine still receives the delta notification so the
+    /// inline cache stays coherent for any sync sweep.
+    fn start_update_deferred(&mut self, now: u64, token: u64, fm: FlowMod) -> Vec<DynAction> {
+        let mut actions = Vec::new();
+        // Pre-delta capture for deletes (the inline path plans here).
+        let delete_req: Option<(PlanRequest, Verdict, Option<RuleId>)> =
+            self.delete_victim(&fm).map(|id| {
+                (
+                    PlanRequest {
+                        token,
+                        table: self.expected.table().clone(),
+                        rule_id: id,
+                        synthetic: false,
+                    },
+                    Verdict::Absent,
+                    None,
+                )
+            });
+        let old_version = self.modify_old_version(&fm);
+        self.engine.note_flowmod(&fm);
+        let apply_result = self.expected.apply(&fm);
+        actions.push(DynAction::Forward(fm.clone()));
+        let request: Option<(PlanRequest, Verdict, Option<RuleId>)> = match fm.command {
+            // MODIFY-as-ADD routes through the same present-probe path as an
+            // Add, exactly like the inline path.
+            FlowModCommand::Add | FlowModCommand::ModifyStrict | FlowModCommand::Modify
+                if apply_result
+                    .as_ref()
+                    .is_ok_and(|r| !r.added.is_empty() && r.modified.is_empty()) =>
+            {
+                apply_result
+                    .as_ref()
+                    .ok()
+                    .and_then(|r| r.added.first().copied())
+                    .map(|id| {
+                        (
+                            PlanRequest {
+                                token,
+                                table: self.expected.table().clone(),
+                                rule_id: id,
+                                synthetic: false,
+                            },
+                            Verdict::Present,
+                            None,
+                        )
+                    })
+            }
+            FlowModCommand::Add => None,
+            FlowModCommand::DeleteStrict | FlowModCommand::Delete => delete_req,
+            FlowModCommand::ModifyStrict | FlowModCommand::Modify => {
+                let new_id = self
+                    .expected
+                    .table()
+                    .rules()
+                    .iter()
+                    .find(|r| r.priority == fm.priority && r.match_ == fm.match_)
+                    .map(|r| r.id);
+                match (old_version, new_id) {
+                    (Some(old_rule), Some(new_id)) => {
+                        Self::build_synthetic(self.expected.table(), &fm, old_rule).map(
+                            |(synth, synth_id)| {
+                                (
+                                    PlanRequest {
+                                        token,
+                                        table: synth,
+                                        rule_id: synth_id,
+                                        synthetic: true,
+                                    },
+                                    Verdict::Present,
+                                    Some(new_id),
+                                )
+                            },
+                        )
+                    }
+                    _ => None,
+                }
+            }
+        };
+        match request {
+            Some((req, confirm_on, remap_rule_id)) => {
+                self.awaiting.push(AwaitingUpdate {
+                    token,
+                    fm,
+                    confirm_on,
+                    remap_rule_id,
+                });
+                self.pending_requests.push(req);
+            }
+            None => actions.push(DynAction::Confirmed {
+                token,
+                verified: false,
+            }),
+        }
+        let _ = now;
+        actions
+    }
+
+    /// Deferred-mode completion: the external planner hands back the plan
+    /// for update `token` (`None` = generation failed → optimistic ack, the
+    /// same unmonitorable path as inline planning). An unmonitorable
+    /// completion releases conflict-queued updates, since the update never
+    /// enters the actively probed set.
+    pub fn attach_plan(&mut self, now: u64, token: u64, plan: Option<ProbePlan>) -> Vec<DynAction> {
+        let Some(idx) = self.awaiting.iter().position(|a| a.token == token) else {
+            return Vec::new(); // unknown or duplicate attach
+        };
+        let a = self.awaiting.remove(idx);
+        match plan {
+            Some(mut plan) => {
+                if let Some(id) = a.remap_rule_id {
+                    // Synthetic-table plans carry the synthetic id; point it
+                    // at the real rule.
+                    plan.rule_id = id;
+                }
+                vec![self.activate(now, a.token, a.fm, plan, a.confirm_on)]
+            }
+            None => {
+                let mut actions = vec![DynAction::Confirmed {
+                    token,
+                    verified: false,
+                }];
+                actions.extend(self.release_queued(now));
+                actions
+            }
+        }
     }
 
     /// Stateless generation for the §4.1 *synthetic* modify table: one-shot
@@ -420,14 +666,18 @@ impl DynamicMonitor {
             token,
             verified: true,
         }];
+        actions.extend(self.release_queued(now));
+        actions
+    }
+
+    /// Starts every conflict-queued update whose conflicts have cleared
+    /// (in deferred mode a released update re-enters via the awaiting set
+    /// and produces a new [`PlanRequest`]).
+    fn release_queued(&mut self, now: u64) -> Vec<DynAction> {
+        let mut actions = Vec::new();
         let mut requeue = std::collections::VecDeque::new();
         while let Some((token, fm)) = self.queued.pop_front() {
-            let tern = fm.match_.ternary();
-            let conflicts = self
-                .active
-                .iter()
-                .any(|a| a.fm.match_.ternary().overlaps(&tern));
-            if conflicts {
+            if self.conflicts_with_inflight(&fm) {
                 requeue.push_back((token, fm));
             } else {
                 actions.extend(self.start_update(now, token, fm));
@@ -720,6 +970,165 @@ mod tests {
                 verified: false
             }
         );
+    }
+
+    /// Plans a deferred request exactly as the transport planner would
+    /// (stateless generation against the request's table snapshot).
+    fn plan_request(req: &PlanRequest) -> Option<ProbePlan> {
+        crate::generator::generate_probe(
+            &req.table,
+            req.rule_id,
+            &CatchSpec::default(),
+            &GeneratorConfig::default(),
+        )
+        .ok()
+    }
+
+    #[test]
+    fn deferred_add_roundtrip() {
+        let mut m = monitor();
+        m.set_deferred_planning(true);
+        let acts = m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        // Forward only — the probe is not planned yet.
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(acts[0], DynAction::Forward(_)));
+        assert_eq!(m.awaiting_plans(), 1);
+        assert_eq!(m.in_flight(), 0);
+        let reqs = m.take_plan_requests();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].token, 1);
+        assert!(!reqs[0].synthetic);
+        // The snapshot is post-delta: it contains the new rule.
+        assert_eq!(reqs[0].table.len(), 2);
+        let plan = plan_request(&reqs[0]);
+        assert!(plan.is_some());
+        let acts = m.attach_plan(50, 1, plan);
+        assert!(matches!(acts[0], DynAction::Inject { token: 1, .. }));
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.awaiting_plans(), 0);
+        let DynAction::Inject { seq, .. } = acts[0] else {
+            panic!()
+        };
+        let out = m.on_verdict(100, seq, Verdict::Present);
+        assert_eq!(
+            out[0],
+            DynAction::Confirmed {
+                token: 1,
+                verified: true
+            }
+        );
+    }
+
+    #[test]
+    fn deferred_delete_snapshots_pre_delta() {
+        let mut m = monitor();
+        m.set_deferred_planning(true);
+        let acts = m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        let reqs = m.take_plan_requests();
+        let acts2 = m.attach_plan(1, 1, plan_request(&reqs[0]));
+        let DynAction::Inject { seq, .. } = acts2[0] else {
+            panic!("{acts:?} {acts2:?}")
+        };
+        m.on_verdict(2, seq, Verdict::Present);
+        // Delete: the request's table must still contain the victim.
+        let del = FlowMod::delete_strict(10, Match::any().with_nw_dst([10, 0, 0, 1], 32));
+        m.on_flowmod(10, 2, del);
+        assert_eq!(m.expected().table().len(), 1, "delta applied immediately");
+        let reqs = m.take_plan_requests();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].table.len(), 2, "pre-delta snapshot for deletes");
+        let acts = m.attach_plan(20, 2, plan_request(&reqs[0]));
+        let DynAction::Inject { seq, .. } = acts[0] else {
+            panic!("{acts:?}")
+        };
+        let out = m.on_verdict(30, seq, Verdict::Absent);
+        assert_eq!(
+            out[0],
+            DynAction::Confirmed {
+                token: 2,
+                verified: true
+            }
+        );
+    }
+
+    #[test]
+    fn deferred_modify_is_synthetic_and_remapped() {
+        let mut m = monitor();
+        m.set_deferred_planning(true);
+        m.on_flowmod(0, 1, add_fm(10, [10, 0, 0, 1], 2));
+        let reqs = m.take_plan_requests();
+        let acts = m.attach_plan(1, 1, plan_request(&reqs[0]));
+        let DynAction::Inject { seq, .. } = acts[0] else {
+            panic!()
+        };
+        m.on_verdict(2, seq, Verdict::Present);
+        let fm = FlowMod::modify_strict(
+            10,
+            Match::any().with_nw_dst([10, 0, 0, 1], 32),
+            vec![Action::Output(5)],
+        );
+        m.on_flowmod(10, 2, fm);
+        let reqs = m.take_plan_requests();
+        assert_eq!(reqs.len(), 1);
+        assert!(reqs[0].synthetic, "modify plans on the synthetic table");
+        let plan = plan_request(&reqs[0]).expect("old port 2 vs new port 5 distinguishable");
+        let synth_id = plan.rule_id;
+        let acts = m.attach_plan(20, 2, Some(plan));
+        let DynAction::Inject { seq, .. } = acts[0] else {
+            panic!("{acts:?}")
+        };
+        // The attached plan's rule id was remapped to the real table's rule.
+        let live = m.plan_for_seq(seq).unwrap();
+        let real_id = m
+            .expected()
+            .table()
+            .rules()
+            .iter()
+            .find(|r| r.priority == 10)
+            .unwrap()
+            .id;
+        assert_eq!(live.rule_id, real_id);
+        let _ = synth_id;
+        let out = m.on_verdict(30, seq, Verdict::Present);
+        assert!(matches!(out[0], DynAction::Confirmed { token: 2, .. }));
+    }
+
+    #[test]
+    fn deferred_conflict_queues_behind_awaiting() {
+        let mut m = monitor();
+        m.set_deferred_planning(true);
+        let r1 = FlowMod::add(
+            10,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(2)],
+        );
+        m.on_flowmod(0, 1, r1);
+        assert_eq!(m.awaiting_plans(), 1);
+        // Overlapping update while the first one's plan is still pending:
+        // must queue, not start.
+        let r2 = FlowMod::add(
+            15,
+            Match::any()
+                .with_nw_src([10, 0, 0, 0], 24)
+                .with_nw_dst([10, 0, 0, 0], 24),
+            vec![],
+        );
+        let acts = m.on_flowmod(5, 2, r2);
+        assert!(acts.is_empty());
+        assert_eq!(m.queued(), 1);
+        // The first update turns out unmonitorable: optimistic ack AND the
+        // queued conflicting update is released (as a new plan request).
+        let reqs = m.take_plan_requests();
+        assert_eq!(reqs.len(), 1);
+        let acts = m.attach_plan(10, 1, None);
+        assert!(acts.contains(&DynAction::Confirmed {
+            token: 1,
+            verified: false
+        }));
+        assert!(acts.iter().any(|a| matches!(a, DynAction::Forward(_))));
+        assert_eq!(m.queued(), 0);
+        assert_eq!(m.awaiting_plans(), 1, "released update awaits its plan");
+        assert_eq!(m.take_plan_requests().len(), 1);
     }
 
     #[test]

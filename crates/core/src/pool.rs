@@ -41,6 +41,23 @@
 //! accumulation, so the Multiplexer-level cache-behavior view
 //! ([`crate::harness::MonocleApp::probe_engine_stats`]) extends naturally
 //! to the pooled path ([`EnginePool::stats`]).
+//!
+//! ## Transport consumers
+//!
+//! The event-driven TCP runtime (`monocle_net`) uses the pool as the
+//! planning backend behind its planner thread: every deferred update
+//! ([`crate::dynamic::PlanRequest`]) becomes a single-rule
+//! [`JobSpec::Rules`] job carrying its own pre-delta/post-delta/synthetic
+//! table snapshot. Synthetic-table jobs (§4.1 modify probes) set bit 31 of
+//! the submitted switch id so they hash to a different home worker than
+//! the switch's regular jobs and cannot thrash its warm engine cache.
+//! Because the transport can park an injection behind write backpressure
+//! long after planning finished, the injection-time freshness rule is
+//! load-bearing there: revalidate [`JobResult::epoch`] (or, for deferred
+//! per-update plans, the probe's `ProbeMeta::epoch` against
+//! `MonitorProxy::expected_epoch`) at the moment the PacketOut is written
+//! to the socket — `monocle_net`'s backpressure queue drops stale probes
+//! at flush time for exactly this reason.
 
 use crate::catching::{CATCH_PRIORITY, FILTER_PRIORITY};
 use crate::droppost::DROP_TAG_PRIORITY;

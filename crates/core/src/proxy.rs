@@ -265,6 +265,40 @@ impl MonitorProxy {
         out
     }
 
+    /// Switches the dynamic monitor between inline probe planning (the
+    /// simulator/harness path) and deferred planning for transport
+    /// consumers: monitorable updates then emit
+    /// [`crate::dynamic::PlanRequest`]s — drained with
+    /// [`Self::take_plan_requests`] after every proxy call — and complete
+    /// via [`Self::attach_plan`] once an external planner (typically an
+    /// [`crate::pool::EnginePool`]) has produced the plan.
+    pub fn set_deferred_planning(&mut self, on: bool) {
+        self.dynamic.set_deferred_planning(on);
+    }
+
+    /// Drains the deferred plan requests produced since the last call.
+    pub fn take_plan_requests(&mut self) -> Vec<crate::dynamic::PlanRequest> {
+        self.dynamic.take_plan_requests()
+    }
+
+    /// Hands a deferred plan (or a generation failure, `None`) back to the
+    /// update it was requested for. Emits the first injection, or the
+    /// optimistic ack for unmonitorable updates.
+    pub fn attach_plan(
+        &mut self,
+        now: u64,
+        token: u64,
+        plan: Option<ProbePlan>,
+    ) -> Vec<ProxyOutput> {
+        let actions = self.dynamic.attach_plan(now, token, plan);
+        self.map_dynamic(now, actions)
+    }
+
+    /// Updates forwarded to the switch whose deferred plan is still pending.
+    pub fn awaiting_plans(&self) -> usize {
+        self.dynamic.awaiting_plans()
+    }
+
     /// The rules a steady-state sweep covers: every production rule of the
     /// expected table, skipping Monocle's own infrastructure rules
     /// (catching, filter and drop-tag bands). Delegates to

@@ -1,0 +1,16 @@
+//! Event-driven TCP runtime for the Monocle proxy.
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod event_loop;
+pub mod loopback;
+pub mod proxy_app;
+pub mod sim;
+pub mod timer;
+
+pub use conn::Connection;
+pub use event_loop::{ConnId, Driver, EventLoop, IoCtx, TransportEvent};
+pub use loopback::{run_loopback, LoopbackConfig, LoopbackReport};
+pub use proxy_app::{ProxyApp, ProxyAppConfig, SessionStats};
+pub use sim::{ControllerSim, ControllerSimConfig, SwitchSim, SwitchSimConfig};

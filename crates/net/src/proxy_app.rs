@@ -1,0 +1,634 @@
+//! The Monocle proxy as an event-loop driver: N switch sessions, one
+//! upstream controller connection each, one planner thread.
+//!
+//! ## Session lifecycle
+//!
+//! 1. A switch connects to the proxy's listener; the proxy (acting as a
+//!    controller) sends `Hello` + `FeaturesRequest`.
+//! 2. The `FeaturesReply` carries the datapath id: the proxy instantiates a
+//!    [`MonitorProxy`] in deferred-planning mode, preinstalls the
+//!    catching/default rules, and dials the upstream controller.
+//! 3. The upstream handshake mirrors a real switch: the controller's
+//!    `FeaturesRequest` is answered with the cached datapath id.
+//! 4. From then on every frame is proxied xid-preserving in both
+//!    directions, except the frames Monocle consumes or originates:
+//!    FlowMods are intercepted, probes are injected as `PacketOut`s,
+//!    probe `PacketIn`s are absorbed, and confirmations surface as
+//!    `BarrierReply { xid = flowmod xid }` (alarms as `Error`).
+//!
+//! ## Deferred planning
+//!
+//! Probe planning is SAT solving — milliseconds of CPU — so it never runs
+//! on the I/O thread. [`MonitorProxy::take_plan_requests`] yields
+//! `(token, table snapshot, rule)` jobs which are shipped over an mpsc
+//! channel to a planner thread owning an [`EnginePool`]; finished plans
+//! come back through a second channel and the loop's waker, and are
+//! attached with [`MonitorProxy::attach_plan`]. While a plan is in flight
+//! the update's FlowMod has already been forwarded — planning overlaps
+//! switch installation latency, which is where the multi-switch throughput
+//! scaling comes from.
+//!
+//! ## Backpressure
+//!
+//! Probe injections are discretionary traffic: when a switch connection's
+//! write buffer passes the high-water mark they are parked per session and
+//! flushed on `Drained`, after revalidating each probe's epoch against the
+//! proxy's expected table (stale probes are dropped — same rule as
+//! `monocle::pool`'s "revalidate `JobResult.epoch` at injection time").
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use monocle::encode::CatchSpec;
+use monocle::proxy::{MonitorProxy, ProbeInjection, ProxyConfig, ProxyOutput};
+use monocle::{EnginePool, JobSpec, PoolConfig, ProbeJob};
+use monocle_openflow::messages::PORT_TABLE;
+use monocle_openflow::{Action, FlowTable, Match, OfMessage, PortNo, RuleId, SharedTable};
+use monocle_packet::ProbeMeta;
+
+use crate::event_loop::{ConnId, Driver, IoCtx, TransportEvent};
+
+/// Timer token for the global probe tick.
+const TICK_TOKEN: u64 = 0;
+
+/// High bit marking synthetic-table jobs so they land on different pool
+/// shards than the switch's regular jobs and don't thrash warm caches.
+const SYNTHETIC_SHARD_BIT: u32 = 1 << 31;
+
+/// A planning job shipped to the planner thread.
+struct PlanJob {
+    session: u64,
+    token: u64,
+    switch_id: u32,
+    rule_id: RuleId,
+    synthetic: bool,
+    table: FlowTable,
+    catch: CatchSpec,
+}
+
+/// A finished plan coming back from the planner thread.
+struct PlanDone {
+    session: u64,
+    token: u64,
+    plan: Option<monocle::ProbePlan>,
+}
+
+/// Per-switch counters, exposed through [`ProxyApp::stats`].
+#[derive(Debug, Default, Clone)]
+pub struct SessionStats {
+    /// Datapath id of the session.
+    pub dpid: u64,
+    /// FlowMods intercepted from the controller.
+    pub flowmods: u64,
+    /// Probes injected (PacketOuts sent to the switch).
+    pub probes_injected: u64,
+    /// Probe PacketIns absorbed.
+    pub probes_returned: u64,
+    /// Updates confirmed (verified or optimistic).
+    pub confirmed: u64,
+    /// Verified confirmations only.
+    pub verified: u64,
+    /// Alarms raised.
+    pub alarms: u64,
+    /// Injections parked by write backpressure.
+    pub paused: u64,
+    /// Parked injections dropped stale at flush time.
+    pub dropped_stale: u64,
+}
+
+/// Shared view of all sessions' counters (keyed by session id).
+pub type SharedStats = Arc<Mutex<HashMap<u64, SessionStats>>>;
+
+/// Configuration of the TCP proxy application.
+#[derive(Debug, Clone)]
+pub struct ProxyAppConfig {
+    /// Switch-facing listen address (e.g. `"127.0.0.1:0"`).
+    pub listen_addr: String,
+    /// Upstream controller address.
+    pub controller_addr: SocketAddr,
+    /// Catching spec handed to every per-switch monitor.
+    pub catch: CatchSpec,
+    /// Low-priority default route preinstalled on every switch
+    /// (`(priority, output port)`); gives probes a distinguishable
+    /// absent-path so confirmations are positive rather than
+    /// silence-window based.
+    pub preinstall_default: Option<(u16, PortNo)>,
+    /// Probe tick period.
+    pub tick_ns: u64,
+    /// Planner pool configuration.
+    pub pool: PoolConfig,
+    /// Stop the loop once all sessions have closed (after at least one
+    /// session existed).
+    pub exit_when_idle: bool,
+}
+
+impl ProxyAppConfig {
+    /// Sensible defaults for a loopback deployment.
+    pub fn new(controller_addr: SocketAddr) -> Self {
+        Self {
+            listen_addr: "127.0.0.1:0".to_string(),
+            controller_addr,
+            catch: CatchSpec::default(),
+            preinstall_default: Some((1, 2)),
+            tick_ns: 1_000_000,
+            pool: PoolConfig::with_workers(4),
+            exit_when_idle: true,
+        }
+    }
+}
+
+enum Side {
+    Switch,
+    Controller,
+}
+
+struct Session {
+    dpid: u64,
+    switch_conn: ConnId,
+    controller_conn: Option<ConnId>,
+    proxy: Option<MonitorProxy>,
+    /// Frames from the switch buffered until the controller dial completes.
+    to_controller: Vec<(OfMessage, u32)>,
+    /// Injections parked by backpressure, flushed on `Drained`.
+    paused_injections: Vec<ProbeInjection>,
+    stats: SessionStats,
+}
+
+/// The proxy driver. Create with [`ProxyApp::new`], call
+/// [`ProxyApp::start`] inside `EventLoop::with_ctx`, then run the loop.
+pub struct ProxyApp {
+    cfg: ProxyAppConfig,
+    sessions: HashMap<u64, Session>,
+    by_conn: HashMap<ConnId, (u64, Side)>,
+    next_session: u64,
+    /// Xid space for proxy-originated frames to the switch; high range so
+    /// they can never collide with controller xids in logs.
+    next_xid: u32,
+    planner_tx: Option<Sender<PlanJob>>,
+    results_rx: Receiver<PlanDone>,
+    planner: Option<std::thread::JoinHandle<()>>,
+    had_session: bool,
+    listen_addr: Option<SocketAddr>,
+    stats: SharedStats,
+}
+
+impl ProxyApp {
+    /// Creates the proxy app and its planner thread. `waker` must be the
+    /// event loop's waker (`EventLoop::waker()`), used by the planner to
+    /// signal finished plans.
+    pub fn new(cfg: ProxyAppConfig, waker: Arc<mio::Waker>) -> Self {
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<PlanJob>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<PlanDone>();
+        let pool_cfg = cfg.pool.clone();
+        let planner = std::thread::spawn(move || planner_main(pool_cfg, job_rx, done_tx, waker));
+        Self {
+            cfg,
+            sessions: HashMap::new(),
+            by_conn: HashMap::new(),
+            next_session: 0,
+            next_xid: 0x8000_0000,
+            planner_tx: Some(job_tx),
+            results_rx: done_rx,
+            planner: Some(planner),
+            had_session: false,
+            listen_addr: None,
+            stats: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Shared handle to per-session counters.
+    pub fn stats(&self) -> SharedStats {
+        Arc::clone(&self.stats)
+    }
+
+    /// Binds the switch-facing listener and arms the probe tick. Returns
+    /// the bound address for switches to dial.
+    pub fn start(&mut self, ctx: &mut IoCtx<'_>) -> std::io::Result<SocketAddr> {
+        let l = ctx.listen(&self.cfg.listen_addr)?;
+        let addr = ctx.listener_addr(l)?;
+        self.listen_addr = Some(addr);
+        ctx.schedule_in(self.cfg.tick_ns, TICK_TOKEN);
+        Ok(addr)
+    }
+
+    /// The switch-facing address (after [`Self::start`]).
+    pub fn listen_addr(&self) -> Option<SocketAddr> {
+        self.listen_addr
+    }
+
+    fn xid(&mut self) -> u32 {
+        self.next_xid = self.next_xid.wrapping_add(1);
+        self.next_xid
+    }
+
+    /// Applies proxy outputs for `session`, then drains any new plan
+    /// requests to the planner.
+    fn process_outputs(&mut self, ctx: &mut IoCtx<'_>, session: u64, outputs: Vec<ProxyOutput>) {
+        for o in outputs {
+            let Some(sess) = self.sessions.get_mut(&session) else {
+                return;
+            };
+            match o {
+                ProxyOutput::ToSwitch(fm) => {
+                    let conn = sess.switch_conn;
+                    let xid = self.xid();
+                    let _ = ctx.send(conn, &OfMessage::FlowMod(fm), xid);
+                }
+                ProxyOutput::Inject(inj) => {
+                    if ctx.over_high_water(sess.switch_conn) {
+                        sess.stats.paused += 1;
+                        sess.paused_injections.push(inj);
+                    } else {
+                        self.send_injection(ctx, session, &inj);
+                    }
+                }
+                ProxyOutput::Confirmed { token, verified } => {
+                    sess.stats.confirmed += 1;
+                    if verified {
+                        sess.stats.verified += 1;
+                    }
+                    if let Some(cc) = sess.controller_conn {
+                        let _ = ctx.send(cc, &OfMessage::BarrierReply, token as u32);
+                    }
+                }
+                ProxyOutput::Alarm { token } => {
+                    sess.stats.alarms += 1;
+                    if let Some(cc) = sess.controller_conn {
+                        let _ = ctx.send(
+                            cc,
+                            &OfMessage::Error {
+                                err_type: 5, // OFPET_FLOW_MOD_FAILED
+                                code: 0,
+                            },
+                            token as u32,
+                        );
+                    }
+                }
+                ProxyOutput::RuleFailed { .. } | ProxyOutput::RuleRecovered { .. } => {}
+            }
+        }
+        self.drain_plan_requests(session);
+    }
+
+    fn send_injection(&mut self, ctx: &mut IoCtx<'_>, session: u64, inj: &ProbeInjection) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let Ok(frame) = monocle_packet::craft_packet(&inj.fields, &inj.meta.encode()) else {
+            return;
+        };
+        sess.stats.probes_injected += 1;
+        let conn = sess.switch_conn;
+        let xid = self.xid();
+        let _ = ctx.send(
+            conn,
+            &OfMessage::PacketOut {
+                in_port: inj.in_port,
+                actions: vec![Action::Output(PORT_TABLE)],
+                data: frame,
+            },
+            xid,
+        );
+    }
+
+    /// Ships pending plan requests for `session` to the planner thread.
+    fn drain_plan_requests(&mut self, session: u64) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let Some(proxy) = sess.proxy.as_mut() else {
+            return;
+        };
+        let requests = proxy.take_plan_requests();
+        if requests.is_empty() {
+            return;
+        }
+        let switch_id = proxy.switch_id();
+        let catch = proxy.catch_spec().clone();
+        let Some(tx) = &self.planner_tx else { return };
+        for req in requests {
+            let _ = tx.send(PlanJob {
+                session,
+                token: req.token,
+                switch_id,
+                rule_id: req.rule_id,
+                synthetic: req.synthetic,
+                table: req.table,
+                catch: catch.clone(),
+            });
+        }
+    }
+
+    fn on_switch_msg(&mut self, ctx: &mut IoCtx<'_>, session: u64, msg: OfMessage, xid: u32) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        match msg {
+            OfMessage::Hello => {}
+            OfMessage::FeaturesReply { datapath_id, .. } if sess.proxy.is_none() => {
+                sess.dpid = datapath_id;
+                sess.stats.dpid = datapath_id;
+                let mut proxy =
+                    MonitorProxy::new(ProxyConfig::new(datapath_id as u32, self.cfg.catch.clone()));
+                proxy.set_deferred_planning(true);
+                let mut outputs = Vec::new();
+                if let Some((prio, port)) = self.cfg.preinstall_default {
+                    outputs = proxy.preinstall(prio, Match::any(), vec![Action::Output(port)]);
+                }
+                sess.proxy = Some(proxy);
+                let controller = ctx.connect(self.cfg.controller_addr);
+                match controller {
+                    Ok(cc) => {
+                        self.by_conn.insert(cc, (session, Side::Controller));
+                        self.sessions.get_mut(&session).unwrap().controller_conn = Some(cc);
+                    }
+                    Err(_) => {
+                        self.teardown(ctx, session);
+                        return;
+                    }
+                }
+                self.process_outputs(ctx, session, outputs);
+            }
+            OfMessage::PacketIn {
+                in_port, ref data, ..
+            } => {
+                // Probe payloads are self-identifying (magic + checksum);
+                // everything else is production traffic for the controller.
+                if let Ok((fields, payload)) = monocle_packet::parse_packet(data) {
+                    if let Some(meta) = ProbeMeta::decode(&payload) {
+                        if meta.switch_id as u64 == sess.dpid {
+                            sess.stats.probes_returned += 1;
+                            let now = ctx.now_ns();
+                            let outputs = sess
+                                .proxy
+                                .as_mut()
+                                .map(|p| p.on_probe_return(now, &meta, in_port, &fields))
+                                .unwrap_or_default();
+                            self.process_outputs(ctx, session, outputs);
+                            return;
+                        }
+                    }
+                }
+                self.forward_to_controller(ctx, session, msg, xid);
+            }
+            OfMessage::EchoRequest(data) => {
+                let conn = sess.switch_conn;
+                let _ = ctx.send(conn, &OfMessage::EchoReply(data), xid);
+            }
+            // BarrierReply, FlowRemoved, Error, …: pass through unchanged.
+            other => self.forward_to_controller(ctx, session, other, xid),
+        }
+    }
+
+    fn on_controller_msg(&mut self, ctx: &mut IoCtx<'_>, session: u64, msg: OfMessage, xid: u32) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        match msg {
+            OfMessage::Hello => {}
+            OfMessage::FeaturesRequest => {
+                let reply = OfMessage::FeaturesReply {
+                    datapath_id: sess.dpid,
+                    n_tables: 1,
+                    ports: (1..=8).collect(),
+                };
+                if let Some(cc) = sess.controller_conn {
+                    let _ = ctx.send(cc, &reply, xid);
+                }
+            }
+            OfMessage::FlowMod(fm) => {
+                sess.stats.flowmods += 1;
+                let now = ctx.now_ns();
+                let outputs = sess
+                    .proxy
+                    .as_mut()
+                    .map(|p| p.on_controller_flowmod(now, u64::from(xid), fm))
+                    .unwrap_or_default();
+                self.process_outputs(ctx, session, outputs);
+            }
+            OfMessage::EchoRequest(data) => {
+                if let Some(cc) = sess.controller_conn {
+                    let _ = ctx.send(cc, &OfMessage::EchoReply(data), xid);
+                }
+            }
+            // BarrierRequest, PacketOut, …: pass through to the switch.
+            other => {
+                let conn = sess.switch_conn;
+                let _ = ctx.send(conn, &other, xid);
+            }
+        }
+    }
+
+    fn forward_to_controller(
+        &mut self,
+        ctx: &mut IoCtx<'_>,
+        session: u64,
+        msg: OfMessage,
+        xid: u32,
+    ) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        match sess.controller_conn {
+            Some(cc) => {
+                let _ = ctx.send(cc, &msg, xid);
+            }
+            None => sess.to_controller.push((msg, xid)),
+        }
+    }
+
+    /// Flushes backpressure-parked injections once the switch connection
+    /// drained, dropping probes whose epoch went stale while parked.
+    fn flush_paused(&mut self, ctx: &mut IoCtx<'_>, session: u64) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        if sess.paused_injections.is_empty() || !ctx.below_low_water(sess.switch_conn) {
+            return;
+        }
+        let Some(proxy) = sess.proxy.as_ref() else {
+            return;
+        };
+        let epoch = proxy.expected_epoch();
+        let parked = std::mem::take(&mut sess.paused_injections);
+        for inj in parked {
+            if !self.sessions.contains_key(&session) {
+                return;
+            }
+            if inj.meta.epoch != epoch {
+                self.sessions.get_mut(&session).unwrap().stats.dropped_stale += 1;
+                continue;
+            }
+            if ctx.over_high_water(self.sessions[&session].switch_conn) {
+                self.sessions
+                    .get_mut(&session)
+                    .unwrap()
+                    .paused_injections
+                    .push(inj);
+                continue;
+            }
+            self.send_injection(ctx, session, &inj);
+        }
+    }
+
+    fn on_notified(&mut self, ctx: &mut IoCtx<'_>) {
+        while let Ok(done) = self.results_rx.try_recv() {
+            let Some(sess) = self.sessions.get_mut(&done.session) else {
+                continue;
+            };
+            let now = ctx.now_ns();
+            let outputs = sess
+                .proxy
+                .as_mut()
+                .map(|p| p.attach_plan(now, done.token, done.plan))
+                .unwrap_or_default();
+            self.process_outputs(ctx, done.session, outputs);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut IoCtx<'_>) {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        let now = ctx.now_ns();
+        for id in ids {
+            let outputs = self
+                .sessions
+                .get_mut(&id)
+                .and_then(|s| s.proxy.as_mut())
+                .map(|p| p.on_tick(now))
+                .unwrap_or_default();
+            if !outputs.is_empty() {
+                self.process_outputs(ctx, id, outputs);
+            }
+        }
+        ctx.schedule_in(self.cfg.tick_ns, TICK_TOKEN);
+    }
+
+    fn teardown(&mut self, ctx: &mut IoCtx<'_>, session: u64) {
+        if let Some(sess) = self.sessions.remove(&session) {
+            self.by_conn.remove(&sess.switch_conn);
+            ctx.close(sess.switch_conn);
+            if let Some(cc) = sess.controller_conn {
+                self.by_conn.remove(&cc);
+                ctx.close(cc);
+            }
+            self.stats.lock().unwrap().insert(session, sess.stats);
+        }
+        if self.cfg.exit_when_idle && self.had_session && self.sessions.is_empty() {
+            // Dropping the sender ends the planner thread's recv loop.
+            self.planner_tx = None;
+            if let Some(h) = self.planner.take() {
+                let _ = h.join();
+            }
+            ctx.stop();
+        }
+    }
+}
+
+impl Driver for ProxyApp {
+    fn handle(&mut self, ctx: &mut IoCtx<'_>, ev: TransportEvent) {
+        match ev {
+            TransportEvent::Accepted { conn, .. } => {
+                let id = self.next_session;
+                self.next_session += 1;
+                self.had_session = true;
+                self.by_conn.insert(conn, (id, Side::Switch));
+                self.sessions.insert(
+                    id,
+                    Session {
+                        dpid: 0,
+                        switch_conn: conn,
+                        controller_conn: None,
+                        proxy: None,
+                        to_controller: Vec::new(),
+                        paused_injections: Vec::new(),
+                        stats: SessionStats::default(),
+                    },
+                );
+                let _ = ctx.send(conn, &OfMessage::Hello, 0);
+                let xid = self.xid();
+                let _ = ctx.send(conn, &OfMessage::FeaturesRequest, xid);
+            }
+            TransportEvent::Connected { conn } => {
+                // Controller dial completed: introduce ourselves and flush
+                // anything the switch said in the meantime.
+                if let Some(&(session, Side::Controller)) = self.by_conn.get(&conn) {
+                    let _ = ctx.send(conn, &OfMessage::Hello, 0);
+                    if let Some(sess) = self.sessions.get_mut(&session) {
+                        for (msg, xid) in std::mem::take(&mut sess.to_controller) {
+                            let _ = ctx.send(conn, &msg, xid);
+                        }
+                    }
+                }
+            }
+            TransportEvent::Message { conn, msg, xid } => match self.by_conn.get(&conn) {
+                Some(&(session, Side::Switch)) => self.on_switch_msg(ctx, session, msg, xid),
+                Some(&(session, Side::Controller)) => {
+                    self.on_controller_msg(ctx, session, msg, xid)
+                }
+                None => {}
+            },
+            TransportEvent::Drained { conn } => {
+                if let Some(&(session, Side::Switch)) = self.by_conn.get(&conn) {
+                    self.flush_paused(ctx, session);
+                }
+            }
+            TransportEvent::Closed { conn } => {
+                if let Some(&(session, _)) = self.by_conn.get(&conn) {
+                    self.teardown(ctx, session);
+                }
+            }
+            TransportEvent::Timer { token: TICK_TOKEN } => self.on_tick(ctx),
+            TransportEvent::Timer { .. } => {}
+            TransportEvent::Notified => self.on_notified(ctx),
+        }
+    }
+}
+
+/// Planner thread main: drains job batches, runs them on the pool, ships
+/// plans back and wakes the loop. Exits when the job channel closes.
+fn planner_main(
+    cfg: PoolConfig,
+    rx: Receiver<PlanJob>,
+    tx: Sender<PlanDone>,
+    waker: Arc<mio::Waker>,
+) {
+    let pool = EnginePool::new(cfg);
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        // Natural batching: everything already queued goes in one batch so
+        // pool shards fill and probe generation for many switches overlaps.
+        while let Ok(j) = rx.try_recv() {
+            jobs.push(j);
+        }
+        let probe_jobs: Vec<ProbeJob> = jobs
+            .iter()
+            .map(|j| ProbeJob {
+                switch_id: if j.synthetic {
+                    j.switch_id | SYNTHETIC_SHARD_BIT
+                } else {
+                    j.switch_id
+                },
+                table: Arc::new(SharedTable::new(j.table.clone())),
+                catch: j.catch.clone(),
+                spec: JobSpec::Rules(vec![j.rule_id]),
+            })
+            .collect();
+        let results = pool.run_batch(probe_jobs);
+        for (job, result) in jobs.into_iter().zip(results) {
+            let plan = result.results.into_iter().next().and_then(|r| r.ok());
+            if tx
+                .send(PlanDone {
+                    session: job.session,
+                    token: job.token,
+                    plan,
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+        let _ = waker.wake();
+    }
+}

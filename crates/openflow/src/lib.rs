@@ -40,3 +40,4 @@ pub use headerspace::{Field, HeaderVec, FIELDS, HEADER_BITS};
 pub use messages::{FlowMod, FlowModCommand, OfMessage, PortNo};
 pub use table::{FlowTable, Rule, RuleId, TableError};
 pub use table::{SharedTable, TableSnapshot};
+pub use wire::{CodecError, Framer};

@@ -184,6 +184,11 @@ impl OfMessage {
 /// `OFPP_NONE`: no ingress port on a PacketOut.
 pub const PORT_NONE: PortNo = 0xffff;
 
+/// `OFPP_TABLE`: submit a PacketOut to the switch's own flow table instead
+/// of a physical port. Monocle's probe injections use this so the probe
+/// traverses the real installed rules.
+pub const PORT_TABLE: PortNo = 0xfff9;
+
 #[cfg(test)]
 mod tests {
     use super::*;

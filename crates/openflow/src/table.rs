@@ -61,6 +61,20 @@
 //!   window must revalidate at the final injection point. (`epoch()` is a
 //!   single atomic load, cheap enough to call per probe batch, or per
 //!   probe.)
+//!
+//! ## Transport consumers
+//!
+//! The event-driven TCP runtime (`monocle_net`) stretches the
+//! validation→injection window further than any in-process consumer: a
+//! probe planned against epoch `E` may sit in a per-connection write
+//! buffer (backpressure) or a parked-injection queue for milliseconds
+//! while FlowMod churn keeps publishing. The rule above therefore applies
+//! at the *socket write*, not at plan attach: the transport re-checks the
+//! probe's recorded epoch (`ProbeMeta::epoch`) against the monitor's
+//! current expected-table epoch when a parked injection is finally
+//! flushed, and drops it as stale if they differ — a dropped probe is
+//! re-planned by the §4.2 invalidation machinery, an injected stale probe
+//! would misattribute a verdict.
 
 use crate::action::{ActionError, ActionProgram, Forwarding, PortNo};
 use crate::classifier::TernaryClassifier;

@@ -578,6 +578,18 @@ fn get_actions(body: &mut &[u8]) -> Result<ActionProgram, CodecError> {
         if len < 8 || !len.is_multiple_of(8) || body.remaining() < len - 4 {
             return Err(CodecError::BadAction(ty));
         }
+        // Per-type minimum payload (beyond the 4-byte TLV header): a
+        // malformed length that passes the 8/multiple-of-8 gate above must
+        // not reach the field getters (they panic on underrun).
+        let min_payload = match ty {
+            action_type::ENQUEUE => 12,
+            action_type::SET_DL_SRC | action_type::SET_DL_DST => 12,
+            action_type::VENDOR => 6,
+            _ => 4,
+        };
+        if len - 4 < min_payload {
+            return Err(CodecError::BadAction(ty));
+        }
         let mut payload = &body[..len - 4];
         body.advance(len - 4);
         let action = match ty {
@@ -635,6 +647,83 @@ fn get_actions(body: &mut &[u8]) -> Result<ActionProgram, CodecError> {
         actions.push(action);
     }
     Ok(actions)
+}
+
+/// Incremental reassembler for OF1.0 byte streams.
+///
+/// TCP delivers bytes at arbitrary boundaries; `Framer` buffers partial
+/// reads and yields complete messages as they become available. Feed raw
+/// bytes with [`Framer::push`] and drain decoded frames with
+/// [`Framer::next_frame`] until it returns `Ok(None)` (need more bytes).
+///
+/// Error discipline: a frame that is merely *incomplete* is never an error —
+/// `next_frame` returns `Ok(None)` and waits for more input. Errors are
+/// reserved for unrecoverable streams: a bad version or length field in a
+/// buffered header, or a decode failure on a frame whose advertised length
+/// is fully buffered. After an error the stream offset is poisoned and the
+/// connection should be dropped; resynchronising inside a corrupt
+/// length-prefixed stream is not possible.
+#[derive(Debug, Default)]
+pub struct Framer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Compact the internal buffer once the dead prefix exceeds this.
+const FRAMER_COMPACT_AT: usize = 16 * 1024;
+
+impl Framer {
+    /// Creates an empty framer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Returns the next complete message, `Ok(None)` if more bytes are
+    /// needed, or a fatal [`CodecError`] if the stream is corrupt.
+    pub fn next_frame(&mut self) -> Result<Option<(OfMessage, u32)>, CodecError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 8 {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        // With a full header buffered, version/length sanity failures are
+        // fatal now — waiting for more bytes cannot fix them.
+        if avail[0] != OFP_VERSION {
+            return Err(CodecError::BadVersion(avail[0]));
+        }
+        let len = u16::from_be_bytes([avail[2], avail[3]]) as usize;
+        if len < 8 {
+            return Err(CodecError::BadLength);
+        }
+        if avail.len() < len {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let (msg, xid, used) = decode(&avail[..len])?;
+        self.start += used;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some((msg, xid)))
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.start >= FRAMER_COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -828,5 +917,119 @@ mod tests {
             off += used;
         }
         assert_eq!(xids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_action_lengths_error_not_panic() {
+        // Hand-craft a flow_mod whose single action advertises a length that
+        // passes the >=8/multiple-of-8 gate but underfills the payload the
+        // action type requires.
+        for ty in [
+            action_type::ENQUEUE,
+            action_type::SET_DL_SRC,
+            action_type::SET_DL_DST,
+            action_type::VENDOR,
+        ] {
+            let good = encode(
+                &OfMessage::FlowMod(FlowMod::add(1, Match::any(), vec![])),
+                9,
+            );
+            let mut bytes = good.to_vec();
+            // Append an 8-byte action TLV of the victim type.
+            bytes.extend_from_slice(&ty.to_be_bytes());
+            bytes.extend_from_slice(&8u16.to_be_bytes());
+            bytes.extend_from_slice(&[0u8; 4]);
+            let total = bytes.len() as u16;
+            bytes[2..4].copy_from_slice(&total.to_be_bytes());
+            assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadAction(ty));
+        }
+    }
+
+    fn framer_stream() -> (Vec<u8>, Vec<u32>) {
+        let msgs = [
+            OfMessage::Hello,
+            OfMessage::FlowMod(FlowMod::add(
+                10,
+                Match::any().with_tp_dst(80),
+                vec![Action::SetVlanVid(7), Action::Output(2)],
+            )),
+            OfMessage::PacketIn {
+                buffer_id: 0xffff_ffff,
+                in_port: 3,
+                reason: PacketInReason::Action,
+                data: vec![0xab; 64],
+            },
+            OfMessage::BarrierRequest,
+            OfMessage::EchoRequest(vec![1, 2, 3, 4, 5]),
+        ];
+        let mut stream = Vec::new();
+        let mut xids = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            let xid = 100 + i as u32;
+            stream.extend_from_slice(&encode(m, xid));
+            xids.push(xid);
+        }
+        (stream, xids)
+    }
+
+    #[test]
+    fn framer_one_byte_at_a_time() {
+        let (stream, want) = framer_stream();
+        let mut fr = Framer::new();
+        let mut got = Vec::new();
+        for b in stream {
+            fr.push(&[b]);
+            while let Some((_, xid)) = fr.next_frame().unwrap() {
+                got.push(xid);
+            }
+        }
+        assert_eq!(got, want);
+        assert_eq!(fr.buffered(), 0);
+    }
+
+    #[test]
+    fn framer_random_chunks() {
+        let (stream, want) = framer_stream();
+        // Deterministic LCG so the chunking is reproducible.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..50 {
+            let mut fr = Framer::new();
+            let mut got = Vec::new();
+            let mut off = 0;
+            while off < stream.len() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let n = 1 + (state >> 33) as usize % 17;
+                let end = (off + n).min(stream.len());
+                fr.push(&stream[off..end]);
+                off = end;
+                while let Some((_, xid)) = fr.next_frame().unwrap() {
+                    got.push(xid);
+                }
+            }
+            assert_eq!(got, want);
+            assert_eq!(fr.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn framer_bad_version_is_fatal() {
+        let mut fr = Framer::new();
+        fr.push(&[0x04, 0, 0, 8, 0, 0, 0, 1]);
+        assert_eq!(fr.next_frame().unwrap_err(), CodecError::BadVersion(0x04));
+    }
+
+    #[test]
+    fn framer_bad_length_is_fatal() {
+        let mut fr = Framer::new();
+        fr.push(&[0x01, 0, 0, 4, 0, 0, 0, 1]);
+        assert_eq!(fr.next_frame().unwrap_err(), CodecError::BadLength);
+    }
+
+    #[test]
+    fn framer_waits_for_partial_header() {
+        let mut fr = Framer::new();
+        fr.push(&[0x01, 0, 0]);
+        assert_eq!(fr.next_frame().unwrap(), None);
+        assert_eq!(fr.buffered(), 3);
     }
 }

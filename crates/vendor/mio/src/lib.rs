@@ -1,0 +1,467 @@
+//! Vendored, registry-free subset of the `mio` crate API.
+//!
+//! The build environment has no network access, so this stand-in implements
+//! the slice of mio the `monocle_net` event loop uses, directly over Linux
+//! `epoll(7)` via `extern "C"` declarations against the already-linked libc
+//! (no `libc` crate either): [`Poll`]/[`Registry`] with level-triggered
+//! readiness, [`Events`], [`Token`], [`Interest`], an eventfd-backed
+//! [`Waker`], and a blanket [`Source`] impl for any `AsRawFd` type.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! * Linux-only (`epoll` + `eventfd`); no kqueue/IOCP backends;
+//! * level-triggered only — no `EPOLLET`, so consumers must drain to
+//!   `WouldBlock` or stay registered;
+//! * registration takes `&impl Source` (no `&mut`, no per-source state);
+//! * [`Events`] iteration yields [`Event`] by value.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+mod sys {
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    pub const EINTR: i32 = 4;
+
+    /// Kernel `struct epoll_event`. The x86_64 ABI packs it (no padding
+    /// between `events` and `data`); other 64-bit arches use natural
+    /// alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Opaque per-registration identifier echoed back in events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest for a registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Interest in read readiness (includes peer shutdown).
+    pub const READABLE: Interest = Interest(sys::EPOLLIN | sys::EPOLLRDHUP);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(sys::EPOLLOUT);
+
+    /// Combines two interests.
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True if this interest includes read readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & sys::EPOLLIN != 0
+    }
+
+    /// True if this interest includes write readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & sys::EPOLLOUT != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    events: u32,
+    token: Token,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (data, or peer closed — a read will not block).
+    pub fn is_readable(&self) -> bool {
+        self.events & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Write readiness.
+    pub fn is_writable(&self) -> bool {
+        self.events & (sys::EPOLLOUT | sys::EPOLLERR) != 0
+    }
+
+    /// The peer closed its write side (or the connection is gone).
+    pub fn is_read_closed(&self) -> bool {
+        self.events & (sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+
+    /// An error condition is pending on the source.
+    pub fn is_error(&self) -> bool {
+        self.events & sys::EPOLLERR != 0
+    }
+}
+
+/// Buffer of events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// Creates a buffer holding up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// True if the last poll returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| {
+            // Copy out of the (possibly packed) struct before use.
+            let events = e.events;
+            let data = e.data;
+            Event {
+                events,
+                token: Token(data as usize),
+            }
+        })
+    }
+}
+
+/// Handle for registering sources with a [`Poll`]'s epoll instance.
+#[derive(Debug)]
+pub struct Registry {
+    epfd: RawFd,
+}
+
+/// Anything with a raw file descriptor can be registered.
+pub trait Source {
+    /// The descriptor to register.
+    fn raw_fd(&self) -> RawFd;
+}
+
+impl<T: AsRawFd> Source for T {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: usize) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token as u64,
+        };
+        cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers `source` for `interest`, tagged with `token`.
+    pub fn register(
+        &self,
+        source: &impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, source.raw_fd(), interest.0, token.0)
+    }
+
+    /// Changes the interest/token of an already-registered source.
+    pub fn reregister(
+        &self,
+        source: &impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, source.raw_fd(), interest.0, token.0)
+    }
+
+    /// Removes a source from the poller.
+    pub fn deregister(&self, source: &impl Source) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, source.raw_fd(), 0, 0)
+    }
+}
+
+/// The readiness poller (one epoll instance).
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a new epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one event is ready or `timeout` elapses
+    /// (`None` = wait forever). Sub-millisecond timeouts round up so a
+    /// pending timer cannot spin at zero.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_micros().div_ceil(1000).min(i32::MAX as u128) as i32,
+        };
+        events.len = 0;
+        loop {
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.registry.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() == Some(sys::EINTR) {
+                    continue;
+                }
+                return Err(err);
+            }
+            events.len = n as usize;
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.registry.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`], backed by an `eventfd`.
+///
+/// Level-triggered: after the poller sees the waker's token it must call
+/// [`Waker::ack`] to clear the readiness, or the next poll returns
+/// immediately again.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a waker registered on `registry` under `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let fd = cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+        let waker = Waker { fd };
+        registry.register(&waker, token, Interest::READABLE)?;
+        Ok(waker)
+    }
+
+    /// Wakes the poller. Safe to call from any thread.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret = unsafe { sys::write(self.fd, one.to_ne_bytes().as_ptr(), 8) };
+        // EAGAIN means the counter is saturated — the poller is certainly
+        // awake already, so that is success for our purposes.
+        if ret == 8 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// Clears pending wakeups (call after the waker's token fires).
+    pub fn ack(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { sys::read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_wakes_and_acks() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Waker::new(poll.registry(), Token(99)).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // No wake yet: times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let toks: Vec<Token> = events.iter().map(|e| e.token()).collect();
+        assert_eq!(toks, vec![Token(99)]);
+        waker.ack();
+
+        poll.poll(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn waker_wakes_from_other_thread() {
+        let mut poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), Token(1)).unwrap());
+        let w2 = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(!events.is_empty());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_readiness_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&listener, Token(0), Interest::READABLE)
+            .unwrap();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Accept readiness on the listener.
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(0) && e.is_readable()));
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&server, Token(1), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+
+        client.write_all(b"ping").unwrap();
+        // Readable (and writable) on the accepted side.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut got_read = false;
+        while std::time::Instant::now() < deadline && !got_read {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            got_read = events
+                .iter()
+                .any(|e| e.token() == Token(1) && e.is_readable());
+        }
+        assert!(got_read);
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // Peer close shows up as read-closed readiness.
+        drop(client);
+        let mut closed = false;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline && !closed {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            closed = events
+                .iter()
+                .any(|e| e.token() == Token(1) && e.is_read_closed());
+        }
+        assert!(closed);
+        poll.registry().deregister(&server).unwrap();
+    }
+
+    #[test]
+    fn reregister_changes_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        // Writable-only: an idle connected socket is immediately writable.
+        poll.registry()
+            .register(&server, Token(7), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(7) && e.is_writable()));
+
+        // Readable-only: nothing to read, poll times out empty.
+        poll.registry()
+            .reregister(&server, Token(7), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        drop(client);
+    }
+}
