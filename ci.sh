@@ -22,6 +22,13 @@ echo "== perf baseline: Table 2 probe generation =="
 # engine-vs-stateless acceptance criterion is measured at.
 ./target/release/table2_probe_generation --rules 600 --json BENCH_probe_generation.json
 
+echo "== perf baseline: Table 2, cold-solve regime (fast path off) =="
+# With guess-and-verify disabled every probe reaches the SAT solver, which
+# isolates the incremental-session win the engine-incremental arm exists to
+# measure (>=1.5x vs engine-batch on cold-batch total_s, Stanford).
+./target/release/table2_probe_generation --rules 600 --no-fast-path \
+    --json BENCH_probe_generation_nofastpath.json
+
 echo "== perf baseline: flow-table lookup (trie vs linear) =="
 # 600 rules is the floor the trie-vs-linear acceptance criterion (>=2x on
 # the Fig. 8 workload) is measured at; the binary also cross-checks trie

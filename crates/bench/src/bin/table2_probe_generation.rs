@@ -9,14 +9,21 @@
 //! Stanford   1.48      3.85      2442  / 2755
 //! ```
 //!
-//! Three arms per dataset:
+//! Four arms per dataset:
 //!
 //! * `stateless` — per-rule [`monocle::generator::generate_probe`], the
 //!   paper's §5.3 formulation (full re-encode per call);
 //! * `engine-batch` — one cold [`monocle::engine::ProbeEngine::generate_batch`]
-//!   over the same rules (shared session + guess-and-verify fast path);
-//! * `engine-reprobe` — the same batch again on the unchanged table: the
-//!   steady-state §3 sweep, which must be pure cache hits (zero solves).
+//!   over the same rules (shared session + guess-and-verify fast path, a
+//!   fresh solver per surviving instance);
+//! * `engine-incremental` — a cold batch through a second engine with
+//!   [`monocle::engine::EngineConfig::incremental`] set: one long-lived
+//!   assumption-based solver holds every selector-guarded instance, so
+//!   probes that reach SAT are "solve under assumptions" against retained
+//!   learnt state;
+//! * `engine-reprobe` — the batch again on the unchanged (incremental)
+//!   engine: the steady-state §3 sweep, which must be pure cache hits
+//!   (zero solves).
 //!
 //! Usage: `table2_probe_generation [--rules N] [--style ite] [--json PATH]
 //! [--no-fast-path]`
@@ -139,11 +146,20 @@ fn run_dataset(
         ..EngineConfig::default()
     });
     let cold = run_engine(&mut engine, "engine-batch", &table, &ids, &catch);
-    let warm = run_engine(&mut engine, "engine-reprobe", &table, &ids, &catch);
+    let mut inc_engine = ProbeEngine::new(EngineConfig {
+        gen: gen_cfg.clone(),
+        fast_path,
+        incremental: true,
+        ..EngineConfig::default()
+    });
+    let incr = run_engine(&mut inc_engine, "engine-incremental", &table, &ids, &catch);
+    let warm = run_engine(&mut inc_engine, "engine-reprobe", &table, &ids, &catch);
 
-    for arm in [&stateless, &cold, &warm] {
+    for arm in [&stateless, &cold, &incr, &warm] {
+        let props_per_solve = arm.stats.solver_propagations / arm.stats.solver_calls.max(1);
         println!(
-            "{name}\t{}\t{:.3}\t{:.3}\t{} / {}\t({:.2}s total | {} solves | {} cache hits | {} fast-path)",
+            "{name}\t{}\t{:.3}\t{:.3}\t{} / {}\t({:.2}s total | {} solves | {} assumption | \
+             {} learnt retained | {} props/solve | {} cache hits | {} fast-path)",
             arm.label,
             arm.avg_ms,
             arm.max_ms,
@@ -151,19 +167,24 @@ fn run_dataset(
             arm.total,
             arm.total_s,
             arm.stats.solver_calls,
+            arm.stats.assumption_solves,
+            arm.stats.learnt_retained,
+            props_per_solve,
             arm.stats.cache_hits,
             arm.stats.fast_path_hits,
         );
     }
     let speedup = stateless.total_s / cold.total_s.max(1e-12);
+    let inc_speedup = cold.total_s / incr.total_s.max(1e-12);
     println!(
-        "{name}\tspeedup: engine-batch {speedup:.1}x vs stateless; re-probe solver calls: {}",
+        "{name}\tspeedup: engine-batch {speedup:.1}x vs stateless; engine-incremental \
+         {inc_speedup:.2}x vs engine-batch; re-probe solver calls: {}",
         warm.stats.solver_calls
     );
     DatasetResult {
         name,
         rules: table.len(),
-        arms: vec![stateless, cold, warm],
+        arms: vec![stateless, cold, incr, warm],
     }
 }
 
@@ -188,9 +209,14 @@ fn write_json(path: &str, style: EncodingStyle, fast_path: bool, datasets: &[Dat
         ));
         let stateless = &d.arms[0];
         let cold = &d.arms[1];
+        let incr = &d.arms[2];
         out.push_str(&format!(
             "      \"speedup_engine_batch_vs_stateless\": {:.3},\n",
             stateless.total_s / cold.total_s.max(1e-12)
+        ));
+        out.push_str(&format!(
+            "      \"speedup_engine_incremental_vs_batch\": {:.3},\n",
+            cold.total_s / incr.total_s.max(1e-12)
         ));
         out.push_str("      \"arms\": [\n");
         for (ai, a) in d.arms.iter().enumerate() {
@@ -198,7 +224,9 @@ fn write_json(path: &str, style: EncodingStyle, fast_path: bool, datasets: &[Dat
                 "        {{\"label\": \"{}\", \"total_s\": {:.6}, \"avg_ms\": {:.6}, \
                  \"max_ms\": {:.6}, \"found\": {}, \"total\": {}, \"solver_calls\": {}, \
                  \"cache_hits\": {}, \"cache_misses\": {}, \"fast_path_hits\": {}, \
-                 \"reencodes_incremental\": {}, \"reencodes_full\": {}}}{}\n",
+                 \"reencodes_incremental\": {}, \"reencodes_full\": {}, \
+                 \"assumption_solves\": {}, \"learnt_retained\": {}, \
+                 \"solver_propagations\": {}}}{}\n",
                 json_escape_free(a.label),
                 a.total_s,
                 a.avg_ms,
@@ -211,6 +239,9 @@ fn write_json(path: &str, style: EncodingStyle, fast_path: bool, datasets: &[Dat
                 a.stats.fast_path_hits,
                 a.stats.reencodes_incremental,
                 a.stats.reencodes_full,
+                a.stats.assumption_solves,
+                a.stats.learnt_retained,
+                a.stats.solver_propagations,
                 if ai + 1 < d.arms.len() { "," } else { "" }
             ));
         }

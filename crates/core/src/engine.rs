@@ -21,6 +21,12 @@
 //!    assembled through a shared [`EncodeSession`]: per-rule `Matches`
 //!    Tseitin templates with stable variables, spliced rather than rebuilt,
 //!    plus a memoized [`crate::outcome::OutcomeDiff`] table.
+//! 4. **Incremental solving** (opt-in, [`EngineConfig::incremental`]) —
+//!    instead of a fresh [`monocle_sat::CdclSolver`] per instance, one
+//!    long-lived assumption-based solver holds every rule's selector-guarded
+//!    clause group; probing is "solve under assumptions" and FlowMod churn
+//!    retires selector literals rather than resetting the solver (see
+//!    [`crate::incremental`]).
 //!
 //! ## Fingerprints and invalidation
 //!
@@ -44,6 +50,7 @@
 
 use crate::encode::{self, CatchSpec, EncodeSession, EncodingStyle};
 use crate::generator::{self, GenStats, GeneratorConfig, ProbeError};
+use crate::incremental::IncrementalSession;
 use crate::plan::ProbePlan;
 use monocle_openflow::headerspace::HEADER_BITS;
 use monocle_openflow::{FlowMod, FlowTable, PortNo, Rule, RuleId, Ternary};
@@ -63,6 +70,14 @@ pub struct EngineConfig {
     /// Session variable pool is compacted once it exceeds
     /// `pool_slack_factor * table_len + 1024` stable variables.
     pub pool_slack_factor: u32,
+    /// Solve through one long-lived assumption-based solver per engine
+    /// instead of a fresh solver per instance. Equivalent answers (the
+    /// property tests check engine ≡ stateless in both modes); the
+    /// incremental mode trades solver-memory growth under churn for
+    /// dramatically cheaper solves in cold batches and steady re-probing.
+    /// Only the [`EncodingStyle::Implication`] style is accelerated; the
+    /// ITE chain falls back to the batch path.
+    pub incremental: bool,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +86,7 @@ impl Default for EngineConfig {
             gen: GeneratorConfig::default(),
             fast_path: true,
             pool_slack_factor: 4,
+            incremental: false,
         }
     }
 }
@@ -127,6 +143,9 @@ pub struct EngineStats {
 pub struct ProbeEngine {
     cfg: EngineConfig,
     session: EncodeSession,
+    /// Long-lived assumption-based solver session (created lazily when
+    /// `cfg.incremental` and the Implication style are in effect).
+    inc: Option<IncrementalSession>,
     snapshot: Vec<RuleSnap>,
     table_fp: u64,
     synced: bool,
@@ -147,6 +166,7 @@ impl ProbeEngine {
         ProbeEngine {
             cfg,
             session: EncodeSession::new(),
+            inc: None,
             snapshot: Vec::new(),
             table_fp: 0,
             synced: false,
@@ -193,6 +213,7 @@ impl ProbeEngine {
     /// Drops all cached state; the next call resynchronizes from scratch.
     pub fn clear(&mut self) {
         self.session.reset();
+        self.inc = None;
         self.plan_cache.clear();
         self.snapshot.clear();
         self.synced = false;
@@ -260,12 +281,29 @@ impl ProbeEngine {
         self.sync(table);
         let catch_k = catch_key(catch);
         let mut st = GenStats::default();
-        let out = ids
-            .iter()
-            .map(|&id| self.generate_inner(table, id, catch, catch_k, &mut st))
-            .collect();
+        let order = self.batch_order(table, ids);
+        let mut out: Vec<Option<Result<ProbePlan, ProbeError>>> = vec![None; ids.len()];
+        for i in order {
+            out[i] = Some(self.generate_inner(table, ids[i], catch, catch_k, &mut st));
+        }
+        let out = out.into_iter().map(Option::unwrap).collect();
         self.total.merge(&st);
         (out, st)
+    }
+
+    /// Processing order for a batch. The incremental session diffs template
+    /// attachments between consecutive probes, so grouping probes whose
+    /// matches look alike (same care mask, then same values) makes
+    /// neighboring contexts share most of their overlap neighborhood and
+    /// turns the per-probe template churn into a handful of group toggles.
+    /// Results are always *returned* in input order; non-incremental
+    /// engines keep input processing order.
+    fn batch_order(&self, table: &FlowTable, ids: &[RuleId]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        if self.cfg.incremental {
+            order.sort_by_key(|&i| table.get(ids[i]).map(|r| (r.tern.care.0, r.tern.value.0)));
+        }
+        order
     }
 
     /// As [`Self::generate_batch_with_stats`], additionally returning each
@@ -287,16 +325,15 @@ impl ProbeEngine {
         self.sync(table);
         let catch_k = catch_key(catch);
         let mut st = GenStats::default();
-        let mut times = Vec::with_capacity(ids.len());
-        let out = ids
-            .iter()
-            .map(|&id| {
-                let t0 = std::time::Instant::now();
-                let r = self.generate_inner(table, id, catch, catch_k, &mut st);
-                times.push(t0.elapsed());
-                r
-            })
-            .collect();
+        let mut times = vec![std::time::Duration::ZERO; ids.len()];
+        let order = self.batch_order(table, ids);
+        let mut out: Vec<Option<Result<ProbePlan, ProbeError>>> = vec![None; ids.len()];
+        for i in order {
+            let t0 = std::time::Instant::now();
+            out[i] = Some(self.generate_inner(table, ids[i], catch, catch_k, &mut st));
+            times[i] = t0.elapsed();
+        }
+        let out = out.into_iter().map(Option::unwrap).collect();
         self.total.merge(&st);
         (out, times, st)
     }
@@ -320,7 +357,7 @@ impl ProbeEngine {
             // Not cached: there is no ternary to invalidate by.
             return Err(ProbeError::NoSuchRule(id));
         };
-        let result = self.generate_uncached(table, probed, catch, st);
+        let result = self.generate_uncached(table, probed, catch, catch_k, st);
         // Cacheability: plans and the Hidden/Indistinguishable/CatchConflict/
         // RewritesReserved/SolverBudget errors are fully determined by the
         // rule's overlap neighborhood + pins, so overlap eviction keeps them
@@ -345,6 +382,7 @@ impl ProbeEngine {
         table: &FlowTable,
         probed: &Rule,
         catch: &CatchSpec,
+        catch_k: u64,
         st: &mut GenStats,
     ) -> Result<ProbePlan, ProbeError> {
         if self.cfg.fast_path {
@@ -353,6 +391,10 @@ impl ProbeEngine {
                 st.relevant_rules += plan.relevant_rules;
                 return Ok(plan);
             }
+        }
+        if self.cfg.incremental && self.cfg.gen.style == EncodingStyle::Implication {
+            let inc = self.inc.get_or_insert_with(IncrementalSession::new);
+            return inc.generate(table, probed, catch, catch_k, &self.cfg.gen, st);
         }
         if self.cfg.gen.style == EncodingStyle::Implication {
             match self.session.build_instance(table, probed, catch) {
@@ -466,6 +508,9 @@ impl ProbeEngine {
                     changed.push(tern);
                     changed.push(r.tern);
                     self.session.invalidate(r.id);
+                    if let Some(inc) = &mut self.inc {
+                        inc.retire_rule(r.id);
+                    }
                 }
                 None => changed.push(r.tern),
             }
@@ -474,6 +519,9 @@ impl ProbeEngine {
             if !seen.contains(&s.id) {
                 changed.push(s.tern);
                 self.session.invalidate(s.id);
+                if let Some(inc) = &mut self.inc {
+                    inc.retire_rule(s.id);
+                }
             }
         }
         if changed.is_empty() {
@@ -482,6 +530,9 @@ impl ProbeEngine {
             self.engine_stats.syncs_full += 1;
             self.engine_stats.plans_invalidated += self.plan_cache.len() as u64;
             self.plan_cache.clear();
+            if let Some(inc) = &mut self.inc {
+                inc.retire_all();
+            }
         } else {
             self.engine_stats.syncs_incremental += 1;
             let evicted = self.evict_overlapping(&changed);
@@ -496,6 +547,7 @@ impl ProbeEngine {
         self.engine_stats.plans_invalidated += self.plan_cache.len() as u64;
         self.plan_cache.clear();
         self.session.reset();
+        self.inc = None;
         self.snapshot = snapshot_of(table);
         self.table_fp = fp;
         self.synced = true;
@@ -508,6 +560,9 @@ impl ProbeEngine {
         let before = self.plan_cache.len();
         self.plan_cache
             .retain(|_, e| !terns.iter().any(|t| t.overlaps(&e.tern)));
+        if let Some(inc) = &mut self.inc {
+            inc.retire_overlapping(terns);
+        }
         (before - self.plan_cache.len()) as u64
     }
 
@@ -517,6 +572,15 @@ impl ProbeEngine {
         let budget = self.cfg.pool_slack_factor as u64 * table_len as u64 + 1024;
         if u64::from(self.session.pool_vars()) > budget {
             self.session.reset();
+        }
+        // The incremental solver accumulates selectors and per-context
+        // auxiliaries (several per encoded context, not one per rule), so
+        // its variable pool legitimately runs much larger before churn
+        // bloat justifies throwing away learnt state.
+        if let Some(inc) = &self.inc {
+            if u64::from(inc.pool_vars()) > 16 * budget {
+                self.inc = None;
+            }
         }
     }
 }
@@ -762,6 +826,108 @@ mod tests {
         let (_, st) = eng.generate_with_stats(&t, id, &CatchSpec::default());
         assert_eq!(st.cache_hits, 1);
         let _ = default_plan;
+    }
+
+    fn incremental_engine() -> ProbeEngine {
+        ProbeEngine::new(EngineConfig {
+            fast_path: false, // force everything through the solver
+            incremental: true,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn incremental_engine_matches_stateless() {
+        let t = table_from(vec![
+            (
+                30,
+                Match::any()
+                    .with_nw_src([10, 0, 0, 1], 32)
+                    .with_nw_dst([10, 0, 0, 2], 32),
+                vec![Action::Output(1)],
+            ),
+            (
+                20,
+                Match::any().with_nw_src([10, 0, 0, 1], 32),
+                vec![Action::Output(2)],
+            ),
+            (
+                20,
+                Match::any().with_nw_src([10, 0, 0, 9], 32),
+                vec![Action::Output(2)],
+            ),
+            (10, Match::any(), vec![Action::Output(1)]),
+        ]);
+        let ids: Vec<RuleId> = t.rules().iter().map(|r| r.id).collect();
+        let catch = CatchSpec::default();
+        let mut eng = incremental_engine();
+        let (results, st) = eng.generate_batch_with_stats(&t, &ids, &catch);
+        assert!(st.assumption_solves > 0, "incremental path must be taken");
+        assert_eq!(st.reencodes_full, 0);
+        for (&id, res) in ids.iter().zip(&results) {
+            let fresh = generate_probe(&t, id, &catch, &GeneratorConfig::default());
+            assert_eq!(res.is_ok(), fresh.is_ok(), "rule {id}");
+            assert_eq!(res.as_ref().err(), fresh.as_ref().err(), "rule {id}");
+            if let Ok(plan) = res {
+                assert!(
+                    crate::plan::verify_probe(&t, id, &plan.header, &catch.all_pins()).is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_engine_reports_solver_reuse() {
+        // Several sibling rules over a default route: each solve after the
+        // first runs against a solver that retained state.
+        let mut rules = Vec::new();
+        for i in 0..8u8 {
+            rules.push((
+                20,
+                Match::any().with_nw_dst([10, 0, 0, i], 32),
+                vec![Action::Output(u16::from(i) % 3 + 1)],
+            ));
+        }
+        rules.push((1, Match::any(), vec![Action::Output(9)]));
+        let t = table_from(rules);
+        let ids: Vec<RuleId> = t.rules().iter().map(|r| r.id).collect();
+        let mut eng = incremental_engine();
+        let (_, st) = eng.generate_batch_with_stats(&t, &ids, &CatchSpec::default());
+        assert!(st.assumption_solves >= ids.len() as u64);
+        assert!(st.solver_propagations > 0);
+        assert_eq!(
+            st.solver_calls, st.assumption_solves,
+            "incremental mode never builds a throwaway solver"
+        );
+    }
+
+    #[test]
+    fn incremental_engine_survives_churn() {
+        let mut t = fig1_table();
+        let catch = CatchSpec::default();
+        let mut eng = incremental_engine();
+        let ids: Vec<RuleId> = t.rules().iter().map(|r| r.id).collect();
+        eng.generate_batch(&t, &ids, &catch);
+        // Delta: shadow the specific rule; its plan and context must retire.
+        let fm = FlowMod::add(
+            20,
+            Match::any().with_nw_src([10, 0, 0, 1], 32),
+            vec![Action::Output(1)],
+        );
+        eng.note_flowmod(&fm);
+        t.apply(&fm).unwrap();
+        for r in t.rules() {
+            let fresh = generate_probe(&t, r.id, &catch, &GeneratorConfig::default());
+            let engine = eng.generate(&t, r.id, &catch);
+            assert_eq!(engine.is_ok(), fresh.is_ok(), "rule {}", r.id);
+            assert_eq!(engine.err(), fresh.err(), "rule {}", r.id);
+        }
+        // Churn retires selector-guarded instances instead of leaking them:
+        // the session holds one live context per probed rule, and the
+        // shadow-induced re-encodes show up as retired selectors.
+        let session = eng.inc.as_ref().expect("incremental engine has a session");
+        assert!(session.live_contexts() <= t.rules().len());
+        assert!(session.retired_selectors() > 0);
     }
 
     #[test]

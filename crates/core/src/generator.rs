@@ -109,6 +109,14 @@ pub struct GenStats {
     /// Instances built from scratch (stateless builder, cold session, or
     /// ITE-chain style).
     pub reencodes_full: u64,
+    /// Assumption-based solves against a long-lived incremental solver
+    /// (subset of `solver_calls`; 0 on the batch path).
+    pub assumption_solves: u64,
+    /// Learnt clauses already present at solve entry, summed over assumption
+    /// solves — the direct measure of solver-state reuse.
+    pub learnt_retained: u64,
+    /// Unit propagations performed by the solver, summed over all solves.
+    pub solver_propagations: u64,
 }
 
 impl GenStats {
@@ -125,6 +133,9 @@ impl GenStats {
         self.fast_path_hits += other.fast_path_hits;
         self.reencodes_incremental += other.reencodes_incremental;
         self.reencodes_full += other.reencodes_full;
+        self.assumption_solves += other.assumption_solves;
+        self.learnt_retained += other.learnt_retained;
+        self.solver_propagations += other.solver_propagations;
     }
 }
 
@@ -223,6 +234,7 @@ pub(crate) fn solve_and_finish(
         }
     };
     stats.conflicts += solver.stats().conflicts;
+    stats.solver_propagations += solver.stats().propagations;
 
     let raw = model_to_header(&model);
     let pins = catch.all_pins();
@@ -250,6 +262,7 @@ pub(crate) fn solve_and_finish(
         SatResult::Sat(m) => {
             let h = model_to_header(&m);
             stats.conflicts += solver.stats().conflicts;
+            stats.solver_propagations += solver.stats().propagations;
             finish(table, probed, &pins, h, relevant).ok_or(ProbeError::RepairFailed)
         }
         SatResult::Unknown => Err(ProbeError::SolverBudget),
@@ -301,7 +314,7 @@ fn concrete_needs_counting(a: &ConcreteOutcome, b: &ConcreteOutcome) -> bool {
 }
 
 /// Reads header bits out of the SAT model.
-fn model_to_header(model: &monocle_sat::Model) -> HeaderVec {
+pub(crate) fn model_to_header(model: &monocle_sat::Model) -> HeaderVec {
     let mut h = HeaderVec::ZERO;
     for bit in 0..HEADER_BITS {
         h.set(bit, model.value((bit + 1) as u32));
@@ -375,7 +388,7 @@ fn spare_value(table: &FlowTable, f: Field, candidates: impl Iterator<Item = u64
 
 /// Adds "must be one of" domain constraints for the small-domain fields
 /// (strengthened second solve).
-fn add_domain_constraints(
+pub(crate) fn add_domain_constraints(
     cnf: &mut Cnf,
     table: &FlowTable,
     catch: &CatchSpec,
@@ -497,6 +510,9 @@ mod tests {
             fast_path_hits: 7,
             reencodes_incremental: 8,
             reencodes_full: 9,
+            assumption_solves: 10,
+            learnt_retained: 11,
+            solver_propagations: 12,
         };
         let before = a;
         a += GenStats::default();
@@ -519,6 +535,9 @@ mod tests {
             fast_path_hits: 6,
             reencodes_incremental: 7,
             reencodes_full: 8,
+            assumption_solves: 9,
+            learnt_retained: 10,
+            solver_propagations: 11,
         };
         let b = GenStats {
             relevant_rules: 10,
@@ -531,6 +550,9 @@ mod tests {
             fast_path_hits: 60,
             reencodes_incremental: 70,
             reencodes_full: 80,
+            assumption_solves: 90,
+            learnt_retained: 100,
+            solver_propagations: 110,
         };
         let sum = a + b;
         assert_eq!(sum.relevant_rules, 11);
@@ -543,6 +565,9 @@ mod tests {
         assert_eq!(sum.fast_path_hits, 66);
         assert_eq!(sum.reencodes_incremental, 77);
         assert_eq!(sum.reencodes_full, 88);
+        assert_eq!(sum.assumption_solves, 99);
+        assert_eq!(sum.learnt_retained, 110);
+        assert_eq!(sum.solver_propagations, 121);
         // += agrees with merge and is order-insensitive on sums.
         let mut via_merge = b;
         via_merge.merge(&a);

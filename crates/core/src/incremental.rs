@@ -1,0 +1,571 @@
+//! Incremental assumption-based probe generation: one long-lived solver
+//! per engine session.
+//!
+//! The batch path ([`crate::generator::solve_and_finish`]) builds a fresh
+//! CNF and a fresh [`CdclSolver`] per probed rule, so every solve re-loads
+//! the shared match-template clauses and starts with an empty learnt
+//! database. The [`IncrementalSession`] instead keeps **one** solver alive
+//! for the whole session and encodes each `(rule, catch)` pair as a
+//! *selector-guarded* clause group:
+//!
+//! * match-template Tseitin definitions (`m ⇔ Matches(P, L)`) are loaded
+//!   **unguarded** once per rule and shared by every context that references
+//!   the rule — they are pure definitions over fresh auxiliaries, so they
+//!   never constrain header bits on their own;
+//! * the Hit + Collect + avoid clauses of a context are guarded by a
+//!   `sel_hit` selector (`¬sel_hit ∨ c`), and the Distinguish clauses by a
+//!   separate `sel_dist` selector;
+//! * probing rule *r* is then "solve under assumptions `[sel_hit,
+//!   sel_dist]`"; classifying an UNSAT answer (§3.5 hidden vs
+//!   indistinguishable) is a second solve under `[sel_hit]` alone — no
+//!   second instance is ever built;
+//! * the §5.2 domain-strengthened re-solve rides a one-shot selector that
+//!   is retired immediately after the solve;
+//! * FlowMod-delta invalidation *retires* a context (unit `¬sel` clauses)
+//!   instead of resetting the solver, so watched-literal state, variable
+//!   activities and learnt clauses survive table churn;
+//! * every solve is *projected* onto the header bits plus the active
+//!   context's variable range ([`CdclSolver::set_decision_ranges`]), so
+//!   search cost stays proportional to one instance no matter how many dead
+//!   contexts the shared solver has accumulated.
+//!
+//! Contexts self-validate: each stores an order-sensitive fingerprint of
+//! the probed rule and its §5.4 overlap neighborhood, so a stale context is
+//! retired and re-encoded at lookup time even if the owning engine's
+//! eviction hooks were bypassed. Correctness therefore never depends on the
+//! eviction wiring — eviction only bounds dead-clause growth.
+
+use crate::encode::{self, BuildError, CatchSpec};
+use crate::generator::{self, GenStats, GeneratorConfig, ProbeError};
+use crate::plan::ProbePlan;
+use monocle_openflow::headerspace::HEADER_BITS;
+use monocle_openflow::{FlowTable, Forwarding, Rule, RuleId, Ternary};
+use monocle_sat::solver::GroupId;
+use monocle_sat::{CdclSolver, Cnf, Lit, SatResult, Var};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Shared, unguarded `m ⇔ Matches(P, L)` definition living in the solver.
+/// `tern` self-invalidates the template when a rule id is reused with
+/// different content (a fresh literal is allocated; the old definition
+/// stays behind as dead clauses over a dead auxiliary).
+#[derive(Debug, Clone)]
+struct IncTemplate {
+    tern: Ternary,
+    lit: Option<Lit>,
+    /// Clause group holding the Tseitin definition (`None` when the
+    /// template is a bare header literal and has no clauses of its own).
+    /// Attached only while a context referencing the rule is active, so a
+    /// solve propagates the ~|relevant| templates a batch instance would,
+    /// not every template the session ever loaded.
+    group: Option<GroupId>,
+}
+
+/// One encoded `(rule, catch)` clause group.
+#[derive(Debug, Clone)]
+struct Context {
+    /// Guards Hit + Collect + avoid clauses.
+    sel_hit: Lit,
+    /// Guards the Distinguish clauses.
+    sel_dist: Lit,
+    /// Detachable clause group holding the Hit + Collect + avoid clauses.
+    g_hit: GroupId,
+    /// Detachable clause group holding the Distinguish clauses.
+    g_dist: GroupId,
+    /// Template groups this context's Distinguish clauses reference; they
+    /// must be attached whenever `g_dist` is.
+    tpl_groups: Vec<GroupId>,
+    /// Probed rule footprint (overlap-based retirement).
+    tern: Ternary,
+    /// Fingerprint of the probed rule + its overlap neighborhood.
+    sig: u64,
+    /// §5.4 pre-filter count at encode time.
+    relevant: usize,
+    /// Inclusive solver-variable range allocated while encoding this
+    /// context (selectors + Distinguish auxiliaries + any templates loaded
+    /// on its behalf). Together with the header bits it forms the decision
+    /// scope of this context's solves.
+    var_lo: Var,
+    var_hi: Var,
+}
+
+/// A long-lived assumption-based solving session (the incremental backend
+/// of [`crate::engine::ProbeEngine`]).
+#[derive(Debug)]
+pub(crate) struct IncrementalSession {
+    solver: CdclSolver,
+    templates: HashMap<RuleId, IncTemplate>,
+    /// Memoized outcome diffs, keyed probed-fwd → lower-fwd.
+    diffs: HashMap<Forwarding, HashMap<Forwarding, crate::outcome::OutcomeDiff>>,
+    contexts: HashMap<(RuleId, u64), Context>,
+    /// The context whose clause groups are currently attached, if any.
+    active: Option<(RuleId, u64)>,
+    /// Template groups currently attached in the solver. Templates are
+    /// *diffed*, not cycled, across context switches: consecutive probes
+    /// share most of their overlap neighborhood, so detaching only the
+    /// templates the next context doesn't reference (and attaching only the
+    /// ones it adds) skips the bulk of the watcher churn that a full
+    /// detach/re-attach of ~|relevant| groups per probe would cost.
+    attached_tpls: Vec<GroupId>,
+    /// Highest allocated solver variable (header bits occupy `1..=HEADER_BITS`).
+    next_var: Var,
+    /// Selector literals retired so far (unit `¬sel` clauses added).
+    retired: u64,
+}
+
+impl IncrementalSession {
+    pub(crate) fn new() -> IncrementalSession {
+        // Models are only ever read through `generator::model_to_header`,
+        // so cap them at the header bits — a session solver accumulates far
+        // too many dead auxiliaries to materialize full models per solve.
+        let mut solver = CdclSolver::new();
+        solver.set_model_cap(Some(HEADER_BITS));
+        IncrementalSession {
+            solver,
+            templates: HashMap::new(),
+            diffs: HashMap::new(),
+            contexts: HashMap::new(),
+            active: None,
+            attached_tpls: Vec::new(),
+            next_var: HEADER_BITS as Var,
+            retired: 0,
+        }
+    }
+
+    /// Auxiliary variables allocated above the header bits — the measure the
+    /// owning engine uses to decide when churn has bloated the solver enough
+    /// to warrant a fresh session.
+    pub(crate) fn pool_vars(&self) -> u32 {
+        self.next_var - HEADER_BITS as Var
+    }
+
+    /// Number of live (non-retired) contexts.
+    #[cfg(test)]
+    pub(crate) fn live_contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Selector literals retired via unit `¬sel` so far.
+    #[cfg(test)]
+    pub(crate) fn retired_selectors(&self) -> u64 {
+        self.retired
+    }
+
+    /// Retires every context belonging to `id` and drops its template (rule
+    /// deleted or modified in place).
+    pub(crate) fn retire_rule(&mut self, id: RuleId) {
+        let keys: Vec<(RuleId, u64)> = self
+            .contexts
+            .keys()
+            .filter(|k| k.0 == id)
+            .copied()
+            .collect();
+        for k in keys {
+            self.retire(k);
+        }
+        if let Some(t) = self.templates.remove(&id) {
+            self.drop_template_group(t.group);
+        }
+    }
+
+    /// Detaches and forgets an abandoned template group (its clauses stay
+    /// behind as dead definitions over a dead auxiliary).
+    fn drop_template_group(&mut self, group: Option<GroupId>) {
+        if let Some(g) = group {
+            self.solver.set_group_active(g, false);
+            self.attached_tpls.retain(|&x| x != g);
+        }
+    }
+
+    /// Retires every context whose probed rule overlaps any of `terns` —
+    /// the same dependency relation the engine's plan cache uses.
+    pub(crate) fn retire_overlapping(&mut self, terns: &[Ternary]) {
+        let keys: Vec<(RuleId, u64)> = self
+            .contexts
+            .iter()
+            .filter(|(_, c)| terns.iter().any(|t| t.overlaps(&c.tern)))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            self.retire(k);
+        }
+    }
+
+    /// Retires all contexts (equal-priority reorder: tie order can silently
+    /// change every plan, so nothing survives).
+    pub(crate) fn retire_all(&mut self) {
+        let keys: Vec<(RuleId, u64)> = self.contexts.keys().copied().collect();
+        for k in keys {
+            self.retire(k);
+        }
+    }
+
+    fn retire(&mut self, key: (RuleId, u64)) {
+        if let Some(c) = self.contexts.remove(&key) {
+            if self.active == Some(key) {
+                // Attached templates stay: they are shared definitions, and
+                // the next activation diffs them against its own set.
+                self.active = None;
+            }
+            // Detach first so the dead clauses never scan again, then the
+            // unit `¬sel`s keep every learnt clause that mentions a selector
+            // implied by the remaining formula.
+            self.solver.set_group_active(c.g_hit, false);
+            self.solver.set_group_active(c.g_dist, false);
+            self.solver.add_clause(&[-c.sel_hit]);
+            self.solver.add_clause(&[-c.sel_dist]);
+            self.retired += 2;
+        }
+    }
+
+    /// Detaches the active context's own clause groups, leaving no context
+    /// active. Its template groups stay attached — they are diffed against
+    /// the next context's template set in [`Self::activate`], since
+    /// consecutive probes usually share most of them.
+    fn deactivate_current(&mut self) {
+        if let Some(prev) = self.active.take() {
+            if let Some(c) = self.contexts.get(&prev) {
+                let (g_hit, g_dist) = (c.g_hit, c.g_dist);
+                self.solver.set_group_active(g_hit, false);
+                self.solver.set_group_active(g_dist, false);
+            }
+        }
+    }
+
+    /// Attaches `key`'s clause groups, detaching the previously active
+    /// context's. Template groups are diffed: only templates the outgoing
+    /// set had and the new context lacks are detached, and attaching shared
+    /// ones is an O(1) idempotent no-op — so a probe pays watcher churn
+    /// proportional to the *change* in its overlap neighborhood, not its
+    /// size. Dead contexts cost nothing per solve.
+    fn activate(&mut self, key: (RuleId, u64)) {
+        if self.active == Some(key) {
+            return;
+        }
+        self.deactivate_current();
+        let c = &self.contexts[&key];
+        let (g_hit, g_dist) = (c.g_hit, c.g_dist);
+        let mut new_tpls = c.tpl_groups.clone();
+        new_tpls.sort_unstable();
+        new_tpls.dedup();
+        let old_tpls = std::mem::take(&mut self.attached_tpls);
+        for &g in &old_tpls {
+            if new_tpls.binary_search(&g).is_err() {
+                self.solver.set_group_active(g, false);
+            }
+        }
+        for &g in &new_tpls {
+            self.solver.set_group_active(g, true);
+        }
+        self.attached_tpls = new_tpls;
+        self.solver.set_group_active(g_hit, true);
+        self.solver.set_group_active(g_dist, true);
+        self.active = Some(key);
+    }
+
+    fn alloc_var(&mut self) -> Var {
+        self.next_var += 1;
+        self.next_var
+    }
+
+    /// Adds `¬sel ∨ clause` to clause group `g` (detached until the group
+    /// is activated). Cannot fail: `sel` is fresh and unassigned, so the
+    /// guarded clause is never falsified at root level.
+    fn add_guarded(&mut self, g: GroupId, sel: Lit, clause: &[Lit]) {
+        let mut c = Vec::with_capacity(clause.len() + 1);
+        c.push(-sel);
+        c.extend_from_slice(clause);
+        let ok = self.solver.add_clause_to_group(g, &c);
+        debug_assert!(ok, "guarded clause conflicted at root");
+    }
+
+    /// Shared match-template literal for `rule`, loading (or refreshing) its
+    /// unguarded Tseitin definition into the solver as a detachable group.
+    fn template(&mut self, rule: &Rule) -> (Option<Lit>, Option<GroupId>) {
+        let stale = match self.templates.get(&rule.id) {
+            Some(t) => t.tern != rule.tern,
+            None => true,
+        };
+        if stale {
+            if let Some(t) = self.templates.get(&rule.id) {
+                let old = t.group;
+                self.drop_template_group(old);
+            }
+            let mut lits = Vec::new();
+            for bit in rule.tern.care.iter_ones() {
+                let var = (bit + 1) as Lit;
+                lits.push(if rule.tern.value.get(bit) { var } else { -var });
+            }
+            let (lit, group) = match lits.len() {
+                0 => (None, None),
+                1 => (Some(lits[0]), None),
+                _ => {
+                    let m = self.alloc_var() as Lit;
+                    let g = self.solver.new_clause_group();
+                    // Born active: the template is loaded on behalf of the
+                    // context being encoded, so its clauses attach as they
+                    // are added. Registering it as attached keeps the diff
+                    // bookkeeping right even if the encode aborts.
+                    self.solver.set_group_active(g, true);
+                    self.attached_tpls.push(g);
+                    for &l in &lits {
+                        self.solver.add_clause_to_group(g, &[-m, l]);
+                    }
+                    let mut long: Vec<Lit> = lits.iter().map(|&l| -l).collect();
+                    long.push(m);
+                    self.solver.add_clause_to_group(g, &long);
+                    (Some(m), Some(g))
+                }
+            };
+            self.templates.insert(
+                rule.id,
+                IncTemplate {
+                    tern: rule.tern,
+                    lit,
+                    group,
+                },
+            );
+        }
+        let t = &self.templates[&rule.id];
+        (t.lit, t.group)
+    }
+
+    fn diff(&mut self, a: &Forwarding, b: &Forwarding) -> crate::outcome::OutcomeDiff {
+        let inner = self.diffs.entry(a.clone()).or_default();
+        if !inner.contains_key(b) {
+            inner.insert(b.clone(), crate::outcome::OutcomeDiff::compute(a, b));
+        }
+        inner[b].clone()
+    }
+
+    /// Encodes the `(probed, catch)` clause group into the solver and
+    /// registers its context. The Hit-side clauses are assembled into a
+    /// scratch CNF *first* so a `Shadowed` abort leaves the solver untouched.
+    fn encode_context(
+        &mut self,
+        probed: &Rule,
+        relevant: &[&Rule],
+        catch: &CatchSpec,
+        key: (RuleId, u64),
+        sig: u64,
+        st: &mut GenStats,
+    ) -> Result<Context, BuildError> {
+        let var_lo = self.next_var + 1;
+        let mut hit = Cnf::with_capacity(64 + relevant.len() * 4);
+        encode::push_units(&mut hit, &probed.tern);
+        encode::push_pins(&mut hit, catch);
+        let lower = encode::push_hit_avoid(&mut hit, relevant, probed)?;
+
+        // Shared templates + memoized diffs (solver is now committed).
+        let mut match_lits: Vec<Option<Lit>> = Vec::with_capacity(lower.len());
+        let mut tpl_groups: Vec<GroupId> = Vec::new();
+        for l in &lower {
+            let (lit, group) = self.template(l);
+            match_lits.push(lit);
+            if let Some(g) = group {
+                tpl_groups.push(g);
+            }
+        }
+        let miss = Forwarding::drop();
+        let mut diffs = Vec::with_capacity(lower.len() + 1);
+        for l in &lower {
+            diffs.push(self.diff(&probed.fwd, &l.fwd));
+        }
+        diffs.push(self.diff(&probed.fwd, &miss));
+
+        let sel_hit = self.alloc_var() as Lit;
+        let sel_dist = self.alloc_var() as Lit;
+        // Born active (the caller detached the outgoing context first):
+        // every clause attaches as it is added, while its literals are
+        // still hot, instead of a second cold pass at activation time.
+        let g_hit = self.solver.new_clause_group();
+        self.solver.set_group_active(g_hit, true);
+        let g_dist = self.solver.new_clause_group();
+        self.solver.set_group_active(g_dist, true);
+        for c in hit.clauses() {
+            self.add_guarded(g_hit, sel_hit, c);
+        }
+        // Distinguish clauses go through a scratch CNF so their auxiliary
+        // variables allocate above everything already in the solver.
+        let mut tmp = Cnf::new();
+        tmp.grow_vars(self.next_var);
+        encode::emit_distinguish_implication(&mut tmp, &match_lits, &diffs);
+        self.next_var = tmp.num_vars();
+        for c in tmp.clauses() {
+            self.add_guarded(g_dist, sel_dist, c);
+        }
+        st.clauses += hit.num_clauses() + tmp.num_clauses();
+
+        let ctx = Context {
+            sel_hit,
+            sel_dist,
+            g_hit,
+            g_dist,
+            tpl_groups,
+            tern: probed.tern,
+            sig,
+            relevant: relevant.len(),
+            var_lo,
+            var_hi: self.next_var,
+        };
+        self.contexts.insert(key, ctx.clone());
+        Ok(ctx)
+    }
+
+    /// One assumption solve with per-solve stats accounting. `scope` is the
+    /// decision-variable projection: header bits plus the active context's
+    /// variable range, so search never branches into the hundreds of dead
+    /// contexts accumulated in the shared solver. This is sound for our
+    /// encoding (the `set_decision_ranges` contract): inactive selectors
+    /// occur only negated in problem clauses, so completing them to `false`
+    /// satisfies every guarded group, and match-template auxiliaries —
+    /// including those loaded by *other* contexts — are equivalence-defined
+    /// over header bits, so propagation always fixes them once the (in
+    /// scope) header bits are assigned.
+    fn solve(
+        &mut self,
+        assumptions: &[Lit],
+        budget: u64,
+        scope: &[(Var, Var)],
+        st: &mut GenStats,
+    ) -> SatResult {
+        self.solver.set_decision_ranges(scope);
+        self.solver.set_conflict_budget(Some(budget));
+        let before = self.solver.stats();
+        let out = self.solver.solve_under_assumptions_with_stats(assumptions);
+        st.solver_calls += 1;
+        st.assumption_solves += 1;
+        st.conflicts += out.stats.conflicts - before.conflicts;
+        st.learnt_retained += out.stats.learnt_retained - before.learnt_retained;
+        st.solver_propagations += out.stats.last_propagations;
+        out.result
+    }
+
+    /// Incremental counterpart of [`generator::solve_and_finish`]: same
+    /// answers and error classification, one long-lived solver.
+    pub(crate) fn generate(
+        &mut self,
+        table: &FlowTable,
+        probed: &Rule,
+        catch: &CatchSpec,
+        catch_k: u64,
+        cfg: &GeneratorConfig,
+        st: &mut GenStats,
+    ) -> Result<ProbePlan, ProbeError> {
+        encode::check_catch_pins(probed, catch).map_err(generator::map_build_error)?;
+        let relevant = encode::relevant_rules(table, probed);
+        let sig = context_sig(probed, &relevant);
+        let key = (probed.id, catch_k);
+        let ctx = match self.contexts.get(&key) {
+            Some(c) if c.sig == sig => c.clone(),
+            _ => {
+                // Detach the outgoing context before encoding so the fresh
+                // groups can be born active (see `encode_context`).
+                self.deactivate_current();
+                self.retire(key);
+                st.reencodes_incremental += 1;
+                match self.encode_context(probed, &relevant, catch, key, sig, st) {
+                    Ok(c) => c,
+                    Err(e) => return Err(generator::map_build_error(e)),
+                }
+            }
+        };
+        st.relevant_rules += ctx.relevant;
+        self.activate(key);
+
+        let scope = [(1 as Var, HEADER_BITS as Var), (ctx.var_lo, ctx.var_hi)];
+        let r0 = self.solve(
+            &[ctx.sel_hit, ctx.sel_dist],
+            cfg.conflict_budget,
+            &scope,
+            st,
+        );
+        let model = match r0 {
+            SatResult::Sat(m) => m,
+            SatResult::Unknown => return Err(ProbeError::SolverBudget),
+            SatResult::Unsat => {
+                // §3.5 classification: can the rule be hit at all? The
+                // hit-only sub-instance is already in the solver — flip the
+                // Distinguish assumption so its clauses satisfy trivially.
+                return match self.solve(
+                    &[ctx.sel_hit, -ctx.sel_dist],
+                    cfg.conflict_budget,
+                    &scope,
+                    st,
+                ) {
+                    SatResult::Sat(_) => Err(ProbeError::Indistinguishable),
+                    _ => Err(ProbeError::Hidden),
+                };
+            }
+        };
+
+        let raw = generator::model_to_header(&model);
+        let pins = catch.all_pins();
+        // Attempt 1: spare-value repair + normalization, then verify.
+        let repaired = generator::repair_header(table, catch, cfg, raw);
+        if let Some(plan) = generator::finish(table, probed, &pins, repaired, ctx.relevant) {
+            return Ok(plan);
+        }
+        // Attempt 2: the unrepaired model.
+        if let Some(plan) = generator::finish(table, probed, &pins, raw, ctx.relevant) {
+            return Ok(plan);
+        }
+        // Attempt 3: domain-strengthened re-solve (§5.2's small-domain
+        // alternative) under a one-shot selector, retired right after.
+        st.strengthened = true;
+        let dom_lo = self.next_var + 1;
+        let g_dom = self.alloc_var() as Lit;
+        let dom_group = self.solver.new_clause_group();
+        self.solver.set_group_active(dom_group, true);
+        let mut tmp = Cnf::new();
+        tmp.grow_vars(self.next_var);
+        generator::add_domain_constraints(&mut tmp, table, catch, cfg);
+        self.next_var = tmp.num_vars();
+        for c in tmp.clauses() {
+            self.add_guarded(dom_group, g_dom, c);
+        }
+        st.clauses += tmp.num_clauses();
+        let dom_scope = [
+            (1 as Var, HEADER_BITS as Var),
+            (ctx.var_lo, ctx.var_hi),
+            (dom_lo, self.next_var),
+        ];
+        let res = self.solve(
+            &[ctx.sel_hit, ctx.sel_dist, g_dom],
+            cfg.conflict_budget,
+            &dom_scope,
+            st,
+        );
+        self.solver.set_group_active(dom_group, false);
+        self.solver.add_clause(&[-g_dom]);
+        self.retired += 1;
+        match res {
+            SatResult::Sat(m) => {
+                let h = generator::model_to_header(&m);
+                generator::finish(table, probed, &pins, h, ctx.relevant)
+                    .ok_or(ProbeError::RepairFailed)
+            }
+            SatResult::Unknown => Err(ProbeError::SolverBudget),
+            SatResult::Unsat => Err(ProbeError::Indistinguishable),
+        }
+    }
+}
+
+/// Order-sensitive fingerprint of everything a context's encoding read: the
+/// probed rule's content and its overlap neighborhood (ids, priorities,
+/// ternaries, forwarding behaviors, in table order).
+fn context_sig(probed: &Rule, relevant: &[&Rule]) -> u64 {
+    let mut h = DefaultHasher::new();
+    probed.priority.hash(&mut h);
+    probed.tern.hash(&mut h);
+    probed.fwd.hash(&mut h);
+    relevant.len().hash(&mut h);
+    for r in relevant {
+        r.id.hash(&mut h);
+        r.priority.hash(&mut h);
+        r.tern.hash(&mut h);
+        r.fwd.hash(&mut h);
+    }
+    h.finish()
+}

@@ -63,6 +63,7 @@ pub mod engine;
 pub mod expect;
 pub mod generator;
 pub mod harness;
+mod incremental;
 pub mod outcome;
 pub mod plan;
 pub mod pool;

@@ -100,7 +100,14 @@ impl Default for PoolConfig {
     fn default() -> Self {
         PoolConfig {
             workers: 1,
-            engine: EngineConfig::default(),
+            // Pool workers keep their engines alive across jobs, which is
+            // exactly the regime the long-lived assumption-based solver is
+            // built for: each worker-private engine holds one incremental
+            // session that survives whole job streams.
+            engine: EngineConfig {
+                incremental: true,
+                ..EngineConfig::default()
+            },
             max_replans: 3,
             dispatch: None,
         }

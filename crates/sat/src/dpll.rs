@@ -236,4 +236,46 @@ mod tests {
         let cnf = Cnf::new();
         assert!(DpllSolver::new().solve(&cnf).is_sat());
     }
+
+    #[test]
+    fn budget_capped_hard_random_instance_is_unknown_not_wrong() {
+        // Hard seeded-random 3-SAT near the phase-transition density
+        // (~4.26 clauses/var). A tiny decision budget cannot complete the
+        // search, so the only honest answer is Unknown — returning Sat or
+        // Unsat here would be a wrong verdict, which is the regression this
+        // test pins. The budget-free CDCL solver provides ground truth and
+        // must agree with an unbudgeted DPLL run of the same instance.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            // xorshift64*: deterministic, no external RNG dependency.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let nvars = 40u64;
+        let mut cnf = Cnf::new();
+        for _ in 0..170 {
+            let mut lits = Vec::with_capacity(3);
+            while lits.len() < 3 {
+                let v = (next() % nvars + 1) as i32;
+                if lits.iter().any(|&l: &i32| l.unsigned_abs() == v as u32) {
+                    continue;
+                }
+                lits.push(if next() & 1 == 1 { v } else { -v });
+            }
+            cnf.add_clause(&lits);
+        }
+        let capped = DpllSolver::new().with_decision_budget(3).solve(&cnf);
+        assert_eq!(
+            capped,
+            SatResult::Unknown,
+            "a budget-capped solve on a hard instance must admit Unknown"
+        );
+        // Ground truth: unbudgeted runs of both solvers agree.
+        let truth = crate::CdclSolver::new().solve(&cnf);
+        let full = DpllSolver::new().solve(&cnf);
+        assert_ne!(truth, SatResult::Unknown);
+        assert_eq!(truth.is_sat(), full.is_sat());
+    }
 }

@@ -8,8 +8,25 @@
 //! indexed max-heap, phase saving, Luby restarts and activity-based learnt
 //! clause deletion. No preprocessing is performed; the encoder already emits
 //! compact clauses.
+//!
+//! The solver runs in two modes:
+//!
+//! * **Batch** — [`CdclSolver::solve`] / [`CdclSolver::solve_with_stats`]
+//!   reset the solver and load the given [`Cnf`] from scratch. This is the
+//!   original one-shot API.
+//! * **Incremental** — clauses are loaded once with [`CdclSolver::add_clause`]
+//!   / [`CdclSolver::load_cnf`] and then queried many times with
+//!   [`CdclSolver::solve_under_assumptions`]. Assumption literals are planted
+//!   as pseudo-decisions below all regular decisions (MiniSat-style), so the
+//!   clause database, watched-literal structures, learnt clauses, VSIDS
+//!   activities and saved phases all survive from one solve to the next. An
+//!   UNSAT answer under assumptions comes with an unsat core over the
+//!   assumption set ([`CdclSolver::unsat_core`]), computed by final-conflict
+//!   analysis. See the crate docs ("Incremental contract") for exactly what
+//!   persists across calls.
 
 use crate::cnf::Cnf;
+use crate::cnf::{Lit, Var};
 use crate::{Model, SatResult};
 
 /// Truth value of a variable: unassigned / true / false.
@@ -51,11 +68,29 @@ fn from_dimacs(l: i32) -> ILit {
     ilit(l.unsigned_abs() - 1, l < 0)
 }
 
+/// Converts an internal literal back to the external DIMACS form.
+#[inline]
+fn to_dimacs(l: ILit) -> Lit {
+    let v = (ivar(l) + 1) as Lit;
+    if is_negated(l) {
+        -v
+    } else {
+        v
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<ILit>,
     learnt: bool,
     activity: f64,
+    /// False while the clause's group is detached: the clause stays in the
+    /// database (learnt clauses resolved against it remain implied) but it
+    /// is excluded from propagation.
+    active: bool,
+    /// Bumped on every (re)attachment; watchers carrying an older epoch are
+    /// stale and dropped lazily during propagation.
+    epoch: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -64,9 +99,47 @@ struct Watcher {
     /// Any other literal of the clause; if it is already true the clause is
     /// satisfied and the watch list walk can skip touching the clause.
     blocker: ILit,
+    /// Epoch this watcher was pushed under: the clause epoch for ungrouped
+    /// watchers (`group == 0`), the *group* epoch otherwise. Watchers whose
+    /// epoch no longer matches are stale and dropped lazily in `propagate`.
+    epoch: u32,
+    /// `GroupId + 1` of the owning clause group, 0 for ungrouped clauses.
+    /// Lets the stale check consult two small hot arrays instead of
+    /// dereferencing the (huge, cold) clause database.
+    group: u32,
 }
 
-/// Counters reported after a [`CdclSolver::solve`] call.
+/// Handle to a detachable clause group — see
+/// [`CdclSolver::new_clause_group`]. Ordered by creation so callers can keep
+/// sorted working sets of groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(usize);
+
+#[derive(Debug, Default)]
+struct Group {
+    clauses: Vec<usize>,
+    active: bool,
+    /// The subset of `clauses` that carries watchers (≥2 non-false literals
+    /// at attach time; root-satisfied and root-unit clauses are excluded).
+    /// Each such clause's `lits[0..2]` holds its most recent watch pair —
+    /// propagation keeps the live pair in the first two positions — so
+    /// re-attaching replays it after a two-read validity check against the
+    /// current root assignment.
+    watched: Vec<usize>,
+    /// True once the group has been through a full attach/detach cycle, so
+    /// `watched` (plus each clause's `lits[0..2]`) is a usable replay cache.
+    cached: bool,
+}
+
+impl Group {
+    fn new() -> Group {
+        Group::default()
+    }
+}
+
+/// Counters reported after a [`CdclSolver::solve`] call. In incremental mode
+/// ([`CdclSolver::solve_under_assumptions`]) the counters are cumulative over
+/// the solver's lifetime; batch [`CdclSolver::solve`] resets them per call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Number of decisions made.
@@ -79,6 +152,15 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently retained.
     pub learnt_clauses: u64,
+    /// Number of [`CdclSolver::solve_under_assumptions`] calls served.
+    pub assumption_solves: u64,
+    /// Sum over assumption solves of the learnt clauses already retained
+    /// when the solve started — the clause-reuse the incremental mode buys
+    /// (divide by `assumption_solves` for the per-solve average).
+    pub learnt_retained: u64,
+    /// Unit propagations performed by the most recent solve only (the
+    /// per-solve slice of the cumulative `propagations`).
+    pub last_propagations: u64,
 }
 
 /// Outcome of a single `solve` call together with statistics.
@@ -131,6 +213,15 @@ impl ActivityHeap {
         Some(top)
     }
 
+    /// Empties the heap in O(len), leaving the index map consistent so the
+    /// allocation can be reused.
+    fn clear(&mut self) {
+        for &v in &self.heap {
+            self.index[v as usize] = usize::MAX;
+        }
+        self.heap.clear();
+    }
+
     fn decreased_key_fixup(&mut self, v: u32, act: &[f64]) {
         // After an activity bump the key only grows, so sift up.
         if let Some(&pos) = self.index.get(v as usize) {
@@ -179,8 +270,11 @@ impl ActivityHeap {
 }
 
 /// The CDCL solver. Construct with [`CdclSolver::new`], optionally set a
-/// conflict budget, then call [`CdclSolver::solve`]. A solver instance can be
-/// reused across calls; each call reloads the formula.
+/// conflict budget, then either call [`CdclSolver::solve`] (batch: reloads
+/// the formula each call) or build the formula once with
+/// [`CdclSolver::add_clause`] and query it repeatedly with
+/// [`CdclSolver::solve_under_assumptions`] (incremental: everything learnt
+/// persists between calls).
 #[derive(Debug)]
 pub struct CdclSolver {
     // Problem state
@@ -204,10 +298,37 @@ pub struct CdclSolver {
     // Config
     conflict_budget: Option<u64>,
     max_learnts: usize,
+    /// Inclusive external-variable ranges branching is restricted to
+    /// (empty = no restriction). See [`CdclSolver::set_decision_ranges`].
+    decision_ranges: Vec<(Var, Var)>,
+    /// Scratch order heap holding only in-scope variables; swapped in for
+    /// the duration of a scoped solve so branching never wades through the
+    /// (possibly huge) retired-variable population of the main heap.
+    scoped_heap: ActivityHeap,
+    /// When set, SAT models are materialized only for variables `1..=cap`
+    /// (see [`CdclSolver::set_model_cap`]).
+    model_cap: Option<usize>,
+    /// Tombstoned clause slots available for reuse by `attach_clause`.
+    free_slots: Vec<usize>,
+    /// Detachable clause groups (indices into `clauses`).
+    groups: Vec<Group>,
+    /// `group_on[g + 1]` — whether group `g` is attached (index 0 is the
+    /// always-on pseudo-group of ungrouped clauses). Consulted by the
+    /// propagation stale check, so kept as a dense hot array.
+    group_on: Vec<bool>,
+    /// `group_epoch[g + 1]` — bumped on every attach of group `g`; watchers
+    /// pushed under an older epoch are stale.
+    group_epoch: Vec<u32>,
+    /// Problem clauses currently attached (drives the learnt-DB cap, which
+    /// must not scale with detached dead groups).
+    num_active_problem: usize,
     // Stats
     stats: SolverStats,
     ok: bool,
-    first_learnt_idx: usize,
+    num_learnts: usize,
+    /// Assumption literals (external form) in the final conflict of the most
+    /// recent UNSAT-under-assumptions answer.
+    core: Vec<Lit>,
 }
 
 impl Default for CdclSolver {
@@ -237,22 +358,463 @@ impl CdclSolver {
             seen: Vec::new(),
             conflict_budget: None,
             max_learnts: 0,
+            decision_ranges: Vec::new(),
+            scoped_heap: ActivityHeap::default(),
+            model_cap: None,
+            free_slots: Vec::new(),
+            groups: Vec::new(),
+            group_on: vec![true],
+            group_epoch: vec![0],
+            num_active_problem: 0,
             stats: SolverStats::default(),
             ok: true,
-            first_learnt_idx: 0,
+            num_learnts: 0,
+            core: Vec::new(),
         }
     }
 
     /// Limits the search to `budget` conflicts; exceeding it yields
-    /// [`SatResult::Unknown`].
+    /// [`SatResult::Unknown`]. In incremental mode the budget applies per
+    /// solve call, not to the cumulative conflict count.
     pub fn with_conflict_budget(mut self, budget: u64) -> Self {
         self.conflict_budget = Some(budget);
         self
     }
 
-    /// Statistics from the most recent `solve` call.
+    /// Replaces the per-solve conflict budget (`None` removes it). The
+    /// in-place counterpart of [`Self::with_conflict_budget`] for long-lived
+    /// incremental solvers.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Restricts branching to the given inclusive ranges of external
+    /// variables (MiniSat's "decision variable" projection); an empty slice
+    /// lifts the restriction. Persists across incremental solves until
+    /// changed; batch [`Self::solve`] clears it along with everything else.
+    ///
+    /// **Soundness contract.** The solver claims SAT as soon as propagation
+    /// is conflict-free and no in-scope variable is unassigned, so the
+    /// caller must guarantee that *any* such partial assignment extends to a
+    /// full model — i.e. every clause not fully satisfied by in-scope and
+    /// propagated variables is satisfiable under some completion of the
+    /// out-of-scope ones. (The selector-guarded groups of the incremental
+    /// contract qualify: out-of-scope selectors occur only negated in
+    /// problem clauses, so completing them to `false` satisfies every
+    /// guarded clause.) In the returned model, out-of-scope variables that
+    /// propagation left unassigned read as `false`. UNSAT and Unknown
+    /// answers are unconditionally sound — conflicts are real resolution
+    /// proofs regardless of scope.
+    pub fn set_decision_ranges(&mut self, ranges: &[(Var, Var)]) {
+        self.decision_ranges.clear();
+        self.decision_ranges.extend_from_slice(ranges);
+    }
+
+    /// Limits SAT models to variables `1..=cap` (`None` restores full
+    /// models). A long-lived session accumulates hundreds of thousands of
+    /// dead auxiliary variables, and materializing a `Vec<bool>` over all of
+    /// them on every SAT answer costs more than the search itself; a caller
+    /// that only ever reads a fixed prefix (Monocle reads the header bits)
+    /// can cap the model to that prefix. [`Model::value`] panics for
+    /// variables above the cap. Persists across incremental solves; batch
+    /// [`Self::solve`] clears it.
+    pub fn set_model_cap(&mut self, cap: Option<usize>) {
+        self.model_cap = cap;
+    }
+
+    /// Creates a new *detachable clause group*, initially inactive. Group
+    /// clauses are permanent members of the formula (learnt clauses resolved
+    /// against them stay implied forever) but participate in unit
+    /// propagation only while the group is active — so a session can hold
+    /// thousands of encoded-but-idle clause groups at zero per-solve cost.
+    /// Watchers of a deactivated group are dropped lazily during later
+    /// propagation; [`Self::set_group_active`] re-attaches in O(group size).
+    pub fn new_clause_group(&mut self) -> GroupId {
+        self.groups.push(Group::new());
+        self.group_on.push(false);
+        self.group_epoch.push(0);
+        GroupId(self.groups.len() - 1)
+    }
+
+    /// Adds one clause (external literals) to `group`. While the group is
+    /// detached the clause waits for the next activation; when the group is
+    /// *active* the clause attaches immediately — its literals are hot in
+    /// cache right after encoding, so this fuses what would otherwise be a
+    /// second cold pass over the clause database at activation time.
+    /// Returns `false` only when the clause simplifies to the empty clause
+    /// at root level (the database — which the clause permanently joins —
+    /// became unsatisfiable). Root-satisfied clauses and tautologies are
+    /// dropped.
+    pub fn add_clause_to_group(&mut self, group: GroupId, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.backtrack(0);
+        let max_v = lits.iter().map(|l| l.unsigned_abs()).max().unwrap_or(0);
+        self.reserve_vars(max_v as usize);
+        let mut ilits: Vec<ILit> = lits.iter().map(|&l| from_dimacs(l)).collect();
+        ilits.sort_unstable();
+        ilits.dedup();
+        let mut i = 0;
+        while i < ilits.len() {
+            if i + 1 < ilits.len() && ilits[i + 1] == ineg(ilits[i]) {
+                return true; // tautology
+            }
+            match self.value_lit(ilits[i]) {
+                LBool::True => return true, // satisfied at root
+                LBool::False => {
+                    ilits.remove(i);
+                }
+                LBool::Undef => i += 1,
+            }
+        }
+        if ilits.is_empty() {
+            self.ok = false;
+            return false;
+        }
+        let idx = self.clauses.len();
+        self.clauses.push(Clause {
+            lits: ilits,
+            learnt: false,
+            activity: 0.0,
+            active: false,
+            epoch: 0,
+        });
+        self.groups[group.0].clauses.push(idx);
+        if self.groups[group.0].active {
+            self.num_active_problem += 1;
+            let gi = group.0 + 1;
+            let cl = &self.clauses[idx];
+            if cl.lits.len() >= 2 {
+                let (l0, l1) = (cl.lits[0], cl.lits[1]);
+                let epoch = self.group_epoch[gi];
+                self.watches[l0 as usize].push(Watcher {
+                    clause: idx,
+                    blocker: l1,
+                    epoch,
+                    group: gi as u32,
+                });
+                self.watches[l1 as usize].push(Watcher {
+                    clause: idx,
+                    blocker: l0,
+                    epoch,
+                    group: gi as u32,
+                });
+                self.groups[group.0].watched.push(idx);
+            } else {
+                // Unit at root: the assignment is permanent (group clauses
+                // are permanent members of the formula), no watchers needed.
+                let l = self.clauses[idx].lits[0];
+                self.unchecked_enqueue(l, None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Attaches or detaches `group` (idempotent). Deactivation is O(1): the
+    /// group's on-flag flips, its watchers are swept out lazily during
+    /// later propagation, and the current watcher placement (kept live in
+    /// each clause's `lits[0..2]` by propagation) becomes the replay cache
+    /// for the next attach. Activation bumps the group epoch and replays
+    /// that cache: each cached pair is validated with two assignment reads
+    /// (the root may have grown while the group was detached) and re-pushed
+    /// when still non-false; only clauses whose pair went stale pay a
+    /// clause-by-clause re-selection, enqueuing clauses that became unit at
+    /// root. A group that has never been attached re-selects everything.
+    /// Must not be called mid-search; the trail is rewound to root level.
+    pub fn set_group_active(&mut self, group: GroupId, active: bool) {
+        if self.groups[group.0].active == active {
+            return;
+        }
+        self.backtrack(0);
+        self.groups[group.0].active = active;
+        let gi = group.0 + 1;
+        let n = self.groups[group.0].clauses.len();
+        if !active {
+            self.group_on[gi] = false;
+            self.num_active_problem -= n;
+            // The watched list now doubles as the placement cache:
+            // propagation keeps every attached clause's live watch pair in
+            // `lits[0..2]`, and a detached group's literals are never
+            // permuted, so the pairs stay readable until the next attach.
+            self.groups[group.0].cached = true;
+            return;
+        }
+        self.group_on[gi] = true;
+        self.num_active_problem += n;
+        let epoch = self.group_epoch[gi].wrapping_add(1);
+        self.group_epoch[gi] = epoch;
+        if self.groups[group.0].cached {
+            // Replay the placement from the previous attach. Pairs that
+            // were non-false at detach usually still are — the root only
+            // grows, and rarely onto these variables — so the common case
+            // is two assignment reads and two watcher pushes per clause,
+            // with no literal re-selection.
+            let mut watched = std::mem::take(&mut self.groups[group.0].watched);
+            let mut i = 0;
+            while i < watched.len() {
+                if !self.ok {
+                    break;
+                }
+                let idx = watched[i];
+                let cl = &self.clauses[idx];
+                let (l0, l1) = (cl.lits[0], cl.lits[1]);
+                if self.value_lit(l0) != LBool::False && self.value_lit(l1) != LBool::False {
+                    self.watches[l0 as usize].push(Watcher {
+                        clause: idx,
+                        blocker: l1,
+                        epoch,
+                        group: gi as u32,
+                    });
+                    self.watches[l1 as usize].push(Watcher {
+                        clause: idx,
+                        blocker: l0,
+                        epoch,
+                        group: gi as u32,
+                    });
+                    i += 1;
+                } else if self.attach_group_clause(idx, gi, epoch) {
+                    i += 1;
+                } else {
+                    // Became unit or satisfied at root: permanently
+                    // unwatched, drop it from the cache.
+                    watched.swap_remove(i);
+                }
+            }
+            self.groups[group.0].watched = watched;
+            return;
+        }
+        // First attach: re-select two non-false watch literals per clause
+        // and build the watched-clause cache.
+        let indices = std::mem::take(&mut self.groups[group.0].clauses);
+        let mut watched: Vec<usize> = Vec::with_capacity(indices.len());
+        for &idx in &indices {
+            if !self.ok {
+                break;
+            }
+            if self.attach_group_clause(idx, gi, epoch) {
+                watched.push(idx);
+            }
+        }
+        let g = &mut self.groups[group.0];
+        g.clauses = indices;
+        g.watched = watched;
+    }
+
+    /// Re-selects two non-false watch literals for group clause `idx`
+    /// (against the current root assignment) and attaches it. Returns true
+    /// iff the clause got watchers; a clause that is unit at root has its
+    /// literal enqueued permanently instead (group clauses are permanent
+    /// members of the formula), a root-satisfied clause is skipped, and a
+    /// clause with every literal false poisons the solver (`ok = false`).
+    fn attach_group_clause(&mut self, idx: usize, gi: usize, epoch: u32) -> bool {
+        let cl = &mut self.clauses[idx];
+        // Move two non-false literals into the watch positions.
+        let mut found = 0usize;
+        let len = cl.lits.len();
+        for k in 0..len {
+            if found == 2 {
+                break;
+            }
+            let l = cl.lits[k];
+            let v = ivar(l) as usize;
+            let lval = match self.assigns[v] {
+                LBool::Undef => LBool::Undef,
+                LBool::True if !is_negated(l) => LBool::True,
+                LBool::False if is_negated(l) => LBool::True,
+                _ => LBool::False,
+            };
+            if lval != LBool::False {
+                cl.lits.swap(found, k);
+                found += 1;
+            }
+        }
+        match found {
+            0 => {
+                // Every literal false at root: the database (which includes
+                // group clauses) is unsatisfiable.
+                self.ok = false;
+                false
+            }
+            1 => {
+                // Unit (or already satisfied) at root: the assignment is
+                // permanent, so the clause needs no watchers.
+                let l = self.clauses[idx].lits[0];
+                if self.value_lit(l) == LBool::Undef {
+                    self.unchecked_enqueue(l, None);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                    }
+                }
+                false
+            }
+            _ => {
+                let cl = &self.clauses[idx];
+                let (l0, l1) = (cl.lits[0], cl.lits[1]);
+                self.watches[l0 as usize].push(Watcher {
+                    clause: idx,
+                    blocker: l1,
+                    epoch,
+                    group: gi as u32,
+                });
+                self.watches[l1 as usize].push(Watcher {
+                    clause: idx,
+                    blocker: l0,
+                    epoch,
+                    group: gi as u32,
+                });
+                true
+            }
+        }
+    }
+
+    /// Statistics from the most recent `solve` call (batch mode) or
+    /// cumulative over the solver lifetime (incremental mode).
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Number of variables currently known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// True while the persistent clause database is still satisfiable at
+    /// root level; once an empty clause is derived every further query
+    /// answers UNSAT immediately.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Grows the variable space to at least `n` variables (1-based external
+    /// numbering `1..=n`). Lets an encoder reserve a stable block of
+    /// variables so its own numbering maps 1:1 onto solver variables before
+    /// any clause mentioning them is added. Never shrinks.
+    pub fn reserve_vars(&mut self, n: usize) {
+        if n <= self.num_vars {
+            return;
+        }
+        self.watches.resize(2 * n, Vec::new());
+        self.assigns.resize(n, LBool::Undef);
+        self.level.resize(n, 0);
+        self.reason.resize(n, None);
+        self.activity.resize(n, 0.0);
+        self.phase.resize(n, false);
+        self.seen.resize(n, false);
+        self.heap.resize(n);
+        for v in self.num_vars as u32..n as u32 {
+            self.heap.insert(v, &self.activity);
+        }
+        self.num_vars = n;
+    }
+
+    /// Adds one clause (external DIMACS literals) to the persistent
+    /// database, growing the variable space as needed. Returns `false` when
+    /// the database became unsatisfiable at root level (and stays `false`
+    /// from then on). Clauses may be added freely between
+    /// [`Self::solve_under_assumptions`] calls; learnt clauses and
+    /// heuristic state are retained.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.backtrack(0);
+        let max_v = lits.iter().map(|l| l.unsigned_abs()).max().unwrap_or(0);
+        self.reserve_vars(max_v as usize);
+        let ilits: Vec<ILit> = lits.iter().map(|&l| from_dimacs(l)).collect();
+        if !self.add_problem_clause(ilits) {
+            self.ok = false;
+        }
+        self.ok
+    }
+
+    /// Adds every clause of `cnf` to the persistent database (incremental
+    /// mode bulk load). Returns `false` when the database became
+    /// unsatisfiable at root level.
+    pub fn load_cnf(&mut self, cnf: &Cnf) -> bool {
+        self.reserve_vars(cnf.num_vars() as usize);
+        for clause in cnf.clauses() {
+            if !self.add_clause(clause) {
+                return false;
+            }
+        }
+        self.ok
+    }
+
+    /// Solves the persistent clause database under `assumptions` (external
+    /// literals, each forced true for this call only). The database, learnt
+    /// clauses, activities and phases persist across calls. On
+    /// [`SatResult::Unsat`], [`Self::unsat_core`] holds the subset of
+    /// `assumptions` in the final conflict (empty when the database is
+    /// unsatisfiable even without assumptions).
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_under_assumptions_with_stats(assumptions).result
+    }
+
+    /// As [`Self::solve_under_assumptions`], also returning the cumulative
+    /// statistics snapshot.
+    pub fn solve_under_assumptions_with_stats(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        self.stats.assumption_solves += 1;
+        self.stats.learnt_retained += self.num_learnts as u64;
+        let props_before = self.stats.propagations;
+        self.core.clear();
+        let result = if !self.ok {
+            SatResult::Unsat
+        } else {
+            self.backtrack(0);
+            let max_v = assumptions
+                .iter()
+                .map(|l| l.unsigned_abs())
+                .max()
+                .unwrap_or(0);
+            self.reserve_vars(max_v as usize);
+            // Scoped solve: swap in a small order heap holding exactly the
+            // unassigned in-scope variables. The main heap — which may carry
+            // tens of thousands of retired variables — is untouched, so
+            // per-solve cost is O(scope), not O(all vars ever created).
+            let scoped = !self.decision_ranges.is_empty();
+            if scoped {
+                self.scoped_heap.clear();
+                self.scoped_heap.resize(self.num_vars);
+                let ranges = std::mem::take(&mut self.decision_ranges);
+                for &(lo, hi) in &ranges {
+                    let hi = (hi as usize).min(self.num_vars) as Var;
+                    for ext in lo.max(1)..=hi {
+                        let v = ext - 1;
+                        if self.assigns[v as usize] == LBool::Undef {
+                            self.scoped_heap.insert(v, &self.activity);
+                        }
+                    }
+                }
+                self.decision_ranges = ranges;
+                std::mem::swap(&mut self.heap, &mut self.scoped_heap);
+            }
+            let ilits: Vec<ILit> = assumptions.iter().map(|&l| from_dimacs(l)).collect();
+            let r = self.search(&ilits);
+            self.backtrack(0);
+            if scoped {
+                std::mem::swap(&mut self.heap, &mut self.scoped_heap);
+            }
+            r
+        };
+        self.stats.last_propagations = self.stats.propagations - props_before;
+        self.stats.learnt_clauses = self.num_learnts as u64;
+        SolveOutcome {
+            result,
+            stats: self.stats,
+        }
+    }
+
+    /// The assumption literals responsible for the most recent
+    /// UNSAT-under-assumptions answer (a not-necessarily-minimal core).
+    /// Empty when the last answer was SAT/Unknown or the database itself is
+    /// unsatisfiable.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.core
     }
 
     /// Solves `cnf` and returns the result.
@@ -260,7 +822,8 @@ impl CdclSolver {
         self.solve_with_stats(cnf).result
     }
 
-    /// Solves `cnf` and returns the result with search statistics.
+    /// Solves `cnf` and returns the result with search statistics. Batch
+    /// mode: the solver is reset and the formula reloaded each call.
     pub fn solve_with_stats(&mut self, cnf: &Cnf) -> SolveOutcome {
         self.reset(cnf.num_vars() as usize);
         for clause in cnf.clauses() {
@@ -273,9 +836,10 @@ impl CdclSolver {
         let result = if !self.ok {
             SatResult::Unsat
         } else {
-            self.search()
+            self.search(&[])
         };
-        self.stats.learnt_clauses = self.clauses.iter().filter(|c| c.learnt).count() as u64;
+        self.stats.learnt_clauses = self.num_learnts as u64;
+        self.stats.last_propagations = self.stats.propagations;
         SolveOutcome {
             result,
             stats: self.stats,
@@ -312,7 +876,16 @@ impl CdclSolver {
         self.stats = SolverStats::default();
         self.ok = true;
         self.max_learnts = 0;
-        self.first_learnt_idx = 0;
+        self.num_learnts = 0;
+        self.decision_ranges.clear();
+        self.scoped_heap = ActivityHeap::default();
+        self.model_cap = None;
+        self.free_slots.clear();
+        self.groups.clear();
+        self.group_on = vec![true];
+        self.group_epoch = vec![0];
+        self.num_active_problem = 0;
+        self.core.clear();
     }
 
     #[inline]
@@ -370,24 +943,51 @@ impl CdclSolver {
 
     fn attach_clause(&mut self, lits: Vec<ILit>, learnt: bool) -> usize {
         debug_assert!(lits.len() >= 2);
-        let idx = self.clauses.len();
-        let w0 = Watcher {
-            clause: idx,
-            blocker: lits[1],
+        let (l0, l1) = (lits[0], lits[1]);
+        // Reuse a tombstoned slot when one is free; its epoch was already
+        // bumped at removal time, so stale watchers of the previous occupant
+        // never fire on the new clause.
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                debug_assert!(!self.clauses[i].active);
+                let epoch = self.clauses[i].epoch;
+                self.clauses[i] = Clause {
+                    lits,
+                    learnt,
+                    activity: 0.0,
+                    active: true,
+                    epoch,
+                };
+                i
+            }
+            None => {
+                self.clauses.push(Clause {
+                    lits,
+                    learnt,
+                    activity: 0.0,
+                    active: true,
+                    epoch: 0,
+                });
+                self.clauses.len() - 1
+            }
         };
-        let w1 = Watcher {
+        let ep = self.clauses[idx].epoch;
+        self.watches[l0 as usize].push(Watcher {
             clause: idx,
-            blocker: lits[0],
-        };
-        self.watches[lits[0] as usize].push(w0);
-        self.watches[lits[1] as usize].push(w1);
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
+            blocker: l1,
+            epoch: ep,
+            group: 0,
         });
-        if !learnt {
-            self.first_learnt_idx = self.clauses.len();
+        self.watches[l1 as usize].push(Watcher {
+            clause: idx,
+            blocker: l0,
+            epoch: ep,
+            group: 0,
+        });
+        if learnt {
+            self.num_learnts += 1;
+        } else {
+            self.num_active_problem += 1;
         }
         idx
     }
@@ -429,6 +1029,22 @@ impl CdclSolver {
                     continue;
                 }
                 let cref = w.clause;
+                // Sweep out stale watchers (dropped by not copying them to
+                // position j). Grouped watchers are validated against the
+                // hot group arrays — no clause-database traffic; ungrouped
+                // ones against the clause's own epoch (learnt tombstoning
+                // and slot reuse).
+                if w.group != 0 {
+                    let g = w.group as usize;
+                    if !self.group_on[g] || w.epoch != self.group_epoch[g] {
+                        continue;
+                    }
+                } else {
+                    let cl = &self.clauses[cref];
+                    if !cl.active || w.epoch != cl.epoch {
+                        continue;
+                    }
+                }
                 // Make sure the false literal is at position 1.
                 if self.clauses[cref].lits[0] == false_lit {
                     self.clauses[cref].lits.swap(0, 1);
@@ -439,6 +1055,8 @@ impl CdclSolver {
                     ws[j] = Watcher {
                         clause: cref,
                         blocker: first,
+                        epoch: w.epoch,
+                        group: w.group,
                     };
                     j += 1;
                     continue;
@@ -452,6 +1070,8 @@ impl CdclSolver {
                         self.watches[cand as usize].push(Watcher {
                             clause: cref,
                             blocker: first,
+                            epoch: w.epoch,
+                            group: w.group,
                         });
                         continue 'watchers;
                     }
@@ -460,6 +1080,8 @@ impl CdclSolver {
                 ws[j] = Watcher {
                     clause: cref,
                     blocker: first,
+                    epoch: w.epoch,
+                    group: w.group,
                 };
                 j += 1;
                 if self.value_lit(first) == LBool::False {
@@ -597,21 +1219,27 @@ impl CdclSolver {
 
     fn pick_branch_lit(&mut self) -> Option<ILit> {
         while let Some(v) = self.heap.pop_max(&self.activity) {
-            if self.assigns[v as usize] == LBool::Undef {
-                return Some(ilit(v, !self.phase[v as usize]));
+            if self.assigns[v as usize] != LBool::Undef {
+                continue;
             }
+            return Some(ilit(v, !self.phase[v as usize]));
         }
         None
     }
 
-    /// Removes the least active half of removable learnt clauses and rebuilds
-    /// all watch lists. Clauses that are reasons of current assignments or
-    /// binary are kept.
+    /// Removes the least active half of removable learnt clauses. Clauses
+    /// that are reasons of current assignments or binary are kept. Removal
+    /// is by tombstoning: the slot is pushed on a free list for reuse and
+    /// stale watchers are swept out lazily by `propagate` — cost is
+    /// proportional to the clause database, never to the watch lists, and
+    /// no index ever moves (reasons and clause groups stay valid).
     fn reduce_db(&mut self) {
-        let locked: Vec<usize> = self.reason.iter().flatten().copied().collect();
-        let mut removable: Vec<usize> = (self.first_learnt_idx..self.clauses.len())
+        let locked: std::collections::HashSet<usize> =
+            self.reason.iter().flatten().copied().collect();
+        let mut removable: Vec<usize> = (0..self.clauses.len())
             .filter(|&i| {
-                self.clauses[i].learnt && self.clauses[i].lits.len() > 2 && !locked.contains(&i)
+                let cl = &self.clauses[i];
+                cl.learnt && cl.active && cl.lits.len() > 2 && !locked.contains(&i)
             })
             .collect();
         removable.sort_by(|&a, &b| {
@@ -620,38 +1248,14 @@ impl CdclSolver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap()
         });
-        let to_remove: std::collections::HashSet<usize> =
-            removable[..removable.len() / 2].iter().copied().collect();
-        if to_remove.is_empty() {
-            return;
-        }
-        // Compact the clause vector and remap indices.
-        let mut remap: Vec<usize> = vec![usize::MAX; self.clauses.len()];
-        let mut kept = Vec::with_capacity(self.clauses.len() - to_remove.len());
-        for (i, cl) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
-            if !to_remove.contains(&i) {
-                remap[i] = kept.len();
-                kept.push(cl);
-            }
-        }
-        self.clauses = kept;
-        for idx in self.reason.iter_mut().flatten() {
-            *idx = remap[*idx];
-            debug_assert!(*idx != usize::MAX);
-        }
-        // Rebuild watches.
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for (i, cl) in self.clauses.iter().enumerate() {
-            self.watches[cl.lits[0] as usize].push(Watcher {
-                clause: i,
-                blocker: cl.lits[1],
-            });
-            self.watches[cl.lits[1] as usize].push(Watcher {
-                clause: i,
-                blocker: cl.lits[0],
-            });
+        removable.truncate(removable.len() / 2);
+        self.num_learnts -= removable.len();
+        for i in removable {
+            let cl = &mut self.clauses[i];
+            cl.active = false;
+            cl.epoch = cl.epoch.wrapping_add(1);
+            cl.lits = Vec::new();
+            self.free_slots.push(i);
         }
     }
 
@@ -672,11 +1276,58 @@ impl CdclSolver {
         1u64 << seq
     }
 
-    fn search(&mut self) -> SatResult {
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): given an
+    /// assumption literal `p` found false while planting assumptions,
+    /// returns the subset of planted assumptions (plus `p` itself, external
+    /// form) whose conjunction the clause database refutes.
+    fn analyze_final(&mut self, p: ILit) -> Vec<Lit> {
+        let mut out = vec![to_dimacs(p)];
+        if self.decision_level() == 0 {
+            return out;
+        }
+        self.seen[ivar(p) as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = ivar(self.trail[i]) as usize;
+            if !self.seen[x] {
+                continue;
+            }
+            match self.reason[x] {
+                None => {
+                    // A decision below the regular search: an assumption.
+                    debug_assert!(self.level[x] > 0);
+                    out.push(to_dimacs(self.trail[i]));
+                }
+                Some(c) => {
+                    let len = self.clauses[c].lits.len();
+                    for k in 1..len {
+                        let q = self.clauses[c].lits[k];
+                        if self.level[ivar(q) as usize] > 0 {
+                            self.seen[ivar(q) as usize] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[x] = false;
+        }
+        self.seen[ivar(p) as usize] = false;
+        out
+    }
+
+    /// CDCL search. `assumptions` (internal literals) are planted as
+    /// pseudo-decisions at levels `1..=assumptions.len()`, re-established
+    /// after every restart/backjump; regular decisions stack above them.
+    fn search(&mut self, assumptions: &[ILit]) -> SatResult {
         if self.propagate().is_some() {
+            self.ok = false;
             return SatResult::Unsat;
         }
-        self.max_learnts = (self.clauses.len() / 3).max(200);
+        // Cap the learnt DB relative to the *attached* problem clauses, not
+        // the (unboundedly growing) detached dead groups. The floor is
+        // generous: an incremental session lives on retained learnt clauses,
+        // and reduce_db thrash (tombstoning is cheap, but the lost clauses
+        // are not) costs far more than the memory of a few thousand learnts.
+        self.max_learnts = self.max_learnts.max(self.num_active_problem.max(4000));
+        let conflicts_at_entry = self.stats.conflicts;
         let mut restart_round: u64 = 0;
         loop {
             let conflict_cap = Self::luby(restart_round) * 100;
@@ -687,6 +1338,9 @@ impl CdclSolver {
                     self.stats.conflicts += 1;
                     conflicts_here += 1;
                     if self.decision_level() == 0 {
+                        // Conflict below the assumptions: the database itself
+                        // is unsatisfiable, with or without assumptions.
+                        self.ok = false;
                         return SatResult::Unsat;
                     }
                     let (learnt, bt) = self.analyze(confl);
@@ -701,7 +1355,7 @@ impl CdclSolver {
                     }
                     self.decay_activities();
                     if let Some(budget) = self.conflict_budget {
-                        if self.stats.conflicts >= budget {
+                        if self.stats.conflicts - conflicts_at_entry >= budget {
                             return SatResult::Unknown;
                         }
                     }
@@ -711,16 +1365,45 @@ impl CdclSolver {
                         self.backtrack(0);
                         break;
                     }
-                    let learnt_count = self.clauses.len() - self.first_learnt_idx;
-                    if learnt_count > self.max_learnts {
+                    if self.num_learnts > self.max_learnts {
                         self.reduce_db();
                         self.max_learnts = self.max_learnts * 11 / 10;
                     }
-                    match self.pick_branch_lit() {
+                    // Re-plant any missing assumption as the next
+                    // pseudo-decision before regular branching.
+                    let mut next: Option<ILit> = None;
+                    while (self.decision_level() as usize) < assumptions.len() {
+                        let p = assumptions[self.decision_level() as usize];
+                        match self.value_lit(p) {
+                            LBool::True => {
+                                // Already implied: dummy level keeps the
+                                // level↔assumption-index correspondence.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            LBool::False => {
+                                self.core = self.analyze_final(p);
+                                return SatResult::Unsat;
+                            }
+                            LBool::Undef => {
+                                next = Some(p);
+                                break;
+                            }
+                        }
+                    }
+                    let decision = match next {
+                        Some(p) => Some(p),
+                        None => self.pick_branch_lit(),
+                    };
+                    match decision {
                         None => {
-                            // Complete assignment: build the model.
-                            let mut values = vec![false; self.num_vars + 1];
-                            for v in 0..self.num_vars {
+                            // No in-scope variable left unassigned: build the
+                            // model (out-of-scope variables propagation never
+                            // reached read as false — see the
+                            // `set_decision_ranges` contract), materializing
+                            // only up to the model cap when one is set.
+                            let n = self.model_cap.unwrap_or(self.num_vars).min(self.num_vars);
+                            let mut values = vec![false; n + 1];
+                            for v in 0..n {
                                 values[v + 1] = self.assigns[v] == LBool::True;
                             }
                             return SatResult::Sat(Model::from_values(values));
@@ -873,5 +1556,289 @@ mod tests {
         let m = solve(&cnf).model();
         assert!(m.value(1));
         assert!(m.value(3));
+    }
+
+    #[test]
+    fn clause_group_detach_and_reattach() {
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        let g = s.new_clause_group();
+        assert!(s.add_clause_to_group(g, &[-1, -2]));
+
+        // Inactive group: both vars may be true together.
+        assert!(matches!(
+            s.solve_under_assumptions(&[1, 2]),
+            SatResult::Sat(_)
+        ));
+        // Active: the group clause forbids that assignment.
+        s.set_group_active(g, true);
+        assert_eq!(s.solve_under_assumptions(&[1, 2]), SatResult::Unsat);
+        // Detach again: back to satisfiable (watchers are ignored lazily).
+        s.set_group_active(g, false);
+        assert!(matches!(
+            s.solve_under_assumptions(&[1, 2]),
+            SatResult::Sat(_)
+        ));
+        // Re-attach replays the cached watcher placement.
+        s.set_group_active(g, true);
+        assert_eq!(s.solve_under_assumptions(&[1, 2]), SatResult::Unsat);
+        let m = match s.solve_under_assumptions(&[1]) {
+            SatResult::Sat(m) => m,
+            other => panic!("expected SAT, got {other:?}"),
+        };
+        assert!(m.value(1) && !m.value(2));
+    }
+
+    #[test]
+    fn clause_group_replay_survives_root_growth() {
+        // The root may gain units between detach and re-attach; the cached
+        // watch pair is then stale and must be re-placed per clause.
+        let mut s = CdclSolver::new();
+        let g = s.new_clause_group();
+        s.set_group_active(g, true);
+        assert!(s.add_clause_to_group(g, &[-1, -2]));
+        assert!(matches!(s.solve_under_assumptions(&[]), SatResult::Sat(_)));
+        s.set_group_active(g, false);
+        assert!(s.add_clause(&[1])); // root unit falsifies the cached watch -1
+        s.set_group_active(g, true);
+        let m = match s.solve_under_assumptions(&[]) {
+            SatResult::Sat(m) => m,
+            other => panic!("expected SAT, got {other:?}"),
+        };
+        assert!(m.value(1) && !m.value(2));
+        assert_eq!(s.solve_under_assumptions(&[2]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn clause_group_attach_on_add() {
+        // Clauses added to an already-active group take effect without a
+        // detach/attach cycle.
+        let mut s = CdclSolver::new();
+        let g = s.new_clause_group();
+        s.set_group_active(g, true);
+        assert!(s.add_clause_to_group(g, &[1, 2]));
+        assert!(s.add_clause_to_group(g, &[-1]));
+        let m = match s.solve_under_assumptions(&[]) {
+            SatResult::Sat(m) => m,
+            other => panic!("expected SAT, got {other:?}"),
+        };
+        assert!(!m.value(1) && m.value(2));
+    }
+
+    #[test]
+    fn selector_guarded_group_retires_via_root_unit() {
+        // The incremental contract: clauses guarded by a selector literal,
+        // enabled per solve through assumptions, retired forever by the
+        // root-level unit ¬sel.
+        let mut s = CdclSolver::new();
+        let sel = 10;
+        let g = s.new_clause_group();
+        s.set_group_active(g, true);
+        assert!(s.add_clause_to_group(g, &[-sel, 1]));
+        assert!(s.add_clause_to_group(g, &[-sel, -2]));
+
+        let m = match s.solve_under_assumptions(&[sel]) {
+            SatResult::Sat(m) => m,
+            other => panic!("expected SAT, got {other:?}"),
+        };
+        assert!(m.value(1) && !m.value(2));
+        assert_eq!(s.solve_under_assumptions(&[sel, 2]), SatResult::Unsat);
+        assert!(s.unsat_core().contains(&sel) || s.unsat_core().contains(&2));
+
+        assert!(s.add_clause(&[-sel])); // retire the instance
+        assert_eq!(s.solve_under_assumptions(&[sel]), SatResult::Unsat);
+        assert_eq!(s.unsat_core(), &[sel]);
+        // Without the dead selector everything is unconstrained again.
+        assert!(matches!(s.solve_under_assumptions(&[2]), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn decision_ranges_scope_the_search() {
+        // Vars 3.. belong to an inactive group, so the active formula only
+        // constrains 1..=2; scoping decisions there must still yield a model
+        // for the active clauses, and untouched out-of-scope vars read false.
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        let idle = s.new_clause_group();
+        assert!(s.add_clause_to_group(idle, &[3, 4]));
+        s.reserve_vars(4);
+        s.set_decision_ranges(&[(1, 2)]);
+        let m = match s.solve_under_assumptions(&[]) {
+            SatResult::Sat(m) => m,
+            other => panic!("expected SAT, got {other:?}"),
+        };
+        assert!(m.value(1) || m.value(2));
+        assert!(!m.value(3) && !m.value(4));
+    }
+
+    #[test]
+    fn model_cap_truncates_incremental_models() {
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[1]));
+        assert!(s.add_clause(&[-1, 2]));
+        assert!(s.add_clause(&[5, 6]));
+        s.set_model_cap(Some(2));
+        let m = match s.solve_under_assumptions(&[]) {
+            SatResult::Sat(m) => m,
+            other => panic!("expected SAT, got {other:?}"),
+        };
+        assert!(m.value(1) && m.value(2));
+        assert_eq!(m.num_vars(), 2);
+        // Batch solve clears the cap and yields a full model again.
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[1]);
+        cnf.add_clause(&[5, 6]);
+        let m = s.solve(&cnf).model();
+        assert!(m.num_vars() >= 6);
+        assert!(m.value(5) || m.value(6));
+    }
+
+    #[test]
+    fn assumptions_flip_the_answer_without_reloading() {
+        // (x1 | x2) & (!x1 | x3): satisfiable, but not under {!x2, !x3}.
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        assert!(s.add_clause(&[-1, 3]));
+        let m = s.solve_under_assumptions(&[-2]).model();
+        assert!(m.value(1));
+        assert!(m.value(3));
+        assert_eq!(s.solve_under_assumptions(&[-2, -3]), SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| [-2, -3].contains(l)), "core {core:?}");
+        // The solver is not poisoned: the relaxed query is SAT again.
+        assert!(s.solve_under_assumptions(&[-2]).is_sat());
+        assert!(s.is_ok());
+    }
+
+    #[test]
+    fn clauses_added_between_solves_take_effect() {
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        assert!(s.solve_under_assumptions(&[]).is_sat());
+        assert!(s.add_clause(&[-1]));
+        // (1|2) with -1 forces 2 at level 0, so the unit -2 is a root
+        // conflict: add_clause reports it immediately.
+        assert!(!s.add_clause(&[-2]));
+        assert_eq!(s.solve_under_assumptions(&[]), SatResult::Unsat);
+        assert!(s.unsat_core().is_empty(), "formula-level unsat has no core");
+        assert!(!s.is_ok());
+        // Every further query short-circuits to Unsat.
+        assert_eq!(s.solve_under_assumptions(&[3]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn selector_retirement_via_unit_clause() {
+        // Group clauses guarded by selector 10: (!s10 | 1) & (!s10 | -2).
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[-10, 1]));
+        assert!(s.add_clause(&[-10, -2]));
+        assert!(s.add_clause(&[2, 3]));
+        let m = s.solve_under_assumptions(&[10]).model();
+        assert!(m.value(1));
+        assert!(!m.value(2));
+        assert!(m.value(3));
+        // Retire the selector; the group no longer constrains anything.
+        assert!(s.add_clause(&[-10]));
+        let m = s.solve_under_assumptions(&[2]).model();
+        assert!(m.value(2));
+    }
+
+    #[test]
+    fn learnt_clauses_survive_assumption_solves() {
+        let cnf = pigeonhole(5);
+        let mut s = CdclSolver::new();
+        assert!(s.load_cnf(&cnf));
+        assert_eq!(s.solve_under_assumptions(&[]), SatResult::Unsat);
+        let first = s.stats();
+        assert!(first.conflicts > 0);
+        // PHP(5) is unsat without assumptions, so ok=false short-circuits;
+        // use a satisfiable base to observe retention instead.
+        let mut s = CdclSolver::new();
+        let mut sat_cnf = Cnf::new();
+        // Force some search: 3-coloring chain with an extra free block.
+        let v = |n: i32, c: i32| n * 3 + c + 1;
+        for n in 0..6 {
+            sat_cnf.add_clause(&[v(n, 0), v(n, 1), v(n, 2)]);
+        }
+        for n in 0..5 {
+            for c in 0..3 {
+                sat_cnf.add_clause(&[-v(n, c), -v(n + 1, c)]);
+            }
+        }
+        assert!(s.load_cnf(&sat_cnf));
+        assert!(s.solve_under_assumptions(&[v(0, 0)]).is_sat());
+        let after_first = s.stats();
+        assert_eq!(after_first.assumption_solves, 1);
+        assert!(s.solve_under_assumptions(&[v(0, 1)]).is_sat());
+        let after_second = s.stats();
+        assert_eq!(after_second.assumption_solves, 2);
+        assert_eq!(
+            after_second.learnt_retained - after_first.learnt_retained,
+            after_first.learnt_clauses,
+            "second solve starts with everything the first solve learnt"
+        );
+    }
+
+    #[test]
+    fn per_solve_conflict_budget_is_not_cumulative() {
+        // A budget that PHP(6)-under-selector exhausts per call must yield
+        // Unknown on each call, not only the first.
+        let holes = 6u32;
+        let pigeons = holes + 1;
+        let sel = (pigeons * holes + 1) as i32;
+        let var = |p: u32, h: u32| (p * holes + h + 1) as i32;
+        let mut s = CdclSolver::new().with_conflict_budget(5);
+        for p in 0..pigeons {
+            let mut clause: Vec<i32> = (0..holes).map(|h| var(p, h)).collect();
+            clause.insert(0, -sel);
+            assert!(s.add_clause(&clause));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    assert!(s.add_clause(&[-sel, -var(p1, h), -var(p2, h)]));
+                }
+            }
+        }
+        assert_eq!(s.solve_under_assumptions(&[sel]), SatResult::Unknown);
+        assert_eq!(
+            s.solve_under_assumptions(&[sel]),
+            SatResult::Unknown,
+            "budget must reset per solve, not starve on cumulative conflicts"
+        );
+        // Without the selector the instance is free: SAT instantly.
+        assert!(s.solve_under_assumptions(&[-sel]).is_sat());
+    }
+
+    #[test]
+    fn reserve_vars_keeps_reserved_block_stable() {
+        let mut s = CdclSolver::new();
+        s.reserve_vars(300);
+        assert_eq!(s.num_vars(), 300);
+        // Clauses over the reserved block work without implicit growth.
+        assert!(s.add_clause(&[257, 300]));
+        assert!(s.add_clause(&[-257]));
+        let m = s.solve_under_assumptions(&[]).model();
+        assert!(m.value(300));
+        assert!(!m.value(257));
+        assert_eq!(s.num_vars(), 300);
+    }
+
+    #[test]
+    fn assumption_of_failed_literal_yields_singleton_core() {
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[-5])); // x5 is false at root level
+        assert_eq!(s.solve_under_assumptions(&[5]), SatResult::Unsat);
+        assert_eq!(s.unsat_core(), &[5]);
+    }
+
+    #[test]
+    fn contradictory_assumptions_detected() {
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        assert_eq!(s.solve_under_assumptions(&[3, -3]), SatResult::Unsat);
+        let core = s.unsat_core();
+        assert!(core.contains(&3) && core.contains(&-3), "core {core:?}");
     }
 }

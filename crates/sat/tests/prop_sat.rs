@@ -88,6 +88,102 @@ proptest! {
         let b = CdclSolver::new().solve(&cnf);
         prop_assert_eq!(a, b);
     }
+
+    /// `solve_under_assumptions` ≡ DPLL on the same CNF with the assumptions
+    /// appended as unit clauses; on UNSAT the returned core is a subset of
+    /// the assumptions and is itself sufficient for unsatisfiability.
+    #[test]
+    fn assumption_solve_equiv_dpll_units(
+        cnf in arb_cnf(10, 40),
+        raw_assumps in prop::collection::vec((1u32..=10, any::<bool>()), 0..=6),
+    ) {
+        let assumps: Vec<i32> = raw_assumps
+            .into_iter()
+            .map(|(v, neg)| if neg { -(v as i32) } else { v as i32 })
+            .collect();
+        let mut inc = CdclSolver::new();
+        inc.load_cnf(&cnf);
+        let res = inc.solve_under_assumptions(&assumps);
+        let mut with_units = cnf.clone();
+        for &a in &assumps {
+            with_units.add_clause(&[a]);
+        }
+        let reference = DpllSolver::new().solve(&with_units);
+        prop_assert_eq!(res.is_sat(), reference.is_sat());
+        match res {
+            SatResult::Sat(m) => {
+                prop_assert!(m.satisfies(&cnf));
+                for &a in &assumps {
+                    prop_assert!(m.lit_value(a), "assumption {} violated", a);
+                }
+            }
+            SatResult::Unsat => {
+                let core = inc.unsat_core().to_vec();
+                for &l in &core {
+                    prop_assert!(assumps.contains(&l), "core literal {} not assumed", l);
+                }
+                let mut with_core = cnf.clone();
+                for &l in &core {
+                    with_core.add_clause(&[l]);
+                }
+                prop_assert!(
+                    !DpllSolver::new().solve(&with_core).is_sat(),
+                    "core {:?} is not sufficient for UNSAT", core
+                );
+            }
+            SatResult::Unknown => prop_assert!(false, "no budget set, Unknown impossible"),
+        }
+    }
+
+    /// Random add-clause/solve interleavings: the long-lived incremental
+    /// solver (learnt clauses and activities surviving every step) agrees
+    /// with a from-scratch DPLL solve of the accumulated formula at every
+    /// step, under every step's assumption set.
+    #[test]
+    fn incremental_interleaving_equiv_scratch(
+        script in prop::collection::vec(
+            (
+                prop::collection::vec(
+                    prop::collection::vec((1u32..=9, any::<bool>()), 1..=3),
+                    1..=8,
+                ),
+                prop::collection::vec((1u32..=9, any::<bool>()), 0..=4),
+            ),
+            1..=5,
+        ),
+    ) {
+        let mut inc = CdclSolver::new();
+        let mut acc = Cnf::new();
+        for (chunk, raw_assumps) in script {
+            for cl in chunk {
+                let lits: Vec<i32> = cl
+                    .into_iter()
+                    .map(|(v, neg)| if neg { -(v as i32) } else { v as i32 })
+                    .collect();
+                // A `false` return marks the formula root-UNSAT; the scratch
+                // reference sees the same clauses and must agree below.
+                let _ = inc.add_clause(&lits);
+                acc.add_clause(&lits);
+            }
+            let assumps: Vec<i32> = raw_assumps
+                .into_iter()
+                .map(|(v, neg)| if neg { -(v as i32) } else { v as i32 })
+                .collect();
+            let res = inc.solve_under_assumptions(&assumps);
+            let mut scratch = acc.clone();
+            for &a in &assumps {
+                scratch.add_clause(&[a]);
+            }
+            let reference = DpllSolver::new().solve(&scratch);
+            prop_assert_eq!(res.is_sat(), reference.is_sat());
+            if let SatResult::Sat(m) = res {
+                prop_assert!(m.satisfies(&acc));
+                for &a in &assumps {
+                    prop_assert!(m.lit_value(a), "assumption {} violated", a);
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -293,6 +293,9 @@ proptest! {
     /// identical to cold serial engines on the same snapshots: with one
     /// batch per switch every engine is cold wherever the job lands, so
     /// worker count and stealing cannot change a single byte of output.
+    /// The serial reference is built from the pool's own engine template
+    /// (incremental by default), so this also pins the long-lived
+    /// assumption-based solver to be deterministic across engines.
     #[test]
     fn pool_structurally_matches_serial_on_random_tables(
         tables in prop::collection::vec(arb_table(), 2..6),
@@ -303,7 +306,9 @@ proptest! {
             .iter()
             .map(|t| Arc::new(SharedTable::new(t.clone())))
             .collect();
-        let pool = EnginePool::new(PoolConfig::with_workers(workers));
+        let pool_cfg = PoolConfig::with_workers(workers);
+        let engine_template = pool_cfg.engine.clone();
+        let pool = EnginePool::new(pool_cfg);
         let jobs: Vec<ProbeJob> = shareds
             .iter()
             .enumerate()
@@ -315,7 +320,7 @@ proptest! {
             prop_assert!(!r.stale);
             prop_assert_eq!(r.switch_id, sw as u32, "submission order preserved");
             let ids = monitorable_ids(table);
-            let mut serial = ProbeEngine::default();
+            let mut serial = ProbeEngine::new(engine_template.clone());
             let reference = serial.generate_batch(table, &ids, &catch);
             prop_assert_eq!(&r.ids, &ids);
             prop_assert_eq!(&r.results, &reference, "switch {} diverged", sw);
