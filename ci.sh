@@ -57,6 +57,17 @@ echo "== perf baseline: TCP transport loopback (full sweep) =="
 # sweep is install-latency-bound, not CPU-bound, so it stays sub-second.
 ./target/release/transport_loopback --json BENCH_transport.json
 
+echo "== smoke: adaptive scheduler (small) =="
+# Quick sanity run of the adaptive-vs-fixed detection-latency comparison;
+# the binary asserts adaptive beats the fixed sweep on the churn workload.
+./target/release/scheduler --small
+
+echo "== perf baseline: adaptive scheduler vs fixed sweep =="
+# The committed baseline: detection latency of injected rule breakage under
+# churn/correlated/storm workloads, adaptive vs fixed at equal probe budget
+# (500/s) and equal worst-case revisit (SLO = fixed cycle time).
+./target/release/scheduler --json BENCH_scheduler.json
+
 echo "== smoke: Fig. 8 large-network simulation =="
 # Small-size end-to-end run of the packet-level simulator over the trie-
 # backed data plane (the full 2000-path figure takes minutes).

@@ -147,6 +147,9 @@ pub struct MonocleApp<E: Experiment> {
     next_xid: u32,
     /// Timestamped confirmations/failures.
     pub events: Vec<HarnessEvent>,
+    /// When attached, steady plan refreshes are batched across dirty
+    /// proxies on this pool at every tick instead of running inline.
+    pool: Option<Arc<EnginePool>>,
 }
 
 impl<E: Experiment> MonocleApp<E> {
@@ -208,12 +211,25 @@ impl<E: Experiment> MonocleApp<E> {
             barrier_waits: HashMap::new(),
             next_xid: 1,
             events: Vec::new(),
+            pool: None,
         }
     }
 
     /// Access a proxy (tests/inspection).
     pub fn proxy(&self, sw: usize) -> Option<&MonitorProxy> {
         self.proxies.get(&sw)
+    }
+
+    /// Attaches a shared [`EnginePool`]: per-proxy inline steady refreshes
+    /// are disabled and every harness tick batches the *dirty* proxies'
+    /// plan regeneration onto the pool instead — the adaptive scheduler's
+    /// churn signal thus drives pool batch refreshes rather than serial
+    /// per-switch SAT runs on the event path.
+    pub fn attach_pool(&mut self, pool: Arc<EnginePool>) {
+        for p in self.proxies.values_mut() {
+            p.set_external_steady_refresh(true);
+        }
+        self.pool = Some(pool);
     }
 
     /// Aggregate probe-generation statistics across every monitored
@@ -243,6 +259,16 @@ impl<E: Experiment> MonocleApp<E> {
     pub fn refresh_steady_parallel(&mut self, pool: &EnginePool) -> Vec<(usize, (usize, usize))> {
         let mut sws: Vec<usize> = self.proxies.keys().copied().collect();
         sws.sort_unstable();
+        self.refresh_steady_for(pool, &sws)
+    }
+
+    /// Pooled steady refresh restricted to `sws` (the tick path only
+    /// refreshes proxies whose plan cycle is actually stale).
+    fn refresh_steady_for(
+        &mut self,
+        pool: &EnginePool,
+        sws: &[usize],
+    ) -> Vec<(usize, (usize, usize))> {
         let mut epochs: HashMap<usize, u32> = HashMap::new();
         let jobs: Vec<ProbeJob> = sws
             .iter()
@@ -447,6 +473,20 @@ impl<E: Experiment> ControlApp for MonocleApp<E> {
 
     fn on_timer(&mut self, ctx: &mut AppCtx, token: u64) {
         if token == TICK_TOKEN {
+            // Pool-attached mode: regenerate stale plan cycles in one batch
+            // before the per-proxy ticks consume them.
+            if let Some(pool) = self.pool.clone() {
+                let mut dirty: Vec<usize> = self
+                    .proxies
+                    .iter()
+                    .filter(|(_, p)| p.steady_needs_refresh())
+                    .map(|(&sw, _)| sw)
+                    .collect();
+                if !dirty.is_empty() {
+                    dirty.sort_unstable();
+                    self.refresh_steady_for(&pool, &dirty);
+                }
+            }
             let sws: Vec<usize> = self.proxies.keys().copied().collect();
             for sw in sws {
                 let outputs = self.proxies.get_mut(&sw).unwrap().on_tick(ctx.now);
@@ -695,6 +735,65 @@ mod tests {
             .events
             .iter()
             .all(|e| !matches!(e, HarnessEvent::RuleFailed { .. })));
+    }
+
+    #[test]
+    fn adaptive_steady_detects_failed_rule_in_simulator() {
+        let mut net = triangle_net(SwitchProfile::ideal());
+        let cfg = HarnessConfig {
+            steady: Some(SteadyConfig {
+                adaptive: Some(monocle_sched::SchedConfig::default()),
+                ..SteadyConfig::default()
+            }),
+            ..Default::default()
+        };
+        let mut app = MonocleApp::build(OneUpdate { sent: false }, &net, &[0], cfg);
+        net.start(&mut app);
+        net.run_for(&mut app, time::s(2));
+        let victim = net
+            .switch(0)
+            .dataplane()
+            .rules()
+            .iter()
+            .find(|r| r.priority == 10)
+            .map(|r| r.id)
+            .expect("rule installed");
+        net.switch_mut(0).fail_rule(victim);
+        net.run_for(&mut app, time::s(4));
+        assert!(
+            app.events
+                .iter()
+                .any(|e| matches!(e, HarnessEvent::RuleFailed { .. })),
+            "adaptive steady monitor must detect the failure"
+        );
+        let stats = app.proxy(0).unwrap().steady_sched_stats().unwrap();
+        assert!(stats.released > 0, "scheduler actually drove probes");
+    }
+
+    #[test]
+    fn pool_attached_tick_refreshes_dirty_proxies() {
+        use crate::pool::{EnginePool, PoolConfig};
+        let mut net = triangle_net(SwitchProfile::ideal());
+        let cfg = HarnessConfig {
+            steady: Some(SteadyConfig {
+                adaptive: Some(monocle_sched::SchedConfig::default()),
+                ..SteadyConfig::default()
+            }),
+            ..Default::default()
+        };
+        let mut app = MonocleApp::build(OneUpdate { sent: false }, &net, &[0], cfg);
+        app.attach_pool(Arc::new(EnginePool::new(PoolConfig::with_workers(2))));
+        net.start(&mut app);
+        net.run_for(&mut app, time::s(2));
+        // The flow_mods marked the proxy dirty; the tick path must have
+        // refreshed plans through the pool (probes flow, nothing fails).
+        let p = app.proxy(0).unwrap();
+        assert!(!p.steady_needs_refresh(), "tick batched the refresh");
+        assert!(p.steady_sched_stats().unwrap().released > 0);
+        assert!(!app
+            .events
+            .iter()
+            .any(|e| matches!(e, HarnessEvent::RuleFailed { .. })));
     }
 
     #[test]

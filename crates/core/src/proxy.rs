@@ -119,6 +119,11 @@ pub struct MonitorProxy {
     dynamic: DynamicMonitor,
     steady: Option<SteadyMonitor>,
     steady_dirty: bool,
+    /// When set, `on_tick` never refreshes steady plans inline; an external
+    /// owner (the harness, batching over an [`crate::pool::EnginePool`])
+    /// polls [`Self::steady_needs_refresh`] and installs results through
+    /// [`Self::ingest_steady_results`].
+    external_steady_refresh: bool,
     /// Pending drop-postponed finalizations: token -> finalize FlowMod.
     pending_finalize: Vec<(u64, FlowMod)>,
     /// Rules for which steady-state probe generation failed (Table 2's
@@ -136,6 +141,7 @@ impl MonitorProxy {
             dynamic,
             steady,
             steady_dirty: false,
+            external_steady_refresh: false,
             pending_finalize: Vec::new(),
             unmonitorable: Vec::new(),
         }
@@ -202,8 +208,39 @@ impl MonitorProxy {
             }
             _ => fm,
         };
+        let key = (fm.priority, fm.match_);
         let actions = self.dynamic.on_flowmod(now, token, fm);
+        // Adaptive steady scheduling: the touched rule (added or modified —
+        // deletes leave the sweep at the next refresh anyway) becomes hot.
+        if let Some(steady) = &mut self.steady {
+            if steady.is_adaptive() {
+                if let Some(rule) = self
+                    .dynamic
+                    .expected()
+                    .table()
+                    .rules()
+                    .iter()
+                    .find(|r| r.priority == key.0 && r.match_ == key.1)
+                {
+                    steady.note_rule_modified(rule.id, now);
+                }
+            }
+        }
         self.map_dynamic(now, actions)
+    }
+
+    /// Feeds the per-switch transport cost (RTT-derived factor ≥ 1.0 plus a
+    /// backpressure flag) into the adaptive steady scheduler. No-op in
+    /// fixed-sweep or dynamic-only configurations.
+    pub fn set_switch_cost(&mut self, cost: f64, backpressured: bool) {
+        if let Some(steady) = &mut self.steady {
+            steady.set_switch_cost(cost, backpressured);
+        }
+    }
+
+    /// Scheduler counters of the steady monitor, when adaptive.
+    pub fn steady_sched_stats(&self) -> Option<monocle_sched::SchedStats> {
+        self.steady.as_ref().and_then(|s| s.sched_stats())
     }
 
     /// A probe came back: `out_port` is the probed switch's output port the
@@ -252,7 +289,7 @@ impl MonitorProxy {
         let dyn_actions = self.dynamic.on_tick(now);
         let mut out = self.map_dynamic(now, dyn_actions);
         if self.steady.is_some() {
-            if self.steady_dirty && self.dynamic.in_flight() == 0 {
+            if !self.external_steady_refresh && self.steady_needs_refresh() {
                 self.refresh_steady_plans();
             }
             let actions = self.steady.as_mut().unwrap().on_tick(now);
@@ -297,6 +334,22 @@ impl MonitorProxy {
     /// Updates forwarded to the switch whose deferred plan is still pending.
     pub fn awaiting_plans(&self) -> usize {
         self.dynamic.awaiting_plans()
+    }
+
+    /// Whether the steady plan cycle is stale and quiescent enough to
+    /// regenerate (same gate the inline refresh uses: no dynamic update in
+    /// flight racing the table snapshot).
+    pub fn steady_needs_refresh(&self) -> bool {
+        self.steady.is_some() && self.steady_dirty && self.dynamic.in_flight() == 0
+    }
+
+    /// Hands steady plan refreshes to an external batcher: `on_tick` stops
+    /// regenerating plans inline and the owner is expected to poll
+    /// [`Self::steady_needs_refresh`] and install results via
+    /// [`Self::ingest_steady_results`] (typically batched across proxies on
+    /// an [`crate::pool::EnginePool`]).
+    pub fn set_external_steady_refresh(&mut self, on: bool) {
+        self.external_steady_refresh = on;
     }
 
     /// The rules a steady-state sweep covers: every production rule of the

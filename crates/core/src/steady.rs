@@ -7,11 +7,24 @@
 //!
 //! This is a pure, time-driven state machine: the harness feeds it ticks
 //! and classified probe verdicts and executes the actions it returns.
+//!
+//! # Scheduling modes
+//!
+//! With [`SteadyConfig::adaptive`] unset, injections walk the plan list
+//! round-robin (the paper's fixed sweep). With it set, a
+//! [`monocle_sched::AdaptiveScheduler`] picks which rule each injection
+//! slot goes to — recently-modified, high-churn and failing rules are
+//! probed more often while every rule still meets the staleness SLO. The
+//! injection *pacing* is identical in both modes (one probe per
+//! `probe_interval`, and the scheduler's token bucket is derived from the
+//! same interval), so switching modes redistributes the budget without
+//! raising it.
 
 use crate::generator::ProbeError;
 use crate::plan::{ProbePlan, Verdict};
 use monocle_openflow::RuleId;
-use std::collections::BTreeMap;
+use monocle_sched::{AdaptiveScheduler, SchedConfig, SchedStats};
+use std::collections::{BTreeMap, HashMap};
 
 /// Steady-state monitor configuration.
 #[derive(Debug, Clone)]
@@ -22,6 +35,10 @@ pub struct SteadyConfig {
     pub timeout: u64,
     /// Maximum number of resends within the window (default 3).
     pub max_retries: u32,
+    /// Adaptive scheduling; `None` (default) keeps the fixed round-robin
+    /// sweep. The scheduler's probe budget is overridden to
+    /// `1e9 / probe_interval` so both modes spend the same budget.
+    pub adaptive: Option<SchedConfig>,
 }
 
 impl Default for SteadyConfig {
@@ -30,6 +47,7 @@ impl Default for SteadyConfig {
             probe_interval: 2_000_000,
             timeout: 150_000_000,
             max_retries: 3,
+            adaptive: None,
         }
     }
 }
@@ -79,24 +97,79 @@ pub struct SteadyMonitor {
     next_seq: u32,
     /// Epoch the plans were generated under.
     pub epoch: u32,
+    /// Adaptive scheduler (None ⇒ fixed round-robin sweep). Its state is
+    /// keyed by rule id and survives plan refreshes.
+    sched: Option<AdaptiveScheduler>,
+    /// Rule id → index into `plans`, rebuilt on every `set_plans`.
+    by_rule: HashMap<u64, usize>,
+    /// Latest time observed via `on_tick`/`on_verdict`; used to stamp
+    /// scheduler state when plans are swapped (set_plans carries no clock).
+    now_hint: u64,
 }
 
 impl SteadyMonitor {
     /// Creates a monitor with the given configuration.
     pub fn new(cfg: SteadyConfig) -> SteadyMonitor {
+        let sched = cfg.adaptive.clone().map(|mut sc| {
+            // Same budget as the fixed sweep, whatever the caller put in.
+            sc.budget_pps = 1e9 / cfg.probe_interval.max(1) as f64;
+            AdaptiveScheduler::new(sc)
+        });
         SteadyMonitor {
             cfg,
+            sched,
             ..Default::default()
         }
     }
 
+    /// Whether injections are driven by the adaptive scheduler.
+    pub fn is_adaptive(&self) -> bool {
+        self.sched.is_some()
+    }
+
+    /// Scheduler counters, when adaptive.
+    pub fn sched_stats(&self) -> Option<SchedStats> {
+        self.sched.as_ref().map(|s| s.stats())
+    }
+
     /// Replaces the probe plans (regenerated after a table change);
-    /// outstanding probes from the prior epoch are discarded.
+    /// outstanding probes from the prior epoch are discarded. In adaptive
+    /// mode, per-rule scheduler state (heat, deadlines, failure history)
+    /// carries over for rules that survive the refresh.
     pub fn set_plans(&mut self, plans: Vec<ProbePlan>, epoch: u32) {
         self.plans = plans;
         self.epoch = epoch;
         self.cursor = 0;
         self.outstanding.clear();
+        self.by_rule = self
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.rule_id.0, i))
+            .collect();
+        if let Some(sched) = self.sched.as_mut() {
+            let keys: Vec<u64> = self.plans.iter().map(|p| p.rule_id.0).collect();
+            sched.sync(&keys, self.now_hint);
+        }
+    }
+
+    /// Tells the scheduler `rule` was just modified by a flow_mod: its next
+    /// probe is pulled forward and its churn heat bumped. No-op in fixed
+    /// mode or for rules without a plan.
+    pub fn note_rule_modified(&mut self, rule: RuleId, now: u64) {
+        self.now_hint = self.now_hint.max(now);
+        if let Some(sched) = self.sched.as_mut() {
+            sched.note_modified(rule.0, now);
+        }
+    }
+
+    /// Updates the per-switch cost factor and backpressure flag feeding the
+    /// scheduler (see [`monocle_sched::SwitchTelemetry::cost`]). No-op in
+    /// fixed mode.
+    pub fn set_switch_cost(&mut self, cost: f64, backpressured: bool) {
+        if let Some(sched) = self.sched.as_mut() {
+            sched.set_switch_cost(cost, backpressured);
+        }
     }
 
     /// Replaces the sweep schedule from a
@@ -128,6 +201,7 @@ impl SteadyMonitor {
     /// Periodic tick; `now` must be monotone. Returns actions (at most one
     /// new injection per tick plus any timeout consequences).
     pub fn on_tick(&mut self, now: u64) -> Vec<SteadyAction> {
+        self.now_hint = self.now_hint.max(now);
         let mut actions = Vec::new();
         // 1. Handle timeouts / retries.
         let retry_after = self.cfg.timeout / u64::from(self.cfg.max_retries + 1);
@@ -140,16 +214,24 @@ impl SteadyMonitor {
                 if plan.is_negative() {
                     // Negative probing (§3.3): silence is the (weak)
                     // confirmation that the drop rule is present.
+                    if let Some(sched) = self.sched.as_mut() {
+                        sched.note_verdict(plan.rule_id.0, now, true);
+                    }
                     if self.failed.remove(&plan.rule_id) {
                         actions.push(SteadyAction::RuleRecovered {
                             rule_id: plan.rule_id,
                         });
                     }
-                } else if self.failed.insert(plan.rule_id) {
-                    actions.push(SteadyAction::RuleFailed {
-                        rule_id: plan.rule_id,
-                        at: now,
-                    });
+                } else {
+                    if let Some(sched) = self.sched.as_mut() {
+                        sched.note_verdict(plan.rule_id.0, now, false);
+                    }
+                    if self.failed.insert(plan.rule_id) {
+                        actions.push(SteadyAction::RuleFailed {
+                            rule_id: plan.rule_id,
+                            at: now,
+                        });
+                    }
                 }
                 to_remove.push(seq);
             } else if !plan.is_negative()
@@ -169,29 +251,43 @@ impl SteadyMonitor {
             let plan_idx = o.plan_idx;
             actions.push(SteadyAction::Inject { seq, plan_idx });
         }
-        // 2. Inject the next probe in the cycle.
+        // 2. Inject into this pacing slot: next rule in the cycle (fixed)
+        //    or the most urgent due rule (adaptive; the slot stays open if
+        //    nothing is due, so an idle scheduler underspends the budget
+        //    but never exceeds it).
         if !self.plans.is_empty() && now >= self.next_inject_at {
-            let plan_idx = self.cursor;
-            self.cursor = (self.cursor + 1) % self.plans.len();
-            self.next_inject_at = now + self.cfg.probe_interval;
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.outstanding.insert(
-                seq,
-                Outstanding {
-                    plan_idx,
-                    first_sent: now,
-                    last_sent: now,
-                    attempts: 1,
-                },
-            );
-            actions.push(SteadyAction::Inject { seq, plan_idx });
+            let plan_idx = match self.sched.as_mut() {
+                Some(sched) => sched
+                    .next_due(now)
+                    .and_then(|key| self.by_rule.get(&key).copied()),
+                None => {
+                    let idx = self.cursor;
+                    self.cursor = (self.cursor + 1) % self.plans.len();
+                    Some(idx)
+                }
+            };
+            if let Some(plan_idx) = plan_idx {
+                self.next_inject_at = now + self.cfg.probe_interval;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.outstanding.insert(
+                    seq,
+                    Outstanding {
+                        plan_idx,
+                        first_sent: now,
+                        last_sent: now,
+                        attempts: 1,
+                    },
+                );
+                actions.push(SteadyAction::Inject { seq, plan_idx });
+            }
         }
         actions
     }
 
     /// Feed a classified probe observation back.
     pub fn on_verdict(&mut self, now: u64, seq: u32, verdict: Verdict) -> Vec<SteadyAction> {
+        self.now_hint = self.now_hint.max(now);
         let Some(o) = self.outstanding.get(&seq) else {
             return Vec::new(); // stale epoch or duplicate
         };
@@ -201,12 +297,18 @@ impl SteadyMonitor {
         match verdict {
             Verdict::Present => {
                 self.outstanding.remove(&seq);
+                if let Some(sched) = self.sched.as_mut() {
+                    sched.note_verdict(rule_id.0, now, true);
+                }
                 if self.failed.remove(&rule_id) {
                     actions.push(SteadyAction::RuleRecovered { rule_id });
                 }
             }
             Verdict::Absent => {
                 self.outstanding.remove(&seq);
+                if let Some(sched) = self.sched.as_mut() {
+                    sched.note_verdict(rule_id.0, now, false);
+                }
                 if self.failed.insert(rule_id) {
                     actions.push(SteadyAction::RuleFailed { rule_id, at: now });
                 }
@@ -396,6 +498,139 @@ mod tests {
         }
         assert!(injections <= 11, "rate limiting failed: {injections}");
         assert!(injections >= 9);
+    }
+
+    fn adaptive() -> SteadyConfig {
+        SteadyConfig {
+            adaptive: Some(SchedConfig::default()),
+            ..SteadyConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_pacing_matches_fixed_sweep() {
+        // Equal budget: over the same window, the adaptive monitor may not
+        // inject more probes than the fixed sweep at the same interval.
+        let mut fixed = SteadyMonitor::new(SteadyConfig::default());
+        let mut adapt = SteadyMonitor::new(adaptive());
+        fixed.set_plans((0..10).map(|i| mk_plan(i, false)).collect(), 0);
+        adapt.set_plans((0..10).map(|i| mk_plan(i, false)).collect(), 0);
+        let count = |m: &mut SteadyMonitor| {
+            let mut n = 0;
+            for t in 0..100 {
+                for a in m.on_tick(t * MS) {
+                    if matches!(a, SteadyAction::Inject { .. }) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let nf = count(&mut fixed);
+        let na = count(&mut adapt);
+        assert!(na <= nf, "adaptive overspent the budget: {na} > {nf}");
+        assert!(na > 0, "adaptive mode injected nothing");
+    }
+
+    #[test]
+    fn adaptive_modified_rule_probed_before_cold_rules() {
+        let mut m = SteadyMonitor::new(adaptive());
+        m.set_plans((0..50).map(|i| mk_plan(i, false)).collect(), 0);
+        // Burn the initial everybody-is-new burst; answer each probe so no
+        // failure heat accumulates.
+        for t in 0..200u64 {
+            for a in m.on_tick(t * 2 * MS) {
+                if let SteadyAction::Inject { seq, .. } = a {
+                    m.on_verdict(t * 2 * MS + 1, seq, Verdict::Present);
+                }
+            }
+        }
+        let t0 = 500 * MS;
+        m.note_rule_modified(RuleId(33), t0);
+        // Within the floor interval the modified rule must be the one the
+        // scheduler picks next.
+        let mut first = None;
+        let mut t = t0 + 51 * MS;
+        while first.is_none() && t < t0 + 400 * MS {
+            for a in m.on_tick(t) {
+                if let SteadyAction::Inject { plan_idx, .. } = a {
+                    first = Some(plan_idx);
+                    break;
+                }
+            }
+            t += 2 * MS;
+        }
+        assert_eq!(first, Some(33), "modified rule did not jump the queue");
+    }
+
+    #[test]
+    fn adaptive_timeout_retries_then_fails_like_fixed() {
+        // The retry path is scheduler-independent: timeouts still resend
+        // up to max_retries and then raise RuleFailed.
+        let mut m = SteadyMonitor::new(adaptive());
+        m.set_plans(vec![mk_plan(7, false)], 0);
+        let a = m.on_tick(0);
+        let SteadyAction::Inject { seq, .. } = a[0] else {
+            panic!()
+        };
+        let acts = m.on_tick(40 * MS);
+        assert!(
+            acts.iter()
+                .any(|x| matches!(x, SteadyAction::Inject { seq: s, .. } if *s == seq)),
+            "expected a resend, got {acts:?}"
+        );
+        let acts = m.on_tick(151 * MS);
+        assert!(acts.iter().any(
+            |x| matches!(x, SteadyAction::RuleFailed { rule_id, .. } if *rule_id == RuleId(7))
+        ));
+        // The failure fed the scheduler: the rule's next probe comes at the
+        // floor interval, well before the SLO.
+        let stats = m.sched_stats().unwrap();
+        assert!(stats.released >= 1);
+        let mut reprobed = false;
+        for t in 152..260u64 {
+            if m.on_tick(t * MS)
+                .iter()
+                .any(|x| matches!(x, SteadyAction::Inject { .. }))
+            {
+                reprobed = true;
+                break;
+            }
+        }
+        assert!(reprobed, "failing rule was not re-probed quickly");
+    }
+
+    #[test]
+    fn adaptive_recovery_path_reports_and_clears() {
+        let mut m = SteadyMonitor::new(adaptive());
+        m.set_plans(vec![mk_plan(1, false)], 0);
+        let a = m.on_tick(0);
+        let SteadyAction::Inject { seq, .. } = a[0] else {
+            panic!()
+        };
+        m.on_verdict(1, seq, Verdict::Absent);
+        assert_eq!(m.failed_rules().count(), 1);
+        // The scheduler reprobes the failing rule at the floor; answer it.
+        let mut recovered = false;
+        for t in 1..300u64 {
+            let acts = m.on_tick(t * MS);
+            for a in acts {
+                if let SteadyAction::Inject { seq, .. } = a {
+                    let out = m.on_verdict(t * MS + 1, seq, Verdict::Present);
+                    if out
+                        .iter()
+                        .any(|x| matches!(x, SteadyAction::RuleRecovered { .. }))
+                    {
+                        recovered = true;
+                    }
+                }
+            }
+            if recovered {
+                break;
+            }
+        }
+        assert!(recovered);
+        assert_eq!(m.failed_rules().count(), 0);
     }
 
     #[test]

@@ -96,6 +96,9 @@ pub trait Driver {
 struct ConnState {
     conn: Connection,
     writable_interest: bool,
+    /// An outbound dial whose TCP handshake has not resolved yet. The
+    /// first readiness event on the socket carries the result.
+    connecting: bool,
 }
 
 struct Inner {
@@ -133,18 +136,37 @@ impl IoCtx<'_> {
         self.inner.listeners[&id].local_addr()
     }
 
-    /// Dials `addr` and registers the connection. The connect itself is
-    /// blocking (instantaneous on loopback, our only deployment target);
-    /// completion is reported as a synthetic [`TransportEvent::Connected`]
-    /// delivered before the next poll so dial and accept look identical to
-    /// the driver.
+    /// Dials `addr` without blocking the loop. If the handshake completes
+    /// immediately a synthetic [`TransportEvent::Connected`] is queued;
+    /// otherwise the socket is registered writable and `Connected` (or
+    /// `Closed`, on refusal) is delivered once the kernel resolves the
+    /// handshake. Callers must not send on the connection until then.
     pub fn connect(&mut self, addr: SocketAddr) -> io::Result<ConnId> {
-        let stream = TcpStream::connect(addr)?;
-        let id = self.install(stream)?;
-        self.inner
-            .synthetic
-            .push_back(TransportEvent::Connected { conn: id });
-        Ok(id)
+        let (stream, established) = mio::net::connect_nonblocking(addr)?;
+        if established {
+            let id = self.install(stream)?;
+            self.inner
+                .synthetic
+                .push_back(TransportEvent::Connected { conn: id });
+            return Ok(id);
+        }
+        let conn = Connection::new(stream)?;
+        let token = self.inner.next_conn;
+        self.inner.next_conn += 2;
+        self.registry.register(
+            conn.stream(),
+            Token(token),
+            Interest::READABLE | Interest::WRITABLE,
+        )?;
+        self.inner.conns.insert(
+            token,
+            ConnState {
+                conn,
+                writable_interest: true,
+                connecting: true,
+            },
+        );
+        Ok(token)
     }
 
     fn install(&mut self, stream: TcpStream) -> io::Result<ConnId> {
@@ -158,6 +180,7 @@ impl IoCtx<'_> {
             ConnState {
                 conn,
                 writable_interest: false,
+                connecting: false,
             },
         );
         Ok(token)
@@ -342,6 +365,9 @@ impl EventLoop {
         if !self.inner.conns.contains_key(&token) {
             return Ok(());
         }
+        if self.inner.conns[&token].connecting {
+            return self.finish_connect(driver, token, ev);
+        }
         if ev.is_readable() {
             let result = self
                 .inner
@@ -400,6 +426,37 @@ impl EventLoop {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Resolves an in-flight non-blocking connect. A connecting socket's
+    /// first readiness is the handshake verdict: writable means connected,
+    /// an error flag (or a pending `SO_ERROR`) means refused/unreachable.
+    fn finish_connect<D: Driver>(
+        &mut self,
+        driver: &mut D,
+        token: usize,
+        ev: mio::Event,
+    ) -> io::Result<()> {
+        let failed = {
+            let state = self.inner.conns.get_mut(&token).unwrap();
+            ev.is_error() || !matches!(state.conn.stream().take_error(), Ok(None))
+        };
+        if failed {
+            self.drop_conn(driver, token);
+            return Ok(());
+        }
+        let state = self.inner.conns.get_mut(&token).unwrap();
+        state.connecting = false;
+        if state.conn.pending() == 0 {
+            self.poll.registry().reregister(
+                state.conn.stream(),
+                Token(token),
+                Interest::READABLE,
+            )?;
+            state.writable_interest = false;
+        }
+        self.deliver(driver, TransportEvent::Connected { conn: token });
         Ok(())
     }
 
@@ -510,6 +567,93 @@ mod tests {
         assert_eq!(echo.seen, CONNS * PER_CONN);
         for c in clients {
             c.join().unwrap();
+        }
+    }
+
+    /// Dialer driver: sends one echo once connected, stops on the reply
+    /// (or on `Closed` if the dial failed).
+    struct DialEcho {
+        done: bool,
+        closed: bool,
+    }
+
+    impl Driver for DialEcho {
+        fn handle(&mut self, ctx: &mut IoCtx<'_>, ev: TransportEvent) {
+            match ev {
+                TransportEvent::Connected { conn } => {
+                    ctx.send(conn, &OfMessage::EchoRequest(vec![7]), 42)
+                        .unwrap();
+                }
+                TransportEvent::Message { msg, xid, .. } => {
+                    assert_eq!(msg, OfMessage::EchoRequest(vec![7]));
+                    assert_eq!(xid, 42);
+                    self.done = true;
+                    ctx.stop();
+                }
+                TransportEvent::Closed { .. } => {
+                    self.closed = true;
+                    ctx.stop();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_and_carries_traffic() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut c = crate::conn::Connection::new(stream).unwrap();
+            loop {
+                let frames = c.handle_readable().unwrap();
+                let mut got = false;
+                for (msg, xid) in frames {
+                    c.send(&msg, xid).unwrap();
+                    got = true;
+                }
+                if got {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            while !c.flush().unwrap() {
+                std::thread::yield_now();
+            }
+        });
+        let mut el = EventLoop::new().unwrap();
+        el.with_ctx(|ctx| ctx.connect(addr).unwrap());
+        let mut d = DialEcho {
+            done: false,
+            closed: false,
+        };
+        el.run(&mut d).unwrap();
+        assert!(d.done, "echo round-trip over a dialed connection");
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_connect_reports_refusal_as_closed() {
+        // Bind-then-drop yields a port with no listener behind it.
+        let port = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+        let mut el = EventLoop::new().unwrap();
+        match el.with_ctx(|ctx| ctx.connect(addr)) {
+            // Kernel may fail a loopback dial synchronously.
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::ConnectionRefused),
+            Ok(_) => {
+                let mut d = DialEcho {
+                    done: false,
+                    closed: false,
+                };
+                el.run(&mut d).unwrap();
+                assert!(d.closed && !d.done, "refused dial surfaces as Closed");
+            }
         }
     }
 

@@ -43,15 +43,29 @@ use std::sync::{Arc, Mutex};
 
 use monocle::encode::CatchSpec;
 use monocle::proxy::{MonitorProxy, ProbeInjection, ProxyConfig, ProxyOutput};
+use monocle::steady::SteadyConfig;
 use monocle::{EnginePool, JobSpec, PoolConfig, ProbeJob};
 use monocle_openflow::messages::PORT_TABLE;
 use monocle_openflow::{Action, FlowTable, Match, OfMessage, PortNo, RuleId, SharedTable};
 use monocle_packet::ProbeMeta;
+use monocle_sched::SwitchTelemetry;
 
 use crate::event_loop::{ConnId, Driver, IoCtx, TransportEvent};
 
 /// Timer token for the global probe tick.
 const TICK_TOKEN: u64 = 0;
+
+/// Echo liveness timers live above this base; the low bits carry the
+/// session id (`ECHO_TOKEN_BASE + session`).
+const ECHO_TOKEN_BASE: u64 = 1 << 32;
+
+/// Payload marking proxy-originated liveness echoes, so replies are
+/// consumed here rather than forwarded and can't be confused with echoes
+/// relayed on behalf of the controller.
+const LIVENESS_MAGIC: &[u8] = b"MNCL-LIVE";
+
+/// Half-life for per-switch telemetry decay (churn, backpressure heat).
+const TELEMETRY_HALF_LIFE_NS: u64 = 1_000_000_000;
 
 /// High bit marking synthetic-table jobs so they land on different pool
 /// shards than the switch's regular jobs and don't thrash warm caches.
@@ -96,6 +110,19 @@ pub struct SessionStats {
     pub paused: u64,
     /// Parked injections dropped stale at flush time.
     pub dropped_stale: u64,
+    /// EWMA of FlowMod→confirmation latency, nanoseconds (0 until the
+    /// first sample).
+    pub ack_rtt_ewma_ns: f64,
+    /// Confirmations that contributed an ack RTT sample.
+    pub ack_rtt_samples: u64,
+    /// EWMA of liveness echo round-trip time, nanoseconds.
+    pub echo_rtt_ewma_ns: f64,
+    /// Liveness EchoRequests sent to the switch.
+    pub echo_sent: u64,
+    /// Liveness EchoReplies received.
+    pub echo_replies: u64,
+    /// Liveness echoes still unanswered when the next one was due.
+    pub echo_timeouts: u64,
 }
 
 /// Shared view of all sessions' counters (keyed by session id).
@@ -122,6 +149,12 @@ pub struct ProxyAppConfig {
     /// Stop the loop once all sessions have closed (after at least one
     /// session existed).
     pub exit_when_idle: bool,
+    /// Steady-state monitoring config applied to every per-switch monitor
+    /// (`None` disables steady probing; set `adaptive` inside for the
+    /// priority scheduler).
+    pub steady: Option<SteadyConfig>,
+    /// Liveness echo period per switch session (0 disables).
+    pub echo_interval_ns: u64,
 }
 
 impl ProxyAppConfig {
@@ -135,6 +168,8 @@ impl ProxyAppConfig {
             tick_ns: 1_000_000,
             pool: PoolConfig::with_workers(4),
             exit_when_idle: true,
+            steady: None,
+            echo_interval_ns: 250_000_000,
         }
     }
 }
@@ -148,11 +183,21 @@ struct Session {
     dpid: u64,
     switch_conn: ConnId,
     controller_conn: Option<ConnId>,
+    /// The controller dial's handshake completed; until then nothing may
+    /// be sent upstream (the dial is non-blocking).
+    controller_ready: bool,
     proxy: Option<MonitorProxy>,
-    /// Frames from the switch buffered until the controller dial completes.
+    /// Frames for the controller buffered until the dial completes.
     to_controller: Vec<(OfMessage, u32)>,
     /// Injections parked by backpressure, flushed on `Drained`.
     paused_injections: Vec<ProbeInjection>,
+    /// FlowMod xid → send time, for ack RTT measurement.
+    flowmod_sent: HashMap<u32, u64>,
+    /// Rolling per-switch estimators feeding the adaptive scheduler's
+    /// switch-cost term.
+    telemetry: SwitchTelemetry,
+    /// Outstanding liveness echo: (xid, send time).
+    echo_pending: Option<(u32, u64)>,
     stats: SessionStats,
 }
 
@@ -226,6 +271,7 @@ impl ProxyApp {
     /// Applies proxy outputs for `session`, then drains any new plan
     /// requests to the planner.
     fn process_outputs(&mut self, ctx: &mut IoCtx<'_>, session: u64, outputs: Vec<ProxyOutput>) {
+        let now = ctx.now_ns();
         for o in outputs {
             let Some(sess) = self.sessions.get_mut(&session) else {
                 return;
@@ -239,6 +285,7 @@ impl ProxyApp {
                 ProxyOutput::Inject(inj) => {
                     if ctx.over_high_water(sess.switch_conn) {
                         sess.stats.paused += 1;
+                        sess.telemetry.backpressure.bump(now);
                         sess.paused_injections.push(inj);
                     } else {
                         self.send_injection(ctx, session, &inj);
@@ -249,27 +296,43 @@ impl ProxyApp {
                     if verified {
                         sess.stats.verified += 1;
                     }
-                    if let Some(cc) = sess.controller_conn {
-                        let _ = ctx.send(cc, &OfMessage::BarrierReply, token as u32);
+                    if let Some(sent) = sess.flowmod_sent.remove(&(token as u32)) {
+                        sess.telemetry
+                            .ack_rtt_ns
+                            .update(now.saturating_sub(sent) as f64);
+                        sess.stats.ack_rtt_ewma_ns = sess.telemetry.ack_rtt_ns.get();
+                        sess.stats.ack_rtt_samples += 1;
                     }
+                    Self::send_to_controller(ctx, sess, OfMessage::BarrierReply, token as u32);
                 }
                 ProxyOutput::Alarm { token } => {
                     sess.stats.alarms += 1;
-                    if let Some(cc) = sess.controller_conn {
-                        let _ = ctx.send(
-                            cc,
-                            &OfMessage::Error {
-                                err_type: 5, // OFPET_FLOW_MOD_FAILED
-                                code: 0,
-                            },
-                            token as u32,
-                        );
-                    }
+                    sess.flowmod_sent.remove(&(token as u32));
+                    Self::send_to_controller(
+                        ctx,
+                        sess,
+                        OfMessage::Error {
+                            err_type: 5, // OFPET_FLOW_MOD_FAILED
+                            code: 0,
+                        },
+                        token as u32,
+                    );
                 }
                 ProxyOutput::RuleFailed { .. } | ProxyOutput::RuleRecovered { .. } => {}
             }
         }
         self.drain_plan_requests(session);
+    }
+
+    /// Sends `msg` upstream, or parks it until the controller handshake
+    /// completes (the dial is non-blocking, so early frames must buffer).
+    fn send_to_controller(ctx: &mut IoCtx<'_>, sess: &mut Session, msg: OfMessage, xid: u32) {
+        match (sess.controller_conn, sess.controller_ready) {
+            (Some(cc), true) => {
+                let _ = ctx.send(cc, &msg, xid);
+            }
+            _ => sess.to_controller.push((msg, xid)),
+        }
     }
 
     fn send_injection(&mut self, ctx: &mut IoCtx<'_>, session: u64, inj: &ProbeInjection) {
@@ -330,8 +393,11 @@ impl ProxyApp {
             OfMessage::FeaturesReply { datapath_id, .. } if sess.proxy.is_none() => {
                 sess.dpid = datapath_id;
                 sess.stats.dpid = datapath_id;
-                let mut proxy =
-                    MonitorProxy::new(ProxyConfig::new(datapath_id as u32, self.cfg.catch.clone()));
+                let mut pcfg = ProxyConfig::new(datapath_id as u32, self.cfg.catch.clone());
+                if let Some(sc) = &self.cfg.steady {
+                    pcfg = pcfg.with_steady(sc.clone());
+                }
+                let mut proxy = MonitorProxy::new(pcfg);
                 proxy.set_deferred_planning(true);
                 let mut outputs = Vec::new();
                 if let Some((prio, port)) = self.cfg.preinstall_default {
@@ -377,9 +443,40 @@ impl ProxyApp {
                 let conn = sess.switch_conn;
                 let _ = ctx.send(conn, &OfMessage::EchoReply(data), xid);
             }
+            OfMessage::EchoReply(ref data) if data.as_slice() == LIVENESS_MAGIC => {
+                // Our own liveness probe coming home; consume it.
+                if let Some((exid, sent_ns)) = sess.echo_pending {
+                    if exid == xid {
+                        sess.echo_pending = None;
+                        let rtt = ctx.now_ns().saturating_sub(sent_ns);
+                        sess.telemetry.echo_rtt_ns.update(rtt as f64);
+                        sess.stats.echo_rtt_ewma_ns = sess.telemetry.echo_rtt_ns.get();
+                        sess.stats.echo_replies += 1;
+                    }
+                }
+            }
             // BarrierReply, FlowRemoved, Error, …: pass through unchanged.
             other => self.forward_to_controller(ctx, session, other, xid),
         }
+    }
+
+    /// Fires the per-session liveness timer: counts an unanswered echo as
+    /// a timeout, sends the next one, re-arms. The timer dies with the
+    /// session (no re-arm once the session is gone).
+    fn on_echo_timer(&mut self, ctx: &mut IoCtx<'_>, session: u64) {
+        let now = ctx.now_ns();
+        let xid = self.xid();
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        if sess.echo_pending.take().is_some() {
+            sess.stats.echo_timeouts += 1;
+        }
+        let conn = sess.switch_conn;
+        sess.echo_pending = Some((xid, now));
+        sess.stats.echo_sent += 1;
+        let _ = ctx.send(conn, &OfMessage::EchoRequest(LIVENESS_MAGIC.to_vec()), xid);
+        ctx.schedule_in(self.cfg.echo_interval_ns, ECHO_TOKEN_BASE + session);
     }
 
     fn on_controller_msg(&mut self, ctx: &mut IoCtx<'_>, session: u64, msg: OfMessage, xid: u32) {
@@ -401,6 +498,8 @@ impl ProxyApp {
             OfMessage::FlowMod(fm) => {
                 sess.stats.flowmods += 1;
                 let now = ctx.now_ns();
+                sess.flowmod_sent.insert(xid, now);
+                sess.telemetry.flowmod_churn.bump(now);
                 let outputs = sess
                     .proxy
                     .as_mut()
@@ -431,12 +530,7 @@ impl ProxyApp {
         let Some(sess) = self.sessions.get_mut(&session) else {
             return;
         };
-        match sess.controller_conn {
-            Some(cc) => {
-                let _ = ctx.send(cc, &msg, xid);
-            }
-            None => sess.to_controller.push((msg, xid)),
-        }
+        Self::send_to_controller(ctx, sess, msg, xid);
     }
 
     /// Flushes backpressure-parked injections once the switch connection
@@ -492,6 +586,15 @@ impl ProxyApp {
         let ids: Vec<u64> = self.sessions.keys().copied().collect();
         let now = ctx.now_ns();
         for id in ids {
+            // Refresh the adaptive scheduler's view of this switch before
+            // ticking: RTT/churn-derived cost plus live backpressure.
+            if let Some(sess) = self.sessions.get_mut(&id) {
+                let bp = ctx.over_high_water(sess.switch_conn);
+                let cost = sess.telemetry.cost(now);
+                if let Some(p) = sess.proxy.as_mut() {
+                    p.set_switch_cost(cost, bp);
+                }
+            }
             let outputs = self
                 .sessions
                 .get_mut(&id)
@@ -540,22 +643,30 @@ impl Driver for ProxyApp {
                         dpid: 0,
                         switch_conn: conn,
                         controller_conn: None,
+                        controller_ready: false,
                         proxy: None,
                         to_controller: Vec::new(),
                         paused_injections: Vec::new(),
+                        flowmod_sent: HashMap::new(),
+                        telemetry: SwitchTelemetry::new(TELEMETRY_HALF_LIFE_NS),
+                        echo_pending: None,
                         stats: SessionStats::default(),
                     },
                 );
                 let _ = ctx.send(conn, &OfMessage::Hello, 0);
                 let xid = self.xid();
                 let _ = ctx.send(conn, &OfMessage::FeaturesRequest, xid);
+                if self.cfg.echo_interval_ns > 0 {
+                    ctx.schedule_in(self.cfg.echo_interval_ns, ECHO_TOKEN_BASE + id);
+                }
             }
             TransportEvent::Connected { conn } => {
                 // Controller dial completed: introduce ourselves and flush
-                // anything the switch said in the meantime.
+                // anything buffered while the handshake was in flight.
                 if let Some(&(session, Side::Controller)) = self.by_conn.get(&conn) {
                     let _ = ctx.send(conn, &OfMessage::Hello, 0);
                     if let Some(sess) = self.sessions.get_mut(&session) {
+                        sess.controller_ready = true;
                         for (msg, xid) in std::mem::take(&mut sess.to_controller) {
                             let _ = ctx.send(conn, &msg, xid);
                         }
@@ -580,6 +691,9 @@ impl Driver for ProxyApp {
                 }
             }
             TransportEvent::Timer { token: TICK_TOKEN } => self.on_tick(ctx),
+            TransportEvent::Timer { token } if token >= ECHO_TOKEN_BASE => {
+                self.on_echo_timer(ctx, token - ECHO_TOKEN_BASE)
+            }
             TransportEvent::Timer { .. } => {}
             TransportEvent::Notified => self.on_notified(ctx),
         }

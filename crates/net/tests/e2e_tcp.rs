@@ -140,6 +140,79 @@ fn eight_switches_verified_over_tcp() {
 }
 
 #[test]
+fn echo_liveness_and_adaptive_steady_over_tcp() {
+    // Same topology, but with per-session liveness echoes on a tight
+    // period and adaptive steady-state monitoring enabled, so the run
+    // exercises the telemetry path end to end: echo RTT estimation, ack
+    // RTT estimation, and scheduler-driven steady probes over real TCP.
+    let switches = 2;
+    let updates = 8;
+
+    let mut controller_loop = EventLoop::new().unwrap();
+    let mut controller = ControllerSim::new(ControllerSimConfig {
+        switches,
+        updates_per_switch: updates,
+        deadline_ns: 30_000_000_000,
+    });
+    let controller_stats = controller.stats();
+    let controller_addr = controller_loop.with_ctx(|ctx| controller.start(ctx).unwrap());
+
+    let mut proxy_loop = EventLoop::new().unwrap();
+    let mut cfg = ProxyAppConfig::new(controller_addr);
+    // 1ms: the pipelined run is only install-latency-bound (~2-5ms wall
+    // clock), so the interval must sit well inside that window for the
+    // timer to fire before teardown regardless of scheduler load.
+    cfg.echo_interval_ns = 1_000_000;
+    cfg.steady = Some(monocle::steady::SteadyConfig {
+        adaptive: Some(monocle_sched::SchedConfig::default()),
+        ..Default::default()
+    });
+    let mut proxy = ProxyApp::new(cfg, proxy_loop.waker());
+    let proxy_stats = proxy.stats();
+    let proxy_addr = proxy_loop.with_ctx(|ctx| proxy.start(ctx).unwrap());
+
+    let mut switch_loop = EventLoop::new().unwrap();
+    let mut fleet = SwitchSim::new(SwitchSimConfig {
+        proxy_addr,
+        dpids: (1..=switches as u64).collect(),
+        install_latency_ns: 2_000_000,
+    });
+
+    let ct = std::thread::spawn(move || controller_loop.run(&mut controller).unwrap());
+    let pt = std::thread::spawn(move || proxy_loop.run(&mut proxy).unwrap());
+    let st = std::thread::spawn(move || {
+        switch_loop.with_ctx(|ctx| fleet.start(ctx).unwrap());
+        switch_loop.run(&mut fleet).unwrap();
+    });
+    ct.join().unwrap();
+    pt.join().unwrap();
+    st.join().unwrap();
+
+    let cs = controller_stats.lock().unwrap();
+    assert!(!cs.deadlined);
+    assert_eq!(cs.acks.len(), switches * updates);
+    assert_eq!(cs.alarms, 0);
+    drop(cs);
+
+    let ps = proxy_stats.lock().unwrap();
+    assert_eq!(ps.len(), switches);
+    for sess in ps.values() {
+        // Liveness echoes flowed and came home with a measurable RTT.
+        assert!(sess.echo_sent > 0, "dpid {}: no echoes sent", sess.dpid);
+        assert!(sess.echo_replies > 0, "dpid {}: no echo replies", sess.dpid);
+        assert!(sess.echo_rtt_ewma_ns > 0.0);
+        // Every confirmation produced an ack RTT sample, and the install
+        // latency (2ms) bounds the estimate from below.
+        assert_eq!(sess.ack_rtt_samples, sess.confirmed);
+        assert!(sess.ack_rtt_ewma_ns >= 2_000_000.0);
+        // Updates still verified with the adaptive scheduler active.
+        assert_eq!(sess.confirmed as usize, updates);
+        assert_eq!(sess.verified, sess.confirmed);
+        assert_eq!(sess.alarms, 0);
+    }
+}
+
+#[test]
 fn single_switch_instant_install() {
     // Zero install latency: still verified, acks can be fast.
     let d = run_deployment(1, 5, 0);

@@ -1,0 +1,111 @@
+//! Property tests for the adaptive scheduler's two hard invariants:
+//!
+//! 1. **Budget**: no interleaving of modifications, verdicts, cost changes
+//!    and polls makes the release count exceed the token bucket's bound
+//!    (`burst + budget_pps * elapsed`).
+//! 2. **Staleness SLO**: with a budget that covers the rule set and a
+//!    caller that polls, no rule's gap between consecutive releases
+//!    exceeds the SLO plus the poll granularity — however the urgency
+//!    scores are skewed by random churn.
+
+use monocle_sched::{AdaptiveScheduler, RuleKey, SchedConfig};
+use proptest::prelude::*;
+
+const MS: u64 = 1_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Budget invariant: aggressive polling under arbitrary churn never
+    /// releases more than the bucket allows for the elapsed time.
+    #[test]
+    fn budget_never_exceeded(
+        n_rules in 1usize..40,
+        steps in prop::collection::vec((0u64..20 * MS, 0u8..4, any::<u64>()), 1..300),
+    ) {
+        let cfg = SchedConfig {
+            budget_pps: 200.0,
+            burst: 4.0,
+            ..SchedConfig::default()
+        };
+        let (budget_pps, burst) = (cfg.budget_pps, cfg.burst);
+        let mut s = AdaptiveScheduler::new(cfg);
+        let keys: Vec<RuleKey> = (0..n_rules as u64).collect();
+        s.sync(&keys, 0);
+        let mut now = 0u64;
+        let mut released = 0u64;
+        for (dt, op, r) in steps {
+            now += dt;
+            let key = r % n_rules as u64;
+            match op {
+                0 => s.note_modified(key, now),
+                1 => s.note_verdict(key, now, r % 2 == 0),
+                2 => s.set_switch_cost(1.0 + (r % 10) as f64, r % 5 == 0),
+                _ => {}
+            }
+            while s.next_due(now).is_some() {
+                released += 1;
+            }
+        }
+        // +1.0 absorbs the fractional token the bucket may hold at start.
+        let bound = burst + budget_pps * (now as f64 / 1e9) + 1.0;
+        prop_assert!(
+            (released as f64) <= bound,
+            "released {} probes, bound {}", released, bound
+        );
+    }
+
+    /// SLO invariant: when the budget covers the rule set and the caller
+    /// polls every 5 ms, every rule is re-released within the SLO (plus
+    /// one poll period of slack), no matter how churn skews priorities.
+    #[test]
+    fn slo_met_under_random_churn(
+        n_rules in 1usize..16,
+        churn in prop::collection::vec((0usize..100, any::<u64>(), any::<bool>()), 0..200),
+    ) {
+        let slo = 500 * MS;
+        let cfg = SchedConfig {
+            budget_pps: 500.0, // far above n_rules / slo
+            slo_ns: slo,
+            min_interval_ns: 20 * MS,
+            ..SchedConfig::default()
+        };
+        let mut s = AdaptiveScheduler::new(cfg);
+        let keys: Vec<RuleKey> = (0..n_rules as u64).collect();
+        s.sync(&keys, 0);
+        let mut last_release: Vec<u64> = vec![0; n_rules];
+        let poll = 5 * MS;
+        let horizon = 2_000 * MS;
+        let mut step = 0usize;
+        let mut now = 0u64;
+        while now <= horizon {
+            // Random churn events interleave with the poll cadence.
+            if let Some(&(_, r, ok)) = churn.get(step % churn.len().max(1)) {
+                let key = r % n_rules as u64;
+                match step % 3 {
+                    0 => s.note_modified(key, now),
+                    1 => s.note_verdict(key, now, ok),
+                    _ => {}
+                }
+            }
+            while let Some(k) = s.next_due(now) {
+                let gap = now - last_release[k as usize];
+                prop_assert!(
+                    gap <= slo + poll,
+                    "rule {} went {}ms without a probe (slo {}ms)",
+                    k, gap / MS, slo / MS
+                );
+                last_release[k as usize] = now;
+            }
+            now += poll;
+            step += 1;
+        }
+        // Nothing starved at the horizon either.
+        for (k, &t) in last_release.iter().enumerate() {
+            prop_assert!(
+                now - t <= slo + 2 * poll,
+                "rule {} stale at end: {}ms", k, (now - t) / MS
+            );
+        }
+    }
+}

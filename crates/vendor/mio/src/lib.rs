@@ -36,6 +36,24 @@ mod sys {
     pub const EFD_NONBLOCK: i32 = 0o4000;
 
     pub const EINTR: i32 = 4;
+    pub const EINPROGRESS: i32 = 115;
+
+    pub const AF_INET: i32 = 2;
+    pub const SOCK_STREAM: i32 = 1;
+    pub const SOCK_NONBLOCK: i32 = 0o4000;
+    pub const SOCK_CLOEXEC: i32 = 0o2000000;
+
+    /// Kernel `struct sockaddr_in` (IPv4).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct SockaddrIn {
+        pub sin_family: u16,
+        /// Port in network byte order.
+        pub sin_port: u16,
+        /// Address in network byte order.
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
 
     /// Kernel `struct epoll_event`. The x86_64 ABI packs it (no padding
     /// between `events` and `data`); other 64-bit arches use natural
@@ -53,6 +71,8 @@ mod sys {
         pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
         pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
         pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        pub fn connect(fd: i32, addr: *const u8, addrlen: u32) -> i32;
         pub fn close(fd: i32) -> i32;
         pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
         pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
@@ -330,6 +350,61 @@ impl AsRawFd for Waker {
 impl Drop for Waker {
     fn drop(&mut self) {
         unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Minimal TCP helpers missing from `std`: the real mio's `mio::net`.
+pub mod net {
+    use super::sys;
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::fd::FromRawFd;
+
+    /// Initiates a non-blocking TCP connect to `addr`. Returns the stream
+    /// plus whether the handshake already completed: `true` means the
+    /// socket is connected, `false` means the connect is in flight — wait
+    /// for writability, then check `TcpStream::take_error` for the result.
+    ///
+    /// IPv4 goes through a raw `socket(2)`/`connect(2)` pair (std offers no
+    /// way to dial without blocking); IPv6 is not a deployment target here
+    /// and degrades to a blocking dial.
+    pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<(TcpStream, bool)> {
+        let SocketAddr::V4(v4) = addr else {
+            let stream = TcpStream::connect(addr)?;
+            return Ok((stream, true));
+        };
+        let fd = super::cvt(unsafe {
+            sys::socket(
+                sys::AF_INET,
+                sys::SOCK_STREAM | sys::SOCK_NONBLOCK | sys::SOCK_CLOEXEC,
+                0,
+            )
+        })?;
+        // The stream owns the fd from here; early returns close it.
+        let stream = unsafe { TcpStream::from_raw_fd(fd) };
+        let sa = sys::SockaddrIn {
+            sin_family: sys::AF_INET as u16,
+            sin_port: v4.port().to_be(),
+            // Octets are already in network order; keep the byte order.
+            sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        let ret = unsafe {
+            sys::connect(
+                fd,
+                &sa as *const sys::SockaddrIn as *const u8,
+                std::mem::size_of::<sys::SockaddrIn>() as u32,
+            )
+        };
+        if ret == 0 {
+            return Ok((stream, true));
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(sys::EINPROGRESS) {
+            Ok((stream, false))
+        } else {
+            Err(err)
+        }
     }
 }
 
