@@ -25,7 +25,9 @@ echo "== perf baseline: Table 2 probe generation =="
 echo "== perf baseline: Table 2, cold-solve regime (fast path off) =="
 # With guess-and-verify disabled every probe reaches the SAT solver, which
 # isolates the incremental-session win the engine-incremental arm exists to
-# measure (>=1.5x vs engine-batch on cold-batch total_s, Stanford).
+# measure. The binary asserts the arena-era criterion: Campus
+# engine-incremental >=1.3x engine-batch on cold-batch total_s (the
+# Stanford win sits near 2x and is tracked via the committed JSON).
 ./target/release/table2_probe_generation --rules 600 --no-fast-path \
     --json BENCH_probe_generation_nofastpath.json
 

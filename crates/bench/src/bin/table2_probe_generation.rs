@@ -181,6 +181,20 @@ fn run_dataset(
          {inc_speedup:.2}x vs engine-batch; re-probe solver calls: {}",
         warm.stats.solver_calls
     );
+    // Arena-era acceptance criterion: with the guess-and-verify fast path
+    // off, the Campus cold batch is encode-dominated, so the incremental
+    // arm's shared templates + arena-backed solver must beat the per-probe
+    // batch arm by a healthy margin on wall clock.
+    if !fast_path && name == "Campus" {
+        assert!(
+            inc_speedup >= 1.3,
+            "{name}: engine-incremental must be >=1.3x engine-batch on cold-batch \
+             total_s with --no-fast-path, got {inc_speedup:.2}x \
+             (incremental {:.3}s vs batch {:.3}s)",
+            incr.total_s,
+            cold.total_s
+        );
+    }
     DatasetResult {
         name,
         rules: table.len(),
@@ -226,7 +240,8 @@ fn write_json(path: &str, style: EncodingStyle, fast_path: bool, datasets: &[Dat
                  \"cache_hits\": {}, \"cache_misses\": {}, \"fast_path_hits\": {}, \
                  \"reencodes_incremental\": {}, \"reencodes_full\": {}, \
                  \"assumption_solves\": {}, \"learnt_retained\": {}, \
-                 \"solver_propagations\": {}}}{}\n",
+                 \"solver_propagations\": {}, \"arena_bytes\": {}, \
+                 \"arena_reallocs\": {}, \"scratch_reuse\": {}}}{}\n",
                 json_escape_free(a.label),
                 a.total_s,
                 a.avg_ms,
@@ -242,6 +257,9 @@ fn write_json(path: &str, style: EncodingStyle, fast_path: bool, datasets: &[Dat
                 a.stats.assumption_solves,
                 a.stats.learnt_retained,
                 a.stats.solver_propagations,
+                a.stats.arena_bytes,
+                a.stats.arena_reallocs,
+                a.stats.scratch_reuse,
                 if ai + 1 < d.arms.len() { "," } else { "" }
             ));
         }

@@ -180,59 +180,85 @@ pub(crate) fn push_hit_avoid<'a>(
 pub(crate) fn emit_distinguish_implication(
     cnf: &mut Cnf,
     match_lits: &[Option<Lit>],
-    diffs: &[OutcomeDiff],
+    diffs: &[&OutcomeDiff],
 ) {
     let k = match_lits.len();
     debug_assert_eq!(diffs.len(), k + 1);
+    let mut clause: Vec<Lit> = Vec::new();
+    let mut guarded: Vec<Lit> = Vec::new();
+    // "Some earlier lower rule matched", kept as a compressed prefix: an
+    // optional chain literal `o` plus up to `CHAIN_WIDTH` pending match
+    // literals. The naive clause `!m_i | m_1 | ... | m_{i-1} | cond` repeats
+    // the whole prefix per rule — O(k²) literals for a k-rule neighborhood,
+    // which dominated encode time on the ACL datasets — whereas the chain
+    // keeps clause i at O(1) prefix literals and O(k) literals overall.
+    // Only the `o ⇒ m_1 ∨ …` direction is emitted: when every folded match
+    // literal is false the chain collapses to false, so the highest-match
+    // implication still fires; setting a chain literal vacuously true is
+    // only possible when some earlier rule really matched, i.e. exactly
+    // when clause i was already vacuous.
+    const CHAIN_WIDTH: usize = 8;
+    let mut chain: Option<Lit> = None;
+    let mut pending: Vec<Lit> = Vec::new();
     for i in 0..=k {
         // i == k is the table-miss case (m_miss = const true).
-        let cond = diffs[i].condition();
-        if cond == BitCondition::Const(true) {
-            continue;
+        let cond = diffs[i].condition_ref();
+        if *cond != BitCondition::Const(true) {
+            // Clause: !m_i | <prefix: chain, pending> | cond
+            clause.clear();
+            if i < k {
+                // m_i = true (always-matching rule): !m_i drops out.
+                if let Some(m) = match_lits[i] {
+                    clause.push(-m);
+                }
+            }
+            clause.extend(chain);
+            clause.extend_from_slice(&pending);
+            match cond {
+                BitCondition::Const(false) => {}
+                BitCondition::Clause(ls) => clause.extend(ls),
+                BitCondition::Cnf(cs) => {
+                    let z = cnf.fresh_var() as Lit;
+                    for c in cs {
+                        guarded.clear();
+                        guarded.extend_from_slice(c);
+                        guarded.push(-z);
+                        cnf.add_clause(&guarded);
+                    }
+                    clause.push(z);
+                }
+                BitCondition::Const(true) => unreachable!(),
+            }
+            if clause.is_empty() {
+                // IsHighestMatch is unconditionally true and the outcome
+                // indistinguishable: no probe exists.
+                cnf.add_clause(&[]);
+            } else {
+                cnf.add_clause(&clause);
+            }
         }
-        // Clause: !m_i | m_1 | ... | m_{i-1} | cond
-        let mut clause: Vec<Lit> = Vec::new();
-        let mut satisfied = false;
+        // Fold m_i into the prefix for the rules below it.
         if i < k {
-            // m_i = true (always-matching rule): !m_i drops out.
-            if let Some(m) = match_lits[i] {
-                clause.push(-m);
-            }
-        }
-        for m in match_lits.iter().take(i) {
-            match m {
-                Some(l) => clause.push(*l),
-                None => {
-                    // An earlier lower rule matches everything: rule i can
-                    // never be the highest match.
-                    satisfied = true;
-                    break;
+            match match_lits[i] {
+                Some(m) => {
+                    pending.push(m);
+                    if pending.len() >= CHAIN_WIDTH {
+                        // Collapse: o ⇒ chain ∨ pending.
+                        let o = cnf.fresh_var() as Lit;
+                        guarded.clear();
+                        guarded.push(-o);
+                        guarded.extend(chain);
+                        guarded.extend_from_slice(&pending);
+                        cnf.add_clause(&guarded);
+                        chain = Some(o);
+                        pending.clear();
+                    }
                 }
+                // An always-matching lower rule: no rule below it can ever
+                // be the highest match, so every later clause (including
+                // the table miss) is vacuous.
+                None => break,
             }
-        }
-        if satisfied {
-            continue;
-        }
-        match cond {
-            BitCondition::Const(false) => {}
-            BitCondition::Clause(ls) => clause.extend(ls),
-            BitCondition::Cnf(cs) => {
-                let z = cnf.fresh_var() as Lit;
-                for c in &cs {
-                    let mut cc = c.clone();
-                    cc.push(-z);
-                    cnf.add_clause(&cc);
-                }
-                clause.push(z);
-            }
-            BitCondition::Const(true) => unreachable!(),
-        }
-        if clause.is_empty() {
-            // IsHighestMatch is unconditionally true and the outcome
-            // indistinguishable: no probe exists.
-            cnf.add_clause(&[]);
-        } else {
-            cnf.add_clause(&clause);
         }
     }
 }
@@ -356,7 +382,8 @@ pub fn build_instance(
                 .iter()
                 .map(|l| define_matches(&mut cnf, &l.tern))
                 .collect();
-            emit_distinguish_implication(&mut cnf, &match_lits, &diffs);
+            let diff_refs: Vec<&OutcomeDiff> = diffs.iter().collect();
+            emit_distinguish_implication(&mut cnf, &match_lits, &diff_refs);
         }
         EncodingStyle::IteChain => {
             // true_lit anchors constants.
@@ -364,9 +391,9 @@ pub fn build_instance(
             cnf.add_clause(&[true_lit]);
             let mut chain: Vec<(Lit, Lit)> = Vec::new();
             let mut else_lit =
-                condition_literal(&mut cnf, true_lit, &diffs[lower.len()].condition());
+                condition_literal(&mut cnf, true_lit, diffs[lower.len()].condition_ref());
             for (i, l) in lower.iter().enumerate() {
-                let cond_lit = condition_literal(&mut cnf, true_lit, &diffs[i].condition());
+                let cond_lit = condition_literal(&mut cnf, true_lit, diffs[i].condition_ref());
                 match define_matches(&mut cnf, &l.tern) {
                     Some(m) => chain.push((m, cond_lit)),
                     None => {
@@ -567,18 +594,22 @@ impl EncodeSession {
             cnf.grow_vars(self.next_var);
         }
 
+        // Ensure every (probed, lower) diff is memoized (needs `&mut self`),
+        // then collect borrowed references out of the memo table — cloning
+        // each `OutcomeDiff` (a `Cnf`-shaped condition in the worst case)
+        // into a per-probe working set was a measurable encode cost.
         let miss = Forwarding::drop();
-        let mut uses_counting = false;
-        let mut diffs: Vec<OutcomeDiff> = Vec::with_capacity(lower.len() + 1);
         for l in &lower {
-            diffs.push(self.diff(&probed.fwd, &l.fwd).clone());
+            self.diff(&probed.fwd, &l.fwd);
         }
-        diffs.push(self.diff(&probed.fwd, &miss).clone());
-        for d in &diffs {
-            if d.needs_counting() {
-                uses_counting = true;
-            }
-        }
+        self.diff(&probed.fwd, &miss);
+        let memo = &self.diffs[&probed.fwd];
+        let diffs: Vec<&OutcomeDiff> = lower
+            .iter()
+            .map(|l| &memo[&l.fwd])
+            .chain(std::iter::once(&memo[&miss]))
+            .collect();
+        let uses_counting = diffs.iter().any(|d| d.needs_counting());
 
         emit_distinguish_implication(&mut cnf, &match_lits, &diffs);
 

@@ -117,6 +117,14 @@ pub struct GenStats {
     pub learnt_retained: u64,
     /// Unit propagations performed by the solver, summed over all solves.
     pub solver_propagations: u64,
+    /// High-water clause-arena footprint in bytes (a *gauge*: merged by max,
+    /// not summed — the interesting number is the biggest solver seen).
+    pub arena_bytes: u64,
+    /// Clause-arena backing-buffer reallocations (growth events), summed.
+    pub arena_reallocs: u64,
+    /// Solver scratch-buffer reuses on the encode path (clause adds served
+    /// from a pooled buffer instead of a fresh allocation), summed.
+    pub scratch_reuse: u64,
 }
 
 impl GenStats {
@@ -136,6 +144,9 @@ impl GenStats {
         self.assumption_solves += other.assumption_solves;
         self.learnt_retained += other.learnt_retained;
         self.solver_propagations += other.solver_propagations;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.arena_reallocs += other.arena_reallocs;
+        self.scratch_reuse += other.scratch_reuse;
     }
 }
 
@@ -235,6 +246,9 @@ pub(crate) fn solve_and_finish(
     };
     stats.conflicts += solver.stats().conflicts;
     stats.solver_propagations += solver.stats().propagations;
+    stats.arena_bytes = stats.arena_bytes.max(solver.stats().arena_bytes);
+    stats.arena_reallocs += solver.stats().arena_reallocs;
+    stats.scratch_reuse += solver.stats().scratch_reuse;
 
     let raw = model_to_header(&model);
     let pins = catch.all_pins();
@@ -263,6 +277,9 @@ pub(crate) fn solve_and_finish(
             let h = model_to_header(&m);
             stats.conflicts += solver.stats().conflicts;
             stats.solver_propagations += solver.stats().propagations;
+            stats.arena_bytes = stats.arena_bytes.max(solver.stats().arena_bytes);
+            stats.arena_reallocs += solver.stats().arena_reallocs;
+            stats.scratch_reuse += solver.stats().scratch_reuse;
             finish(table, probed, &pins, h, relevant).ok_or(ProbeError::RepairFailed)
         }
         SatResult::Unknown => Err(ProbeError::SolverBudget),
@@ -513,6 +530,9 @@ mod tests {
             assumption_solves: 10,
             learnt_retained: 11,
             solver_propagations: 12,
+            arena_bytes: 13,
+            arena_reallocs: 14,
+            scratch_reuse: 15,
         };
         let before = a;
         a += GenStats::default();
@@ -538,6 +558,9 @@ mod tests {
             assumption_solves: 9,
             learnt_retained: 10,
             solver_propagations: 11,
+            arena_bytes: 12,
+            arena_reallocs: 13,
+            scratch_reuse: 14,
         };
         let b = GenStats {
             relevant_rules: 10,
@@ -553,6 +576,9 @@ mod tests {
             assumption_solves: 90,
             learnt_retained: 100,
             solver_propagations: 110,
+            arena_bytes: 120,
+            arena_reallocs: 130,
+            scratch_reuse: 140,
         };
         let sum = a + b;
         assert_eq!(sum.relevant_rules, 11);
@@ -568,6 +594,9 @@ mod tests {
         assert_eq!(sum.assumption_solves, 99);
         assert_eq!(sum.learnt_retained, 110);
         assert_eq!(sum.solver_propagations, 121);
+        assert_eq!(sum.arena_bytes, 120, "arena_bytes is a gauge: max, not sum");
+        assert_eq!(sum.arena_reallocs, 143);
+        assert_eq!(sum.scratch_reuse, 154);
         // += agrees with merge and is order-insensitive on sums.
         let mut via_merge = b;
         via_merge.merge(&a);

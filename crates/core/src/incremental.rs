@@ -112,6 +112,11 @@ pub(crate) struct IncrementalSession {
     next_var: Var,
     /// Selector literals retired so far (unit `¬sel` clauses added).
     retired: u64,
+    /// Recycled Hit-side scratch CNF for [`Self::encode_context`].
+    hit_buf: Cnf,
+    /// Recycled Distinguish/domain scratch CNF (`encode_context` and the
+    /// §5.2 strengthened re-solve in [`Self::generate`]).
+    tmp_buf: Cnf,
 }
 
 impl IncrementalSession {
@@ -130,6 +135,8 @@ impl IncrementalSession {
             attached_tpls: Vec::new(),
             next_var: HEADER_BITS as Var,
             retired: 0,
+            hit_buf: Cnf::new(),
+            tmp_buf: Cnf::new(),
         }
     }
 
@@ -244,21 +251,23 @@ impl IncrementalSession {
             return;
         }
         self.deactivate_current();
+        // `tpl_groups` is stored sorted + deduped at encode time, so the
+        // diff runs straight off the cached context — no per-activation
+        // clone/sort. The outgoing attach list is recycled in place.
         let c = &self.contexts[&key];
         let (g_hit, g_dist) = (c.g_hit, c.g_dist);
-        let mut new_tpls = c.tpl_groups.clone();
-        new_tpls.sort_unstable();
-        new_tpls.dedup();
-        let old_tpls = std::mem::take(&mut self.attached_tpls);
+        let mut old_tpls = std::mem::take(&mut self.attached_tpls);
         for &g in &old_tpls {
-            if new_tpls.binary_search(&g).is_err() {
+            if c.tpl_groups.binary_search(&g).is_err() {
                 self.solver.set_group_active(g, false);
             }
         }
-        for &g in &new_tpls {
+        for &g in &c.tpl_groups {
             self.solver.set_group_active(g, true);
         }
-        self.attached_tpls = new_tpls;
+        old_tpls.clear();
+        old_tpls.extend_from_slice(&c.tpl_groups);
+        self.attached_tpls = old_tpls;
         self.solver.set_group_active(g_hit, true);
         self.solver.set_group_active(g_dist, true);
         self.active = Some(key);
@@ -267,17 +276,6 @@ impl IncrementalSession {
     fn alloc_var(&mut self) -> Var {
         self.next_var += 1;
         self.next_var
-    }
-
-    /// Adds `¬sel ∨ clause` to clause group `g` (detached until the group
-    /// is activated). Cannot fail: `sel` is fresh and unassigned, so the
-    /// guarded clause is never falsified at root level.
-    fn add_guarded(&mut self, g: GroupId, sel: Lit, clause: &[Lit]) {
-        let mut c = Vec::with_capacity(clause.len() + 1);
-        c.push(-sel);
-        c.extend_from_slice(clause);
-        let ok = self.solver.add_clause_to_group(g, &c);
-        debug_assert!(ok, "guarded clause conflicted at root");
     }
 
     /// Shared match-template literal for `rule`, loading (or refreshing) its
@@ -331,17 +329,21 @@ impl IncrementalSession {
         (t.lit, t.group)
     }
 
-    fn diff(&mut self, a: &Forwarding, b: &Forwarding) -> crate::outcome::OutcomeDiff {
+    /// Ensures the (a, b) outcome diff is memoized. Callers re-borrow the
+    /// memo table immutably afterwards instead of cloning diffs out — the
+    /// worst-case diff carries a `Cnf`-shaped rewrite condition.
+    fn ensure_diff(&mut self, a: &Forwarding, b: &Forwarding) {
         let inner = self.diffs.entry(a.clone()).or_default();
         if !inner.contains_key(b) {
             inner.insert(b.clone(), crate::outcome::OutcomeDiff::compute(a, b));
         }
-        inner[b].clone()
     }
 
     /// Encodes the `(probed, catch)` clause group into the solver and
     /// registers its context. The Hit-side clauses are assembled into a
     /// scratch CNF *first* so a `Shadowed` abort leaves the solver untouched.
+    /// Both scratch CNFs are session-pooled, so a steady-state re-encode
+    /// performs no clause-buffer allocation at all.
     fn encode_context(
         &mut self,
         probed: &Rule,
@@ -350,12 +352,19 @@ impl IncrementalSession {
         key: (RuleId, u64),
         sig: u64,
         st: &mut GenStats,
-    ) -> Result<Context, BuildError> {
+    ) -> Result<(), BuildError> {
         let var_lo = self.next_var + 1;
-        let mut hit = Cnf::with_capacity(64 + relevant.len() * 4);
+        let mut hit = std::mem::take(&mut self.hit_buf);
+        hit.clear();
         encode::push_units(&mut hit, &probed.tern);
         encode::push_pins(&mut hit, catch);
-        let lower = encode::push_hit_avoid(&mut hit, relevant, probed)?;
+        let lower = match encode::push_hit_avoid(&mut hit, relevant, probed) {
+            Ok(l) => l,
+            Err(e) => {
+                self.hit_buf = hit;
+                return Err(e);
+            }
+        };
 
         // Shared templates + memoized diffs (solver is now committed).
         let mut match_lits: Vec<Option<Lit>> = Vec::with_capacity(lower.len());
@@ -367,12 +376,15 @@ impl IncrementalSession {
                 tpl_groups.push(g);
             }
         }
+        // Stored sorted + deduped so `activate` can diff attach sets without
+        // cloning or re-sorting per probe.
+        tpl_groups.sort_unstable();
+        tpl_groups.dedup();
         let miss = Forwarding::drop();
-        let mut diffs = Vec::with_capacity(lower.len() + 1);
         for l in &lower {
-            diffs.push(self.diff(&probed.fwd, &l.fwd));
+            self.ensure_diff(&probed.fwd, &l.fwd);
         }
-        diffs.push(self.diff(&probed.fwd, &miss));
+        self.ensure_diff(&probed.fwd, &miss);
 
         let sel_hit = self.alloc_var() as Lit;
         let sel_dist = self.alloc_var() as Lit;
@@ -383,34 +395,49 @@ impl IncrementalSession {
         self.solver.set_group_active(g_hit, true);
         let g_dist = self.solver.new_clause_group();
         self.solver.set_group_active(g_dist, true);
-        for c in hit.clauses() {
-            self.add_guarded(g_hit, sel_hit, c);
-        }
+        // Bulk-load: `sel` is fresh and unassigned, so the guarded clauses
+        // can never conflict at root level.
+        let ok = self.solver.load_guarded_cnf_to_group(g_hit, sel_hit, &hit);
+        debug_assert!(ok, "guarded Hit clause conflicted at root");
         // Distinguish clauses go through a scratch CNF so their auxiliary
         // variables allocate above everything already in the solver.
-        let mut tmp = Cnf::new();
+        let mut tmp = std::mem::take(&mut self.tmp_buf);
+        tmp.clear();
         tmp.grow_vars(self.next_var);
-        encode::emit_distinguish_implication(&mut tmp, &match_lits, &diffs);
-        self.next_var = tmp.num_vars();
-        for c in tmp.clauses() {
-            self.add_guarded(g_dist, sel_dist, c);
+        {
+            let memo = &self.diffs[&probed.fwd];
+            let diffs: Vec<&crate::outcome::OutcomeDiff> = lower
+                .iter()
+                .map(|l| &memo[&l.fwd])
+                .chain(std::iter::once(&memo[&miss]))
+                .collect();
+            encode::emit_distinguish_implication(&mut tmp, &match_lits, &diffs);
         }
+        self.next_var = tmp.num_vars();
+        let ok = self
+            .solver
+            .load_guarded_cnf_to_group(g_dist, sel_dist, &tmp);
+        debug_assert!(ok, "guarded Distinguish clause conflicted at root");
         st.clauses += hit.num_clauses() + tmp.num_clauses();
+        self.hit_buf = hit;
+        self.tmp_buf = tmp;
 
-        let ctx = Context {
-            sel_hit,
-            sel_dist,
-            g_hit,
-            g_dist,
-            tpl_groups,
-            tern: probed.tern,
-            sig,
-            relevant: relevant.len(),
-            var_lo,
-            var_hi: self.next_var,
-        };
-        self.contexts.insert(key, ctx.clone());
-        Ok(ctx)
+        self.contexts.insert(
+            key,
+            Context {
+                sel_hit,
+                sel_dist,
+                g_hit,
+                g_dist,
+                tpl_groups,
+                tern: probed.tern,
+                sig,
+                relevant: relevant.len(),
+                var_lo,
+                var_hi: self.next_var,
+            },
+        );
+        Ok(())
     }
 
     /// One assumption solve with per-solve stats accounting. `scope` is the
@@ -439,6 +466,11 @@ impl IncrementalSession {
         st.conflicts += out.stats.conflicts - before.conflicts;
         st.learnt_retained += out.stats.learnt_retained - before.learnt_retained;
         st.solver_propagations += out.stats.last_propagations;
+        // Counters are solver-lifetime totals on a long-lived solver, so
+        // account deltas; the arena footprint is a gauge (high-water max).
+        st.arena_bytes = st.arena_bytes.max(out.stats.arena_bytes);
+        st.arena_reallocs += out.stats.arena_reallocs - before.arena_reallocs;
+        st.scratch_reuse += out.stats.scratch_reuse - before.scratch_reuse;
         out.result
     }
 
@@ -457,30 +489,29 @@ impl IncrementalSession {
         let relevant = encode::relevant_rules(table, probed);
         let sig = context_sig(probed, &relevant);
         let key = (probed.id, catch_k);
-        let ctx = match self.contexts.get(&key) {
-            Some(c) if c.sig == sig => c.clone(),
-            _ => {
-                // Detach the outgoing context before encoding so the fresh
-                // groups can be born active (see `encode_context`).
-                self.deactivate_current();
-                self.retire(key);
-                st.reencodes_incremental += 1;
-                match self.encode_context(probed, &relevant, catch, key, sig, st) {
-                    Ok(c) => c,
-                    Err(e) => return Err(generator::map_build_error(e)),
-                }
+        let cached = matches!(self.contexts.get(&key), Some(c) if c.sig == sig);
+        if !cached {
+            // Detach the outgoing context before encoding so the fresh
+            // groups can be born active (see `encode_context`).
+            self.deactivate_current();
+            self.retire(key);
+            st.reencodes_incremental += 1;
+            if let Err(e) = self.encode_context(probed, &relevant, catch, key, sig, st) {
+                return Err(generator::map_build_error(e));
             }
+        }
+        // Copy the handful of `Copy` fields out instead of cloning the whole
+        // context (its template-group list is probe-neighborhood-sized).
+        let ctx = {
+            let c = &self.contexts[&key];
+            (c.sel_hit, c.sel_dist, c.var_lo, c.var_hi, c.relevant)
         };
-        st.relevant_rules += ctx.relevant;
+        let (sel_hit, sel_dist, var_lo, var_hi, ctx_relevant) = ctx;
+        st.relevant_rules += ctx_relevant;
         self.activate(key);
 
-        let scope = [(1 as Var, HEADER_BITS as Var), (ctx.var_lo, ctx.var_hi)];
-        let r0 = self.solve(
-            &[ctx.sel_hit, ctx.sel_dist],
-            cfg.conflict_budget,
-            &scope,
-            st,
-        );
+        let scope = [(1 as Var, HEADER_BITS as Var), (var_lo, var_hi)];
+        let r0 = self.solve(&[sel_hit, sel_dist], cfg.conflict_budget, &scope, st);
         let model = match r0 {
             SatResult::Sat(m) => m,
             SatResult::Unknown => return Err(ProbeError::SolverBudget),
@@ -488,12 +519,7 @@ impl IncrementalSession {
                 // §3.5 classification: can the rule be hit at all? The
                 // hit-only sub-instance is already in the solver — flip the
                 // Distinguish assumption so its clauses satisfy trivially.
-                return match self.solve(
-                    &[ctx.sel_hit, -ctx.sel_dist],
-                    cfg.conflict_budget,
-                    &scope,
-                    st,
-                ) {
+                return match self.solve(&[sel_hit, -sel_dist], cfg.conflict_budget, &scope, st) {
                     SatResult::Sat(_) => Err(ProbeError::Indistinguishable),
                     _ => Err(ProbeError::Hidden),
                 };
@@ -504,11 +530,11 @@ impl IncrementalSession {
         let pins = catch.all_pins();
         // Attempt 1: spare-value repair + normalization, then verify.
         let repaired = generator::repair_header(table, catch, cfg, raw);
-        if let Some(plan) = generator::finish(table, probed, &pins, repaired, ctx.relevant) {
+        if let Some(plan) = generator::finish(table, probed, &pins, repaired, ctx_relevant) {
             return Ok(plan);
         }
         // Attempt 2: the unrepaired model.
-        if let Some(plan) = generator::finish(table, probed, &pins, raw, ctx.relevant) {
+        if let Some(plan) = generator::finish(table, probed, &pins, raw, ctx_relevant) {
             return Ok(plan);
         }
         // Attempt 3: domain-strengthened re-solve (§5.2's small-domain
@@ -518,21 +544,24 @@ impl IncrementalSession {
         let g_dom = self.alloc_var() as Lit;
         let dom_group = self.solver.new_clause_group();
         self.solver.set_group_active(dom_group, true);
-        let mut tmp = Cnf::new();
+        let mut tmp = std::mem::take(&mut self.tmp_buf);
+        tmp.clear();
         tmp.grow_vars(self.next_var);
         generator::add_domain_constraints(&mut tmp, table, catch, cfg);
         self.next_var = tmp.num_vars();
-        for c in tmp.clauses() {
-            self.add_guarded(dom_group, g_dom, c);
-        }
+        let ok = self
+            .solver
+            .load_guarded_cnf_to_group(dom_group, g_dom, &tmp);
+        debug_assert!(ok, "guarded domain clause conflicted at root");
         st.clauses += tmp.num_clauses();
+        self.tmp_buf = tmp;
         let dom_scope = [
             (1 as Var, HEADER_BITS as Var),
-            (ctx.var_lo, ctx.var_hi),
+            (var_lo, var_hi),
             (dom_lo, self.next_var),
         ];
         let res = self.solve(
-            &[ctx.sel_hit, ctx.sel_dist, g_dom],
+            &[sel_hit, sel_dist, g_dom],
             cfg.conflict_budget,
             &dom_scope,
             st,
@@ -543,7 +572,7 @@ impl IncrementalSession {
         match res {
             SatResult::Sat(m) => {
                 let h = generator::model_to_header(&m);
-                generator::finish(table, probed, &pins, h, ctx.relevant)
+                generator::finish(table, probed, &pins, h, ctx_relevant)
                     .ok_or(ProbeError::RepairFailed)
             }
             SatResult::Unknown => Err(ProbeError::SolverBudget),

@@ -237,9 +237,17 @@ impl OutcomeDiff {
     /// distinguishing counts as True (the plan records that counting is
     /// needed).
     pub fn condition(&self) -> BitCondition {
+        self.condition_ref().clone()
+    }
+
+    /// Borrowing variant of [`condition`](OutcomeDiff::condition) — the
+    /// encode hot loop consults one condition per (probe, lower rule) pair,
+    /// so cloning `Cnf`-shaped rewrite conditions there is pure overhead.
+    pub fn condition_ref(&self) -> &BitCondition {
+        static CONST_TRUE: BitCondition = BitCondition::Const(true);
         match self.ports {
-            PortsDiff::Yes | PortsDiff::YesByCounting => BitCondition::Const(true),
-            PortsDiff::No => self.rewrite.clone(),
+            PortsDiff::Yes | PortsDiff::YesByCounting => &CONST_TRUE,
+            PortsDiff::No => &self.rewrite,
         }
     }
 

@@ -24,6 +24,15 @@
 //!   assumption set ([`CdclSolver::unsat_core`]), computed by final-conflict
 //!   analysis. See the crate docs ("Incremental contract") for exactly what
 //!   persists across calls.
+//!
+//! **Clause storage (arena).** Clauses live in one flat `u32` arena: a
+//! 4-word header (length + flags, capacity, epoch, activity) followed by the
+//! literals, and every reference — watchers, reason pointers, group lists —
+//! is a `u32` word offset (`CRef`) into that arena. Learnt-clause deletion
+//! tombstones slots in place (no reference ever dangles) and files them for
+//! size-class reuse; once a third of the arena is dead it is compacted and
+//! all references relocated. See [`CdclSolver::compact_arena`] for the
+//! incremental contract of compaction.
 
 use crate::cnf::Cnf;
 use crate::cnf::{Lit, Var};
@@ -35,6 +44,17 @@ enum LBool {
     Undef,
     True,
     False,
+}
+
+/// Result of root-level clause simplification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Simplified {
+    /// Tautology or satisfied at root: the clause can be dropped.
+    Satisfied,
+    /// Every literal false at root: the database is unsatisfiable.
+    Empty,
+    /// The (now deduplicated, false-literal-free) clause must be kept.
+    Keep,
 }
 
 /// Internal literal representation: `var * 2 + sign` with 0-based variables;
@@ -79,23 +99,196 @@ fn to_dimacs(l: ILit) -> Lit {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<ILit>,
-    learnt: bool,
-    activity: f64,
-    /// False while the clause's group is detached: the clause stays in the
-    /// database (learnt clauses resolved against it remain implied) but it
-    /// is excluded from propagation.
-    active: bool,
-    /// Bumped on every (re)attachment; watchers carrying an older epoch are
-    /// stale and dropped lazily during propagation.
-    epoch: u32,
+/// Truth value of `l` under `assigns`. Free function so call sites that
+/// already hold a disjoint mutable borrow (e.g. of the arena) can use it.
+#[inline]
+fn lit_value(assigns: &[LBool], l: ILit) -> LBool {
+    match assigns[ivar(l) as usize] {
+        LBool::Undef => LBool::Undef,
+        LBool::True => {
+            if is_negated(l) {
+                LBool::False
+            } else {
+                LBool::True
+            }
+        }
+        LBool::False => {
+            if is_negated(l) {
+                LBool::True
+            } else {
+                LBool::False
+            }
+        }
+    }
+}
+
+/// Reference to a clause: the word offset of its header in the arena.
+type CRef = u32;
+
+/// Words in a clause slot header (length+flags, capacity, epoch, activity).
+const HEADER_WORDS: usize = 4;
+/// Low bits of header word 0 holding the clause length.
+const LEN_MASK: u32 = (1 << 29) - 1;
+/// Slot is tombstoned: freed, awaiting size-class reuse or compaction.
+const FLAG_DEAD: u32 = 1 << 29;
+/// Clause participates in propagation. Group clauses keep this *false*
+/// forever — their watchers are gated by the hot group arrays instead —
+/// so this flag only tracks ungrouped problem clauses and learnts.
+const FLAG_ACTIVE: u32 = 1 << 30;
+/// Clause was learnt (subject to activity-based deletion).
+const FLAG_LEARNT: u32 = 1 << 31;
+
+/// Flat clause storage. Each clause occupies `HEADER_WORDS + cap` words:
+///
+/// * word 0 — `len | FLAG_DEAD | FLAG_ACTIVE | FLAG_LEARNT`
+/// * word 1 — `cap`, the slot's literal capacity (`len ≤ cap`; slack comes
+///   from size-class reuse and is skipped by slot walks)
+/// * word 2 — epoch, bumped when the slot is freed so stale watchers of the
+///   previous occupant never fire on a reused slot
+/// * word 3 — activity as `f32` bits (the clause-activity rescale threshold
+///   of 1e20 is far below `f32::MAX`, so `f32` loses nothing)
+/// * words 4.. — `len` literals (internal `ILit` form)
+#[derive(Debug, Default)]
+struct ClauseArena {
+    data: Vec<u32>,
+    /// `free[cap]` — tombstoned slots whose literal capacity is exactly
+    /// `cap`. Allocation tries `len..=len+2` (at most two words of slack)
+    /// before appending at the tail.
+    free: Vec<Vec<CRef>>,
+    /// Words occupied by dead slots (headers included); drives compaction.
+    wasted: usize,
+    /// Times `data` had to grow its heap allocation.
+    reallocs: u64,
+}
+
+impl ClauseArena {
+    #[inline]
+    fn len(&self, c: CRef) -> usize {
+        (self.data[c as usize] & LEN_MASK) as usize
+    }
+
+    #[inline]
+    fn cap(&self, c: CRef) -> usize {
+        self.data[c as usize + 1] as usize
+    }
+
+    #[inline]
+    fn is_dead(&self, c: CRef) -> bool {
+        self.data[c as usize] & FLAG_DEAD != 0
+    }
+
+    #[inline]
+    fn is_active(&self, c: CRef) -> bool {
+        self.data[c as usize] & FLAG_ACTIVE != 0
+    }
+
+    #[inline]
+    fn is_learnt(&self, c: CRef) -> bool {
+        self.data[c as usize] & FLAG_LEARNT != 0
+    }
+
+    #[inline]
+    fn epoch(&self, c: CRef) -> u32 {
+        self.data[c as usize + 2]
+    }
+
+    #[inline]
+    fn activity(&self, c: CRef) -> f32 {
+        f32::from_bits(self.data[c as usize + 3])
+    }
+
+    #[inline]
+    fn set_activity(&mut self, c: CRef, a: f32) {
+        self.data[c as usize + 3] = a.to_bits();
+    }
+
+    #[inline]
+    fn lit(&self, c: CRef, k: usize) -> ILit {
+        self.data[c as usize + HEADER_WORDS + k]
+    }
+
+    /// Counts a heap reallocation if appending `extra` words would grow the
+    /// backing buffer.
+    #[inline]
+    fn note_growth(&mut self, extra: usize) {
+        if self.data.len() + extra > self.data.capacity() {
+            self.reallocs += 1;
+        }
+    }
+
+    /// Allocates a slot for `lits`, reusing a tombstoned slot of a close
+    /// size class when one exists. A reused slot keeps its capacity and its
+    /// (free-time bumped) epoch; a fresh tail slot starts at epoch 0.
+    fn alloc(&mut self, lits: &[ILit], learnt: bool, active: bool) -> CRef {
+        let len = lits.len();
+        debug_assert!(len as u32 <= LEN_MASK);
+        let mut flags = len as u32;
+        if learnt {
+            flags |= FLAG_LEARNT;
+        }
+        if active {
+            flags |= FLAG_ACTIVE;
+        }
+        if len < self.free.len() {
+            let hi = (len + 2).min(self.free.len() - 1);
+            for cap in len..=hi {
+                if let Some(c) = self.free[cap].pop() {
+                    self.wasted -= HEADER_WORDS + cap;
+                    let h = c as usize;
+                    self.data[h] = flags;
+                    // word 1 (cap) and word 2 (epoch) carry over.
+                    self.data[h + 3] = 0f32.to_bits();
+                    let base = h + HEADER_WORDS;
+                    self.data[base..base + len].copy_from_slice(lits);
+                    return c;
+                }
+            }
+        }
+        self.note_growth(HEADER_WORDS + len);
+        let c = self.data.len() as CRef;
+        self.data.push(flags);
+        self.data.push(len as u32);
+        self.data.push(0);
+        self.data.push(0f32.to_bits());
+        self.data.extend_from_slice(lits);
+        c
+    }
+
+    /// Tombstones a slot: marks it dead, bumps its epoch (stale watchers of
+    /// the occupant drop lazily in `propagate`), and files it for reuse.
+    fn free(&mut self, c: CRef) {
+        let h = c as usize;
+        debug_assert!(self.data[h] & FLAG_DEAD == 0);
+        self.data[h] = FLAG_DEAD;
+        self.data[h + 2] = self.data[h + 2].wrapping_add(1);
+        let cap = self.data[h + 1] as usize;
+        if self.free.len() <= cap {
+            self.free.resize(cap + 1, Vec::new());
+        }
+        self.free[cap].push(c);
+        self.wasted += HEADER_WORDS + cap;
+    }
+
+    /// True when a compaction pass would reclaim enough to be worth the
+    /// relocation sweep: a third of a non-trivial arena is dead.
+    fn should_compact(&self) -> bool {
+        self.wasted * 3 > self.data.len() && self.data.len() >= 4096
+    }
+
+    /// Clears all clause storage, keeping allocations for reuse.
+    fn reset(&mut self) {
+        self.data.clear();
+        for f in &mut self.free {
+            f.clear();
+        }
+        self.wasted = 0;
+        self.reallocs = 0;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
-    clause: usize,
+    clause: CRef,
     /// Any other literal of the clause; if it is already true the clause is
     /// satisfied and the watch list walk can skip touching the clause.
     blocker: ILit,
@@ -117,7 +310,7 @@ pub struct GroupId(usize);
 
 #[derive(Debug, Default)]
 struct Group {
-    clauses: Vec<usize>,
+    clauses: Vec<CRef>,
     active: bool,
     /// The subset of `clauses` that carries watchers (≥2 non-false literals
     /// at attach time; root-satisfied and root-unit clauses are excluded).
@@ -125,7 +318,7 @@ struct Group {
     /// propagation keeps the live pair in the first two positions — so
     /// re-attaching replays it after a two-read validity check against the
     /// current root assignment.
-    watched: Vec<usize>,
+    watched: Vec<CRef>,
     /// True once the group has been through a full attach/detach cycle, so
     /// `watched` (plus each clause's `lits[0..2]`) is a usable replay cache.
     cached: bool,
@@ -161,6 +354,17 @@ pub struct SolverStats {
     /// Unit propagations performed by the most recent solve only (the
     /// per-solve slice of the cumulative `propagations`).
     pub last_propagations: u64,
+    /// Bytes currently held by the flat clause arena (a gauge, not a
+    /// counter: snapshot taken at the end of each solve call).
+    pub arena_bytes: u64,
+    /// Heap reallocations the arena's backing buffer has performed — near
+    /// zero in steady state once the arena has grown to working-set size.
+    pub arena_reallocs: u64,
+    /// Times a pooled scratch buffer was reused with warm capacity on the
+    /// clause-add path (`add_clause` / `add_clause_to_group` /
+    /// assumption conversion) — each one is a heap allocation the arena
+    /// rework eliminated.
+    pub scratch_reuse: u64,
 }
 
 /// Outcome of a single `solve` call together with statistics.
@@ -279,12 +483,12 @@ impl ActivityHeap {
 pub struct CdclSolver {
     // Problem state
     num_vars: usize,
-    clauses: Vec<Clause>,
+    arena: ClauseArena,
     watches: Vec<Vec<Watcher>>,
     // Assignment state
     assigns: Vec<LBool>,
     level: Vec<u32>,
-    reason: Vec<Option<usize>>,
+    reason: Vec<Option<CRef>>,
     trail: Vec<ILit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -308,9 +512,13 @@ pub struct CdclSolver {
     /// When set, SAT models are materialized only for variables `1..=cap`
     /// (see [`CdclSolver::set_model_cap`]).
     model_cap: Option<usize>,
-    /// Tombstoned clause slots available for reuse by `attach_clause`.
-    free_slots: Vec<usize>,
-    /// Detachable clause groups (indices into `clauses`).
+    /// Pooled scratch for external→internal literal conversion on the
+    /// clause-add and assumption paths; reused across calls so steady-state
+    /// encoding performs no per-clause heap allocation.
+    lit_scratch: Vec<ILit>,
+    /// Pooled scratch for the learnt clause built by conflict analysis.
+    learnt_scratch: Vec<ILit>,
+    /// Detachable clause groups (arena refs).
     groups: Vec<Group>,
     /// `group_on[g + 1]` — whether group `g` is attached (index 0 is the
     /// always-on pseudo-group of ungrouped clauses). Consulted by the
@@ -342,7 +550,7 @@ impl CdclSolver {
     pub fn new() -> Self {
         CdclSolver {
             num_vars: 0,
-            clauses: Vec::new(),
+            arena: ClauseArena::default(),
             watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
@@ -361,7 +569,8 @@ impl CdclSolver {
             decision_ranges: Vec::new(),
             scoped_heap: ActivityHeap::default(),
             model_cap: None,
-            free_slots: Vec::new(),
+            lit_scratch: Vec::new(),
+            learnt_scratch: Vec::new(),
             groups: Vec::new(),
             group_on: vec![true],
             group_epoch: vec![0],
@@ -452,67 +661,90 @@ impl CdclSolver {
         self.backtrack(0);
         let max_v = lits.iter().map(|l| l.unsigned_abs()).max().unwrap_or(0);
         self.reserve_vars(max_v as usize);
-        let mut ilits: Vec<ILit> = lits.iter().map(|&l| from_dimacs(l)).collect();
-        ilits.sort_unstable();
-        ilits.dedup();
-        let mut i = 0;
-        while i < ilits.len() {
-            if i + 1 < ilits.len() && ilits[i + 1] == ineg(ilits[i]) {
-                return true; // tautology
+        let mut ilits = self.take_lit_scratch();
+        ilits.extend(lits.iter().map(|&l| from_dimacs(l)));
+        let result = match self.simplify_at_root(&mut ilits) {
+            Simplified::Satisfied => true,
+            Simplified::Empty => {
+                self.ok = false;
+                false
             }
-            match self.value_lit(ilits[i]) {
-                LBool::True => return true, // satisfied at root
+            Simplified::Keep => {
+                // Group clauses stay FLAG_ACTIVE = false forever: their
+                // watchers are gated by the hot group arrays instead.
+                let cref = self.arena.alloc(&ilits, false, false);
+                self.groups[group.0].clauses.push(cref);
+                if self.groups[group.0].active {
+                    self.num_active_problem += 1;
+                    let gi = group.0 + 1;
+                    if ilits.len() >= 2 {
+                        let (l0, l1) = (ilits[0], ilits[1]);
+                        let epoch = self.group_epoch[gi];
+                        self.watches[l0 as usize].push(Watcher {
+                            clause: cref,
+                            blocker: l1,
+                            epoch,
+                            group: gi as u32,
+                        });
+                        self.watches[l1 as usize].push(Watcher {
+                            clause: cref,
+                            blocker: l0,
+                            epoch,
+                            group: gi as u32,
+                        });
+                        self.groups[group.0].watched.push(cref);
+                    } else {
+                        // Unit at root: the assignment is permanent (group
+                        // clauses are permanent members of the formula), no
+                        // watchers needed.
+                        self.unchecked_enqueue(ilits[0], None);
+                        if self.propagate().is_some() {
+                            self.ok = false;
+                        }
+                    }
+                }
+                self.ok
+            }
+        };
+        self.lit_scratch = ilits;
+        result
+    }
+
+    /// Takes the pooled literal scratch, counting warm reuses.
+    #[inline]
+    fn take_lit_scratch(&mut self) -> Vec<ILit> {
+        let mut v = std::mem::take(&mut self.lit_scratch);
+        if v.capacity() > 0 {
+            self.stats.scratch_reuse += 1;
+        }
+        v.clear();
+        v
+    }
+
+    /// Root-level clause simplification: sort, dedup, drop false literals,
+    /// detect tautologies and already-satisfied clauses.
+    fn simplify_at_root(&self, lits: &mut Vec<ILit>) -> Simplified {
+        debug_assert_eq!(self.decision_level(), 0);
+        lits.sort_unstable();
+        lits.dedup();
+        let mut i = 0;
+        while i < lits.len() {
+            if i + 1 < lits.len() && lits[i + 1] == ineg(lits[i]) {
+                return Simplified::Satisfied; // tautology: x, !x adjacent
+            }
+            match self.value_lit(lits[i]) {
+                LBool::True => return Simplified::Satisfied,
                 LBool::False => {
-                    ilits.remove(i);
+                    lits.remove(i);
                 }
                 LBool::Undef => i += 1,
             }
         }
-        if ilits.is_empty() {
-            self.ok = false;
-            return false;
+        if lits.is_empty() {
+            Simplified::Empty
+        } else {
+            Simplified::Keep
         }
-        let idx = self.clauses.len();
-        self.clauses.push(Clause {
-            lits: ilits,
-            learnt: false,
-            activity: 0.0,
-            active: false,
-            epoch: 0,
-        });
-        self.groups[group.0].clauses.push(idx);
-        if self.groups[group.0].active {
-            self.num_active_problem += 1;
-            let gi = group.0 + 1;
-            let cl = &self.clauses[idx];
-            if cl.lits.len() >= 2 {
-                let (l0, l1) = (cl.lits[0], cl.lits[1]);
-                let epoch = self.group_epoch[gi];
-                self.watches[l0 as usize].push(Watcher {
-                    clause: idx,
-                    blocker: l1,
-                    epoch,
-                    group: gi as u32,
-                });
-                self.watches[l1 as usize].push(Watcher {
-                    clause: idx,
-                    blocker: l0,
-                    epoch,
-                    group: gi as u32,
-                });
-                self.groups[group.0].watched.push(idx);
-            } else {
-                // Unit at root: the assignment is permanent (group clauses
-                // are permanent members of the formula), no watchers needed.
-                let l = self.clauses[idx].lits[0];
-                self.unchecked_enqueue(l, None);
-                if self.propagate().is_some() {
-                    self.ok = false;
-                    return false;
-                }
-            }
-        }
-        true
     }
 
     /// Attaches or detaches `group` (idempotent). Deactivation is O(1): the
@@ -561,8 +793,7 @@ impl CdclSolver {
                     break;
                 }
                 let idx = watched[i];
-                let cl = &self.clauses[idx];
-                let (l0, l1) = (cl.lits[0], cl.lits[1]);
+                let (l0, l1) = (self.arena.lit(idx, 0), self.arena.lit(idx, 1));
                 if self.value_lit(l0) != LBool::False && self.value_lit(l1) != LBool::False {
                     self.watches[l0 as usize].push(Watcher {
                         clause: idx,
@@ -591,7 +822,7 @@ impl CdclSolver {
         // First attach: re-select two non-false watch literals per clause
         // and build the watched-clause cache.
         let indices = std::mem::take(&mut self.groups[group.0].clauses);
-        let mut watched: Vec<usize> = Vec::with_capacity(indices.len());
+        let mut watched: Vec<CRef> = Vec::with_capacity(indices.len());
         for &idx in &indices {
             if !self.ok {
                 break;
@@ -611,25 +842,18 @@ impl CdclSolver {
     /// literal enqueued permanently instead (group clauses are permanent
     /// members of the formula), a root-satisfied clause is skipped, and a
     /// clause with every literal false poisons the solver (`ok = false`).
-    fn attach_group_clause(&mut self, idx: usize, gi: usize, epoch: u32) -> bool {
-        let cl = &mut self.clauses[idx];
+    fn attach_group_clause(&mut self, idx: CRef, gi: usize, epoch: u32) -> bool {
         // Move two non-false literals into the watch positions.
         let mut found = 0usize;
-        let len = cl.lits.len();
+        let len = self.arena.len(idx);
+        let base = idx as usize + HEADER_WORDS;
         for k in 0..len {
             if found == 2 {
                 break;
             }
-            let l = cl.lits[k];
-            let v = ivar(l) as usize;
-            let lval = match self.assigns[v] {
-                LBool::Undef => LBool::Undef,
-                LBool::True if !is_negated(l) => LBool::True,
-                LBool::False if is_negated(l) => LBool::True,
-                _ => LBool::False,
-            };
-            if lval != LBool::False {
-                cl.lits.swap(found, k);
+            let l = self.arena.data[base + k];
+            if lit_value(&self.assigns, l) != LBool::False {
+                self.arena.data.swap(base + found, base + k);
                 found += 1;
             }
         }
@@ -643,7 +867,7 @@ impl CdclSolver {
             1 => {
                 // Unit (or already satisfied) at root: the assignment is
                 // permanent, so the clause needs no watchers.
-                let l = self.clauses[idx].lits[0];
+                let l = self.arena.lit(idx, 0);
                 if self.value_lit(l) == LBool::Undef {
                     self.unchecked_enqueue(l, None);
                     if self.propagate().is_some() {
@@ -653,8 +877,7 @@ impl CdclSolver {
                 false
             }
             _ => {
-                let cl = &self.clauses[idx];
-                let (l0, l1) = (cl.lits[0], cl.lits[1]);
+                let (l0, l1) = (self.arena.lit(idx, 0), self.arena.lit(idx, 1));
                 self.watches[l0 as usize].push(Watcher {
                     clause: idx,
                     blocker: l1,
@@ -725,8 +948,11 @@ impl CdclSolver {
         self.backtrack(0);
         let max_v = lits.iter().map(|l| l.unsigned_abs()).max().unwrap_or(0);
         self.reserve_vars(max_v as usize);
-        let ilits: Vec<ILit> = lits.iter().map(|&l| from_dimacs(l)).collect();
-        if !self.add_problem_clause(ilits) {
+        let mut ilits = self.take_lit_scratch();
+        ilits.extend(lits.iter().map(|&l| from_dimacs(l)));
+        let ok = self.add_simplified_clause(&mut ilits);
+        self.lit_scratch = ilits;
+        if !ok {
             self.ok = false;
         }
         self.ok
@@ -735,14 +961,258 @@ impl CdclSolver {
     /// Adds every clause of `cnf` to the persistent database (incremental
     /// mode bulk load). Returns `false` when the database became
     /// unsatisfiable at root level.
+    ///
+    /// Zero-copy: `Cnf` already stores its clauses flat (literals + `0`
+    /// terminators), so each clause is appended straight onto the arena
+    /// tail and simplified in place there — no per-clause staging `Vec`.
     pub fn load_cnf(&mut self, cnf: &Cnf) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.backtrack(0);
         self.reserve_vars(cnf.num_vars() as usize);
-        for clause in cnf.clauses() {
-            if !self.add_clause(clause) {
-                return false;
+        let raw = cnf.raw();
+        let mut pos = 0usize;
+        while pos < raw.len() && self.ok {
+            let start = pos;
+            while raw[pos] != 0 {
+                pos += 1;
             }
+            if !self.load_raw_clause(&raw[start..pos]) {
+                self.ok = false;
+            }
+            pos += 1;
         }
         self.ok
+    }
+
+    /// Appends one external-form clause straight onto the arena tail and
+    /// simplifies it in place there against the root assignment; the tail is
+    /// rolled back for clauses that don't need a slot (tautology,
+    /// root-satisfied, unit, empty). Returns `false` when the database
+    /// became unsatisfiable.
+    fn load_raw_clause(&mut self, clause: &[i32]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.arena.note_growth(HEADER_WORDS + clause.len());
+        let off = self.arena.data.len();
+        let base = off + HEADER_WORDS;
+        // Header placeholder; finalized below once the clause survives
+        // simplification.
+        self.arena.data.extend_from_slice(&[0; HEADER_WORDS]);
+        self.arena
+            .data
+            .extend(clause.iter().map(|&l| from_dimacs(l)));
+        {
+            let data = &mut self.arena.data;
+            data[base..].sort_unstable();
+            // Dedup the tail in place.
+            let mut w = base;
+            for r in base..data.len() {
+                if w == base || data[r] != data[w - 1] {
+                    data[w] = data[r];
+                    w += 1;
+                }
+            }
+            data.truncate(w);
+            // Tautology / root-satisfied detection and false-literal
+            // elimination, all on the tail slice.
+            let assigns = &self.assigns;
+            let mut w = base;
+            let mut r = base;
+            while r < data.len() {
+                let l = data[r];
+                if r + 1 < data.len() && data[r + 1] == ineg(l) {
+                    data.truncate(off); // tautology: x, !x adjacent
+                    return true;
+                }
+                match lit_value(assigns, l) {
+                    LBool::True => {
+                        data.truncate(off); // satisfied at root
+                        return true;
+                    }
+                    LBool::False => r += 1,
+                    LBool::Undef => {
+                        data[w] = l;
+                        w += 1;
+                        r += 1;
+                    }
+                }
+            }
+            data.truncate(w);
+        }
+        let len = self.arena.data.len() - base;
+        match len {
+            0 => {
+                self.arena.data.truncate(off);
+                false // empty clause: unsat
+            }
+            1 => {
+                let l = self.arena.data[base];
+                self.arena.data.truncate(off);
+                self.unchecked_enqueue(l, None);
+                self.propagate().is_none()
+            }
+            _ => {
+                let data = &mut self.arena.data;
+                data[off] = len as u32 | FLAG_ACTIVE;
+                data[off + 1] = len as u32;
+                data[off + 2] = 0;
+                data[off + 3] = 0f32.to_bits();
+                let cref = off as CRef;
+                let (l0, l1) = (data[base], data[base + 1]);
+                self.watches[l0 as usize].push(Watcher {
+                    clause: cref,
+                    blocker: l1,
+                    epoch: 0,
+                    group: 0,
+                });
+                self.watches[l1 as usize].push(Watcher {
+                    clause: cref,
+                    blocker: l0,
+                    epoch: 0,
+                    group: 0,
+                });
+                self.num_active_problem += 1;
+                true
+            }
+        }
+    }
+
+    /// Bulk-loads every clause of `cnf` into `group`, each guarded by
+    /// `¬sel` (i.e. clause `c` becomes `¬sel ∨ c`). Semantically identical
+    /// to calling [`Self::add_clause_to_group`] per clause with the guard
+    /// prepended, but the per-clause fixed costs are hoisted: one
+    /// `backtrack(0)`, one [`Self::reserve_vars`] for the whole CNF, and no
+    /// staging buffer — each clause streams from `cnf`'s flat storage
+    /// straight onto the arena tail (the [`Self::load_cnf`] pattern) and is
+    /// simplified in place there. This is the encode hot path of the
+    /// incremental session, which loads ~10² guarded clauses per context.
+    /// Returns `false` when the database became unsatisfiable at root level.
+    pub fn load_guarded_cnf_to_group(&mut self, group: GroupId, sel: Lit, cnf: &Cnf) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.backtrack(0);
+        let max_v = (cnf.num_vars() as usize).max(sel.unsigned_abs() as usize);
+        self.reserve_vars(max_v);
+        let guard = from_dimacs(-sel);
+        let raw = cnf.raw();
+        let mut pos = 0usize;
+        while pos < raw.len() && self.ok {
+            let start = pos;
+            while raw[pos] != 0 {
+                pos += 1;
+            }
+            if !self.load_guarded_raw_clause(group, guard, &raw[start..pos]) {
+                self.ok = false;
+            }
+            pos += 1;
+        }
+        self.ok
+    }
+
+    /// One clause of [`Self::load_guarded_cnf_to_group`]: appends
+    /// `¬sel ∨ clause` onto the arena tail, simplifies it in place against
+    /// the root assignment (tail rolled back when the clause is dropped),
+    /// registers the slot with the group, and — when the group is active —
+    /// attaches watchers immediately, exactly like
+    /// [`Self::add_clause_to_group`]. Returns `false` on root conflict.
+    fn load_guarded_raw_clause(&mut self, group: GroupId, guard: ILit, clause: &[i32]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.arena.note_growth(HEADER_WORDS + 1 + clause.len());
+        let off = self.arena.data.len();
+        let base = off + HEADER_WORDS;
+        self.arena.data.extend_from_slice(&[0; HEADER_WORDS]);
+        self.arena.data.push(guard);
+        self.arena
+            .data
+            .extend(clause.iter().map(|&l| from_dimacs(l)));
+        {
+            let data = &mut self.arena.data;
+            data[base..].sort_unstable();
+            // Dedup the tail in place.
+            let mut w = base;
+            for r in base..data.len() {
+                if w == base || data[r] != data[w - 1] {
+                    data[w] = data[r];
+                    w += 1;
+                }
+            }
+            data.truncate(w);
+            // Tautology / root-satisfied detection and false-literal
+            // elimination, all on the tail slice. The guard literal is
+            // always root-undef (selectors are assumed, never asserted), so
+            // the clause survives with at least one literal.
+            let assigns = &self.assigns;
+            let mut w = base;
+            let mut r = base;
+            while r < data.len() {
+                let l = data[r];
+                if r + 1 < data.len() && data[r + 1] == ineg(l) {
+                    data.truncate(off); // tautology: x, !x adjacent
+                    return true;
+                }
+                match lit_value(assigns, l) {
+                    LBool::True => {
+                        data.truncate(off); // satisfied at root
+                        return true;
+                    }
+                    LBool::False => r += 1,
+                    LBool::Undef => {
+                        data[w] = l;
+                        w += 1;
+                        r += 1;
+                    }
+                }
+            }
+            data.truncate(w);
+        }
+        let len = self.arena.data.len() - base;
+        if len == 0 {
+            self.arena.data.truncate(off);
+            return false; // sel was root-falsified *and* every literal false
+        }
+        {
+            // Group clauses stay FLAG_ACTIVE = false forever: their
+            // watchers are gated by the hot group arrays instead.
+            let data = &mut self.arena.data;
+            data[off] = len as u32;
+            data[off + 1] = len as u32;
+            data[off + 2] = 0;
+            data[off + 3] = 0f32.to_bits();
+        }
+        let cref = off as CRef;
+        self.groups[group.0].clauses.push(cref);
+        if self.groups[group.0].active {
+            self.num_active_problem += 1;
+            let gi = group.0 + 1;
+            if len >= 2 {
+                let (l0, l1) = (self.arena.data[base], self.arena.data[base + 1]);
+                let epoch = self.group_epoch[gi];
+                self.watches[l0 as usize].push(Watcher {
+                    clause: cref,
+                    blocker: l1,
+                    epoch,
+                    group: gi as u32,
+                });
+                self.watches[l1 as usize].push(Watcher {
+                    clause: cref,
+                    blocker: l0,
+                    epoch,
+                    group: gi as u32,
+                });
+                self.groups[group.0].watched.push(cref);
+            } else {
+                // Unit at root: permanent (group clauses are permanent
+                // members of the formula), no watchers needed.
+                let l = self.arena.data[base];
+                self.unchecked_enqueue(l, None);
+                if self.propagate().is_some() {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Solves the persistent clause database under `assumptions` (external
@@ -793,8 +1263,13 @@ impl CdclSolver {
                 self.decision_ranges = ranges;
                 std::mem::swap(&mut self.heap, &mut self.scoped_heap);
             }
-            let ilits: Vec<ILit> = assumptions.iter().map(|&l| from_dimacs(l)).collect();
+            let ilits = {
+                let mut v = self.take_lit_scratch();
+                v.extend(assumptions.iter().map(|&l| from_dimacs(l)));
+                v
+            };
             let r = self.search(&ilits);
+            self.lit_scratch = ilits;
             self.backtrack(0);
             if scoped {
                 std::mem::swap(&mut self.heap, &mut self.scoped_heap);
@@ -803,10 +1278,17 @@ impl CdclSolver {
         };
         self.stats.last_propagations = self.stats.propagations - props_before;
         self.stats.learnt_clauses = self.num_learnts as u64;
+        self.finish_arena_stats();
         SolveOutcome {
             result,
             stats: self.stats,
         }
+    }
+
+    /// Snapshots the arena gauges into the stats block (end of each solve).
+    fn finish_arena_stats(&mut self) {
+        self.stats.arena_bytes = (self.arena.data.len() * 4) as u64;
+        self.stats.arena_reallocs = self.arena.reallocs;
     }
 
     /// The assumption literals responsible for the most recent
@@ -826,13 +1308,9 @@ impl CdclSolver {
     /// mode: the solver is reset and the formula reloaded each call.
     pub fn solve_with_stats(&mut self, cnf: &Cnf) -> SolveOutcome {
         self.reset(cnf.num_vars() as usize);
-        for clause in cnf.clauses() {
-            let ilits: Vec<ILit> = clause.iter().map(|&l| from_dimacs(l)).collect();
-            if !self.add_problem_clause(ilits) {
-                self.ok = false;
-                break;
-            }
-        }
+        // Same zero-copy bulk load as the incremental path: clauses stream
+        // from the Cnf's flat buffer straight into the arena tail.
+        self.load_cnf(cnf);
         let result = if !self.ok {
             SatResult::Unsat
         } else {
@@ -840,6 +1318,7 @@ impl CdclSolver {
         };
         self.stats.learnt_clauses = self.num_learnts as u64;
         self.stats.last_propagations = self.stats.propagations;
+        self.finish_arena_stats();
         SolveOutcome {
             result,
             stats: self.stats,
@@ -848,7 +1327,7 @@ impl CdclSolver {
 
     fn reset(&mut self, num_vars: usize) {
         self.num_vars = num_vars;
-        self.clauses.clear();
+        self.arena.reset();
         self.watches.clear();
         self.watches.resize(2 * num_vars, Vec::new());
         self.assigns.clear();
@@ -880,7 +1359,6 @@ impl CdclSolver {
         self.decision_ranges.clear();
         self.scoped_heap = ActivityHeap::default();
         self.model_cap = None;
-        self.free_slots.clear();
         self.groups.clear();
         self.group_on = vec![true];
         self.group_epoch = vec![0];
@@ -890,96 +1368,44 @@ impl CdclSolver {
 
     #[inline]
     fn value_lit(&self, l: ILit) -> LBool {
-        match self.assigns[ivar(l) as usize] {
-            LBool::Undef => LBool::Undef,
-            LBool::True => {
-                if is_negated(l) {
-                    LBool::False
+        lit_value(&self.assigns, l)
+    }
+
+    /// Simplifies `lits` at root and installs the survivor (unit enqueue +
+    /// propagate, or watched attach). Returns `false` when the clause is
+    /// empty after simplification or the unit propagation conflicts.
+    fn add_simplified_clause(&mut self, lits: &mut Vec<ILit>) -> bool {
+        match self.simplify_at_root(lits) {
+            Simplified::Satisfied => true,
+            Simplified::Empty => false,
+            Simplified::Keep => {
+                if lits.len() == 1 {
+                    self.unchecked_enqueue(lits[0], None);
+                    self.propagate().is_none()
                 } else {
-                    LBool::True
-                }
-            }
-            LBool::False => {
-                if is_negated(l) {
-                    LBool::True
-                } else {
-                    LBool::False
+                    self.attach_clause(lits, false);
+                    true
                 }
             }
         }
     }
 
-    fn add_problem_clause(&mut self, mut lits: Vec<ILit>) -> bool {
-        debug_assert_eq!(self.decision_level(), 0);
-        // Simplify: drop duplicates and false literals, detect tautologies
-        // and already-satisfied clauses.
-        lits.sort_unstable();
-        lits.dedup();
-        let mut i = 0;
-        while i < lits.len() {
-            if i + 1 < lits.len() && lits[i + 1] == ineg(lits[i]) {
-                return true; // tautology: x and !x are adjacent after sort
-            }
-            match self.value_lit(lits[i]) {
-                LBool::True => return true, // satisfied at level 0
-                LBool::False => {
-                    lits.remove(i);
-                }
-                LBool::Undef => i += 1,
-            }
-        }
-        match lits.len() {
-            0 => false, // empty clause: unsat
-            1 => {
-                self.unchecked_enqueue(lits[0], None);
-                self.propagate().is_none()
-            }
-            _ => {
-                self.attach_clause(lits, false);
-                true
-            }
-        }
-    }
-
-    fn attach_clause(&mut self, lits: Vec<ILit>, learnt: bool) -> usize {
+    fn attach_clause(&mut self, lits: &[ILit], learnt: bool) -> CRef {
         debug_assert!(lits.len() >= 2);
         let (l0, l1) = (lits[0], lits[1]);
-        // Reuse a tombstoned slot when one is free; its epoch was already
-        // bumped at removal time, so stale watchers of the previous occupant
-        // never fire on the new clause.
-        let idx = match self.free_slots.pop() {
-            Some(i) => {
-                debug_assert!(!self.clauses[i].active);
-                let epoch = self.clauses[i].epoch;
-                self.clauses[i] = Clause {
-                    lits,
-                    learnt,
-                    activity: 0.0,
-                    active: true,
-                    epoch,
-                };
-                i
-            }
-            None => {
-                self.clauses.push(Clause {
-                    lits,
-                    learnt,
-                    activity: 0.0,
-                    active: true,
-                    epoch: 0,
-                });
-                self.clauses.len() - 1
-            }
-        };
-        let ep = self.clauses[idx].epoch;
+        // The arena reuses a tombstoned slot when one of a close size class
+        // is free; its epoch was already bumped at removal time, so stale
+        // watchers of the previous occupant never fire on the new clause.
+        let cref = self.arena.alloc(lits, learnt, true);
+        let ep = self.arena.epoch(cref);
         self.watches[l0 as usize].push(Watcher {
-            clause: idx,
+            clause: cref,
             blocker: l1,
             epoch: ep,
             group: 0,
         });
         self.watches[l1 as usize].push(Watcher {
-            clause: idx,
+            clause: cref,
             blocker: l0,
             epoch: ep,
             group: 0,
@@ -989,7 +1415,7 @@ impl CdclSolver {
         } else {
             self.num_active_problem += 1;
         }
-        idx
+        cref
     }
 
     #[inline]
@@ -997,7 +1423,7 @@ impl CdclSolver {
         self.trail_lim.len() as u32
     }
 
-    fn unchecked_enqueue(&mut self, l: ILit, from: Option<usize>) {
+    fn unchecked_enqueue(&mut self, l: ILit, from: Option<CRef>) {
         debug_assert_eq!(self.value_lit(l), LBool::Undef);
         let v = ivar(l) as usize;
         self.assigns[v] = if is_negated(l) {
@@ -1011,8 +1437,8 @@ impl CdclSolver {
         self.stats.propagations += 1;
     }
 
-    /// Unit propagation; returns the index of a conflicting clause, if any.
-    fn propagate(&mut self) -> Option<usize> {
+    /// Unit propagation; returns the ref of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<CRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -1039,18 +1465,16 @@ impl CdclSolver {
                     if !self.group_on[g] || w.epoch != self.group_epoch[g] {
                         continue;
                     }
-                } else {
-                    let cl = &self.clauses[cref];
-                    if !cl.active || w.epoch != cl.epoch {
-                        continue;
-                    }
+                } else if !self.arena.is_active(cref) || w.epoch != self.arena.epoch(cref) {
+                    continue;
                 }
                 // Make sure the false literal is at position 1.
-                if self.clauses[cref].lits[0] == false_lit {
-                    self.clauses[cref].lits.swap(0, 1);
+                let base = cref as usize + HEADER_WORDS;
+                if self.arena.data[base] == false_lit {
+                    self.arena.data.swap(base, base + 1);
                 }
-                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
-                let first = self.clauses[cref].lits[0];
+                debug_assert_eq!(self.arena.data[base + 1], false_lit);
+                let first = self.arena.data[base];
                 if first != w.blocker && self.value_lit(first) == LBool::True {
                     ws[j] = Watcher {
                         clause: cref,
@@ -1062,11 +1486,11 @@ impl CdclSolver {
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[cref].lits.len();
+                let len = self.arena.len(cref);
                 for k in 2..len {
-                    let cand = self.clauses[cref].lits[k];
+                    let cand = self.arena.data[base + k];
                     if self.value_lit(cand) != LBool::False {
-                        self.clauses[cref].lits.swap(1, k);
+                        self.arena.data.swap(base + 1, base + k);
                         self.watches[cand as usize].push(Watcher {
                             clause: cref,
                             blocker: first,
@@ -1104,24 +1528,24 @@ impl CdclSolver {
         None
     }
 
-    /// 1-UIP conflict analysis. Returns the learnt clause (asserting literal
-    /// first) and the backjump level.
-    fn analyze(&mut self, mut confl: usize) -> (Vec<ILit>, u32) {
-        let mut learnt: Vec<ILit> = vec![0];
+    /// 1-UIP conflict analysis. Fills `learnt` with the learnt clause
+    /// (asserting literal first; the buffer is a pooled scratch reused
+    /// across conflicts) and returns the backjump level.
+    fn analyze(&mut self, mut confl: CRef, learnt: &mut Vec<ILit>) -> u32 {
+        learnt.clear();
+        learnt.push(0);
         let mut counter = 0usize;
         let mut p: Option<ILit> = None;
         let mut idx = self.trail.len();
         loop {
-            {
-                let bump = self.clauses[confl].learnt;
-                if bump {
-                    self.bump_clause(confl);
-                }
+            if self.arena.is_learnt(confl) {
+                self.bump_clause(confl);
             }
             let start = usize::from(p.is_some());
-            let lits_len = self.clauses[confl].lits.len();
+            let lits_len = self.arena.len(confl);
+            let base = confl as usize + HEADER_WORDS;
             for k in start..lits_len {
-                let q = self.clauses[confl].lits[k];
+                let q = self.arena.data[base + k];
                 let v = ivar(q) as usize;
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -1156,7 +1580,7 @@ impl CdclSolver {
             self.seen[ivar(l) as usize] = false;
         }
         // Backjump level: highest level among learnt[1..].
-        let bt_level = if learnt.len() == 1 {
+        if learnt.len() == 1 {
             0
         } else {
             let mut max_i = 1;
@@ -1167,8 +1591,7 @@ impl CdclSolver {
             }
             learnt.swap(1, max_i);
             self.level[ivar(learnt[1]) as usize]
-        };
-        (learnt, bt_level)
+        }
     }
 
     fn backtrack(&mut self, target: u32) {
@@ -1202,11 +1625,21 @@ impl CdclSolver {
         self.heap.decreased_key_fixup(v, &self.activity);
     }
 
-    fn bump_clause(&mut self, c: usize) {
-        self.clauses[c].activity += self.cla_inc;
-        if self.clauses[c].activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
+    fn bump_clause(&mut self, c: CRef) {
+        let a = self.arena.activity(c) + self.cla_inc as f32;
+        self.arena.set_activity(c, a);
+        if a > 1e20 {
+            // Rescale every live slot (dead slots are skipped; their
+            // activity word is rewritten on reuse anyway).
+            let mut off = 0usize;
+            while off < self.arena.data.len() {
+                let cref = off as CRef;
+                let cap = self.arena.cap(cref);
+                if !self.arena.is_dead(cref) {
+                    let scaled = self.arena.activity(cref) * 1e-20;
+                    self.arena.set_activity(cref, scaled);
+                }
+                off += HEADER_WORDS + cap;
             }
             self.cla_inc *= 1e-20;
         }
@@ -1229,34 +1662,161 @@ impl CdclSolver {
 
     /// Removes the least active half of removable learnt clauses. Clauses
     /// that are reasons of current assignments or binary are kept. Removal
-    /// is by tombstoning: the slot is pushed on a free list for reuse and
-    /// stale watchers are swept out lazily by `propagate` — cost is
-    /// proportional to the clause database, never to the watch lists, and
-    /// no index ever moves (reasons and clause groups stay valid).
+    /// is by tombstoning: the slot is marked dead, filed on a size-class
+    /// free list for reuse, and stale watchers are swept out lazily by
+    /// `propagate` — cost is proportional to the clause database, never to
+    /// the watch lists, and no reference moves (reasons and clause groups
+    /// stay valid). When a third of the arena is dead afterwards, a
+    /// compaction pass squeezes the dead slots out (see
+    /// [`Self::compact_arena`]).
     fn reduce_db(&mut self) {
-        let locked: std::collections::HashSet<usize> =
+        let locked: std::collections::HashSet<CRef> =
             self.reason.iter().flatten().copied().collect();
-        let mut removable: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| {
-                let cl = &self.clauses[i];
-                cl.learnt && cl.active && cl.lits.len() > 2 && !locked.contains(&i)
-            })
-            .collect();
+        let mut removable: Vec<CRef> = Vec::new();
+        let mut off = 0usize;
+        while off < self.arena.data.len() {
+            let c = off as CRef;
+            let cap = self.arena.cap(c);
+            if !self.arena.is_dead(c)
+                && self.arena.is_learnt(c)
+                && self.arena.is_active(c)
+                && self.arena.len(c) > 2
+                && !locked.contains(&c)
+            {
+                removable.push(c);
+            }
+            off += HEADER_WORDS + cap;
+        }
         removable.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
+            self.arena
+                .activity(a)
+                .partial_cmp(&self.arena.activity(b))
                 .unwrap()
         });
         removable.truncate(removable.len() / 2);
         self.num_learnts -= removable.len();
-        for i in removable {
-            let cl = &mut self.clauses[i];
-            cl.active = false;
-            cl.epoch = cl.epoch.wrapping_add(1);
-            cl.lits = Vec::new();
-            self.free_slots.push(i);
+        for c in removable {
+            self.arena.free(c);
         }
+        if self.arena.should_compact() {
+            self.compact_arena_now();
+        }
+    }
+
+    /// Tombstones the least-active half of removable learnt clauses right
+    /// now — the maintenance entry point for callers that want to shed
+    /// memory between solves instead of waiting for `search`'s learnt-DB
+    /// cap to trigger it.
+    pub fn reduce_learnts_now(&mut self) {
+        self.backtrack(0);
+        self.reduce_db();
+    }
+
+    /// Compacts the clause arena right now.
+    ///
+    /// **Incremental contract: arena & compaction.** Clause slots never
+    /// move between solves *except* during compaction, which runs inside
+    /// `reduce_db` once a third of the arena is dead (or when this method
+    /// is called). Compaction rewrites every live reference in one pass —
+    /// watchers (stale ones are dropped using the same epoch/activity
+    /// predicate propagation uses), reason pointers (`reduce_db` never
+    /// frees a reason clause, so all of them are live), and group
+    /// clause/replay lists — then slides live slots down in address order,
+    /// shrinking each slot's capacity to its length. Detached groups keep
+    /// working: their replay cache (`Group::watched` + each clause's first
+    /// two literals) is relocated with everything else. No external handle
+    /// is invalidated: `GroupId`s, saved phases, activities, learnt
+    /// clauses and the unsat-core state all survive.
+    pub fn compact_arena(&mut self) {
+        self.backtrack(0);
+        self.compact_arena_now();
+    }
+
+    fn compact_arena_now(&mut self) {
+        if self.arena.wasted == 0 {
+            return; // nothing dead: relocation would be the identity
+        }
+        // 1. Relocation map (old → new offset), ascending. Kept in a side
+        //    table: forwarding pointers written into the arena itself would
+        //    be clobbered by the ascending copy below.
+        let mut map: Vec<(CRef, CRef)> = Vec::new();
+        let mut old = 0usize;
+        let mut new_len = 0usize;
+        while old < self.arena.data.len() {
+            let c = old as CRef;
+            let cap = self.arena.cap(c);
+            if !self.arena.is_dead(c) {
+                map.push((c, new_len as CRef));
+                new_len += HEADER_WORDS + self.arena.len(c);
+            }
+            old += HEADER_WORDS + cap;
+        }
+        let translate = |c: CRef| -> CRef {
+            let i = map
+                .binary_search_by_key(&c, |&(o, _)| o)
+                .expect("live clause ref must be in the relocation map");
+            map[i].1
+        };
+        // 2. Watch lists first, while slot metadata is still readable at
+        //    the old offsets: drop stale watchers (same predicate
+        //    `propagate` uses), translate live ones.
+        let arena = &self.arena;
+        let group_on = &self.group_on;
+        let group_epoch = &self.group_epoch;
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| {
+                let live = if w.group != 0 {
+                    let g = w.group as usize;
+                    group_on[g] && w.epoch == group_epoch[g]
+                } else {
+                    !arena.is_dead(w.clause)
+                        && arena.is_active(w.clause)
+                        && w.epoch == arena.epoch(w.clause)
+                };
+                if live {
+                    w.clause = translate(w.clause);
+                }
+                live
+            });
+        }
+        // 3. Reason pointers and group clause/replay lists.
+        for r in self.reason.iter_mut().flatten() {
+            *r = translate(*r);
+        }
+        for g in &mut self.groups {
+            for c in &mut g.clauses {
+                *c = translate(*c);
+            }
+            for c in &mut g.watched {
+                *c = translate(*c);
+            }
+        }
+        // 4. Slide the data down (ascending, overlap-safe: new ≤ old and
+        //    earlier destinations never reach a later source), shrinking
+        //    each slot's capacity to its length.
+        for &(o, n) in &map {
+            let words = HEADER_WORDS + self.arena.len(o);
+            let (o, n) = (o as usize, n as usize);
+            self.arena.data.copy_within(o..o + words, n);
+            self.arena.data[n + 1] = (words - HEADER_WORDS) as u32; // cap := len
+        }
+        self.arena.data.truncate(new_len);
+        // 5. Dead slots are gone: free lists and the waste counter reset.
+        for f in &mut self.arena.free {
+            f.clear();
+        }
+        self.arena.wasted = 0;
+    }
+
+    /// Bytes currently occupied by the flat clause arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.data.len() * 4
+    }
+
+    /// Bytes of the arena occupied by tombstoned (dead) clause slots —
+    /// reclaimed on the next compaction.
+    pub fn arena_wasted_bytes(&self) -> usize {
+        self.arena.wasted * 4
     }
 
     /// Luby restart sequence (1,1,2,1,1,2,4,...), MiniSat formulation.
@@ -1277,13 +1837,17 @@ impl CdclSolver {
     }
 
     /// Final-conflict analysis (MiniSat's `analyzeFinal`): given an
-    /// assumption literal `p` found false while planting assumptions,
-    /// returns the subset of planted assumptions (plus `p` itself, external
-    /// form) whose conjunction the clause database refutes.
-    fn analyze_final(&mut self, p: ILit) -> Vec<Lit> {
-        let mut out = vec![to_dimacs(p)];
+    /// assumption literal `p` found false while planting assumptions, fills
+    /// `self.core` with the subset of planted assumptions (plus `p` itself,
+    /// external form) whose conjunction the clause database refutes. The
+    /// core buffer is pooled — reused across solves, no per-call allocation.
+    fn analyze_final(&mut self, p: ILit) {
+        let mut out = std::mem::take(&mut self.core);
+        out.clear();
+        out.push(to_dimacs(p));
         if self.decision_level() == 0 {
-            return out;
+            self.core = out;
+            return;
         }
         self.seen[ivar(p) as usize] = true;
         for i in (self.trail_lim[0]..self.trail.len()).rev() {
@@ -1298,9 +1862,10 @@ impl CdclSolver {
                     out.push(to_dimacs(self.trail[i]));
                 }
                 Some(c) => {
-                    let len = self.clauses[c].lits.len();
+                    let len = self.arena.len(c);
+                    let base = c as usize + HEADER_WORDS;
                     for k in 1..len {
-                        let q = self.clauses[c].lits[k];
+                        let q = self.arena.data[base + k];
                         if self.level[ivar(q) as usize] > 0 {
                             self.seen[ivar(q) as usize] = true;
                         }
@@ -1310,7 +1875,7 @@ impl CdclSolver {
             self.seen[x] = false;
         }
         self.seen[ivar(p) as usize] = false;
-        out
+        self.core = out;
     }
 
     /// CDCL search. `assumptions` (internal literals) are planted as
@@ -1343,16 +1908,18 @@ impl CdclSolver {
                         self.ok = false;
                         return SatResult::Unsat;
                     }
-                    let (learnt, bt) = self.analyze(confl);
+                    let mut learnt = std::mem::take(&mut self.learnt_scratch);
+                    let bt = self.analyze(confl, &mut learnt);
                     self.backtrack(bt);
                     if learnt.len() == 1 {
                         self.unchecked_enqueue(learnt[0], None);
                     } else {
                         let asserting = learnt[0];
-                        let idx = self.attach_clause(learnt, true);
-                        self.bump_clause(idx);
-                        self.unchecked_enqueue(asserting, Some(idx));
+                        let cref = self.attach_clause(&learnt, true);
+                        self.bump_clause(cref);
+                        self.unchecked_enqueue(asserting, Some(cref));
                     }
+                    self.learnt_scratch = learnt;
                     self.decay_activities();
                     if let Some(budget) = self.conflict_budget {
                         if self.stats.conflicts - conflicts_at_entry >= budget {
@@ -1381,7 +1948,7 @@ impl CdclSolver {
                                 self.trail_lim.push(self.trail.len());
                             }
                             LBool::False => {
-                                self.core = self.analyze_final(p);
+                                self.analyze_final(p);
                                 return SatResult::Unsat;
                             }
                             LBool::Undef => {
@@ -1840,5 +2407,123 @@ mod tests {
         assert_eq!(s.solve_under_assumptions(&[3, -3]), SatResult::Unsat);
         let core = s.unsat_core();
         assert!(core.contains(&3) && core.contains(&-3), "core {core:?}");
+    }
+
+    #[test]
+    fn arena_reuses_tombstoned_slots_by_size_class() {
+        let mut a = ClauseArena::default();
+        let c3 = a.alloc(&[0, 2, 4], false, true);
+        let c4 = a.alloc(&[1, 3, 5, 7], false, true);
+        let len_before = a.data.len();
+        a.free(c3);
+        assert!(a.is_dead(c3));
+        assert_eq!(a.epoch(c3), 1, "free bumps the slot epoch");
+        assert_eq!(a.wasted, HEADER_WORDS + 3);
+        // Exact size class: the tombstoned 3-cap slot is reused in place.
+        let c3b = a.alloc(&[6, 8, 10], false, true);
+        assert_eq!(c3b, c3);
+        assert_eq!(a.wasted, 0, "reuse reclaims the tombstone's waste");
+        assert_eq!(a.data.len(), len_before, "no tail growth on reuse");
+        assert_eq!(a.epoch(c3b), 1, "reused slot keeps its bumped epoch");
+        assert_eq!(a.len(c3b), 3);
+        assert_eq!([a.lit(c3b, 0), a.lit(c3b, 1), a.lit(c3b, 2)], [6, 8, 10]);
+        // Close size class: a 2-lit clause fits the freed 4-cap slot
+        // (at most two words of slack).
+        a.free(c4);
+        let c2 = a.alloc(&[9, 11], false, true);
+        assert_eq!(c2, c4);
+        assert_eq!(a.len(c2), 2);
+        assert_eq!(a.cap(c2), 4, "reused slot keeps its original capacity");
+        assert_eq!(a.wasted, 0);
+        assert_eq!(a.data.len(), len_before);
+        // Nothing free fits a 5-lit clause: it appends at the tail.
+        let c5 = a.alloc(&[0, 2, 4, 6, 8], false, true);
+        assert_eq!(c5 as usize, len_before);
+        assert!(a.data.len() > len_before);
+    }
+
+    /// Attaches `n` 3-literal learnt clauses over fresh all-positive
+    /// variables — deterministic arena garbage for the compaction tests
+    /// (every clause is removable: learnt, longer than binary, never a
+    /// reason, and satisfiable by assigning the fresh block true).
+    fn attach_learnt_garbage(s: &mut CdclSolver, n: u32) {
+        let base = s.num_vars() as u32;
+        s.reserve_vars((base + n + 2) as usize);
+        for i in 0..n {
+            let lits = [
+                ilit(base + i, false),
+                ilit(base + i + 1, false),
+                ilit(base + i + 2, false),
+            ];
+            s.attach_clause(&lits, true);
+        }
+    }
+
+    #[test]
+    fn compaction_relocates_watchers_and_reasons() {
+        // 3-coloring of a 6-node path: v(n, c) = n*3 + c + 1.
+        let v = |n: i32, c: i32| n * 3 + c + 1;
+        let mut cnf = Cnf::new();
+        for n in 0..6 {
+            cnf.add_clause(&[v(n, 0), v(n, 1), v(n, 2)]);
+            for c1 in 0..3 {
+                for c2 in (c1 + 1)..3 {
+                    cnf.add_clause(&[-v(n, c1), -v(n, c2)]);
+                }
+            }
+        }
+        for n in 0..5 {
+            for c in 0..3 {
+                cnf.add_clause(&[-v(n, c), -v(n + 1, c)]);
+            }
+        }
+        let mut s = CdclSolver::new();
+        assert!(s.load_cnf(&cnf));
+        assert!(s.solve_under_assumptions(&[v(0, 0), v(2, 1)]).is_sat());
+        attach_learnt_garbage(&mut s, 40);
+        s.reduce_learnts_now();
+        assert!(s.arena_wasted_bytes() > 0, "tombstones must be accounted");
+        let before = s.arena_bytes();
+        let wasted = s.arena_wasted_bytes();
+        s.compact_arena();
+        assert_eq!(s.arena_wasted_bytes(), 0);
+        assert_eq!(
+            s.arena_bytes(),
+            before - wasted,
+            "compaction reclaims exactly the tombstoned bytes"
+        );
+        // Relocated watchers/reasons still drive correct answers.
+        let m = s.solve_under_assumptions(&[v(0, 0), v(1, 1)]).model();
+        assert!(m.satisfies(&cnf));
+        assert!(
+            !s.solve_under_assumptions(&[v(3, 2), v(4, 2)]).is_sat(),
+            "adjacent nodes must not share a color"
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_detached_group_replay() {
+        let mut s = CdclSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        let g = s.new_clause_group();
+        s.set_group_active(g, true);
+        assert!(s.add_clause_to_group(g, &[-1, -2]));
+        // Attached: exactly-one-of {1, 2}.
+        assert!(!s.solve_under_assumptions(&[1, 2]).is_sat());
+        // Detach the group, then churn the arena hard while it is out:
+        // tombstoned learnts, free-list reuse, and a relocation pass.
+        s.set_group_active(g, false);
+        attach_learnt_garbage(&mut s, 50);
+        s.reduce_learnts_now();
+        assert!(s.arena_wasted_bytes() > 0);
+        s.compact_arena();
+        assert_eq!(s.arena_wasted_bytes(), 0);
+        // Re-attach: the replay cache must still resolve to the right
+        // (relocated) slots.
+        s.set_group_active(g, true);
+        assert!(!s.solve_under_assumptions(&[1, 2]).is_sat());
+        let m = s.solve_under_assumptions(&[1]).model();
+        assert!(m.value(1));
+        assert!(!m.value(2), "re-attached group clause must constrain");
     }
 }

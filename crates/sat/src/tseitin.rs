@@ -180,8 +180,20 @@ impl TseitinEncoder {
                 self.define_or(&lits)
             }
             Formula::Implies(a, b) => {
-                let f = Formula::Or(vec![Formula::not((**a).clone()), (**b).clone()]);
-                self.define(&f)
+                // ¬a ∨ b by borrowed traversal — defining each side in
+                // place instead of cloning both subtrees into a fresh
+                // `Formula::Or`. Mirrors the Or loop exactly, including its
+                // short-circuit: `b` is not defined when ¬a is constant
+                // true.
+                match self.define(a).negate() {
+                    DefLit::Const(true) => DefLit::Const(true),
+                    DefLit::Const(false) => self.define(b),
+                    DefLit::Lit(la) => match self.define(b) {
+                        DefLit::Const(true) => DefLit::Const(true),
+                        DefLit::Const(false) => DefLit::Lit(la),
+                        DefLit::Lit(lb) => self.define_or(&[la, lb]),
+                    },
+                }
             }
             Formula::Iff(a, b) => {
                 let la = self.define(a);
